@@ -1,0 +1,122 @@
+// E8 (extension) — record-and-replay vs hardware snapshots.
+//
+// The paper's introduction dismisses record-and-replay as an alternative
+// to snapshotting: replay cost grows with the interaction count (Talebi
+// et al.: 8800 I/O operations just to initialize one camera driver),
+// while a hardware snapshot restore is a constant. This bench measures
+// both on the same workload: a driver init sequence of N register writes
+// + polls against the corpus SoC, then one state reset via (a) replay and
+// (b) scan-chain snapshot restore.
+//
+// Expected shape: replay cost is linear in N and crosses the snapshot
+// constant almost immediately; at the paper's 8800-interaction scale the
+// gap is ~3 orders of magnitude on the FPGA transport.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bus/recording_target.h"
+#include "fpga/fpga_target.h"
+#include "periph/periph.h"
+#include "rtl/elaborate.h"
+
+using namespace hardsnap;
+
+namespace {
+
+rtl::Design& Soc() {
+  static rtl::Design* d = [] {
+    auto r = rtl::CompileVerilog(periph::BuildSoc(periph::DefaultCorpus()),
+                                 "soc");
+    HS_CHECK_MSG(r.ok(), r.status().ToString());
+    return new rtl::Design(std::move(r).value());
+  }();
+  return *d;
+}
+
+// Issue a driver-like init: alternating config writes and status polls.
+Status RunInitSequence(bus::HardwareTarget* t, unsigned interactions) {
+  for (unsigned i = 0; i < interactions; ++i) {
+    if (i % 2 == 0) {
+      HS_RETURN_IF_ERROR(
+          t->Write32((0u << 8) | periph::timer_regs::kPrescale, i & 0xff));
+    } else {
+      auto v = t->Read32((0u << 8) | periph::timer_regs::kStatus);
+      if (!v.ok()) return v.status();
+    }
+    HS_RETURN_IF_ERROR(t->Run(4));
+  }
+  return Status::Ok();
+}
+
+void PrintTable() {
+  std::printf(
+      "E8: state reset cost — record/replay vs scan-chain snapshot\n"
+      "%-14s | %16s | %16s | %8s\n",
+      "interactions", "replay restore", "snapshot restore", "ratio");
+  for (unsigned n : {10u, 100u, 1000u, 8800u}) {
+    auto inner = fpga::FpgaTarget::Create(Soc());
+    HS_CHECK(inner.ok());
+    bus::RecordingTarget recorder(inner.value().get());
+    HS_CHECK(recorder.ResetHardware().ok());
+    HS_CHECK(RunInitSequence(&recorder, n).ok());
+    const size_t mark = recorder.Mark();
+
+    // (a) replay restore cost.
+    const Duration before_replay = inner.value()->clock().now();
+    HS_CHECK_MSG(recorder.ReplayTo(mark).ok(), "replay diverged");
+    const Duration replay_cost = inner.value()->clock().now() - before_replay;
+
+    // (b) snapshot restore cost (scan chain on the same target).
+    auto state = inner.value()->SaveState();
+    HS_CHECK(state.ok());
+    const Duration before_restore = inner.value()->clock().now();
+    HS_CHECK(inner.value()->RestoreState(state.value()).ok());
+    const Duration restore_cost =
+        inner.value()->clock().now() - before_restore;
+
+    std::printf("%-14u | %16s | %16s | %7.1fx\n", n,
+                replay_cost.ToString().c_str(),
+                restore_cost.ToString().c_str(),
+                static_cast<double>(replay_cost.picos()) /
+                    static_cast<double>(restore_cost.picos()));
+  }
+  std::printf(
+      "\n(8800 interactions = the Nexus 5X camera-driver init the paper "
+      "cites; snapshot restore is one scan pass + USB3 bulk)\n\n");
+}
+
+void BM_ReplayRestore1000(benchmark::State& state) {
+  auto inner = fpga::FpgaTarget::Create(Soc());
+  HS_CHECK(inner.ok());
+  bus::RecordingTarget recorder(inner.value().get());
+  HS_CHECK(recorder.ResetHardware().ok());
+  HS_CHECK(RunInitSequence(&recorder, 1000).ok());
+  const size_t mark = recorder.Mark();
+  for (auto _ : state) {
+    HS_CHECK(recorder.ReplayTo(mark).ok());
+  }
+}
+BENCHMARK(BM_ReplayRestore1000)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotRestoreSameWorkload(benchmark::State& state) {
+  auto inner = fpga::FpgaTarget::Create(Soc());
+  HS_CHECK(inner.ok());
+  HS_CHECK(inner.value()->ResetHardware().ok());
+  HS_CHECK(RunInitSequence(inner.value().get(), 1000).ok());
+  auto snapshot = inner.value()->SaveState();
+  HS_CHECK(snapshot.ok());
+  for (auto _ : state) {
+    HS_CHECK(inner.value()->RestoreState(snapshot.value()).ok());
+  }
+}
+BENCHMARK(BM_SnapshotRestoreSameWorkload)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

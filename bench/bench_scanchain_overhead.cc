@@ -1,0 +1,104 @@
+// E3 — scan-chain instrumentation area overhead per peripheral.
+//
+// The paper reports the FPGA resource overhead (flip-flops / LUTs) its
+// instrumentation adds to each corpus member. The equivalents measurable
+// on this substrate are: signals added (scan pins + memory test ports),
+// expression-node count (a technology-independent gate proxy), chain
+// length, and the maximum combinational depth change (frequency proxy).
+// Expected shape: overhead grows with register count; relative expression
+// overhead stays moderate (each FF costs one mux + chain wiring).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "periph/periph.h"
+#include "rtl/elaborate.h"
+#include "scanchain/scan_pass.h"
+#include "sim/simulator.h"
+
+using namespace hardsnap;
+
+namespace {
+
+void PrintTable() {
+  struct Entry {
+    std::string name, src, top;
+  };
+  const std::vector<Entry> corpus = {
+      {"hs_timer", periph::TimerVerilog(), "hs_timer"},
+      {"hs_uart", periph::UartVerilog(), "hs_uart"},
+      {"hs_watchdog", periph::WatchdogVerilog(), "hs_watchdog"},
+      {"hs_aes128", periph::Aes128Verilog(), "hs_aes128"},
+      {"hs_sha256", periph::Sha256Verilog(), "hs_sha256"},
+      {"soc (all 4)", periph::BuildSoc(periph::DefaultCorpus()), "soc"},
+  };
+  std::printf(
+      "E3: scan-chain instrumentation overhead\n"
+      "%-12s | %7s %7s | %9s -> %9s (%5s) | %7s %9s\n",
+      "design", "flops", "FFbits", "exprs", "exprs'", "ovh", "chain",
+      "mem words");
+  for (const auto& e : corpus) {
+    auto d = rtl::CompileVerilog(e.src, e.top);
+    HS_CHECK_MSG(d.ok(), d.status().ToString());
+    auto inst = scanchain::InsertScanChain(d.value());
+    HS_CHECK_MSG(inst.ok(), inst.status().ToString());
+    const auto& map = inst.value().map;
+    const auto& before = map.original_stats;
+    const auto& after = map.instrumented_stats;
+    const double overhead =
+        100.0 * (after.num_expr_nodes - before.num_expr_nodes) /
+        before.num_expr_nodes;
+    std::printf("%-12s | %7u %7u | %9u -> %9u (%4.1f%%) | %7u %9u\n",
+                e.name.c_str(), before.num_flops, before.num_flop_bits,
+                before.num_expr_nodes, after.num_expr_nodes, overhead,
+                map.total_bits, map.total_mem_words);
+  }
+  std::printf(
+      "\n(exprs = expression-node count, the gate proxy; chain = scan "
+      "chain length in bits; the paper's FF/LUT overhead columns)\n\n");
+}
+
+// Wall-clock cost of the instrumentation pass itself (toolchain speed).
+void BM_InsertScanChain_Soc(benchmark::State& state) {
+  auto d = rtl::CompileVerilog(periph::BuildSoc(periph::DefaultCorpus()),
+                               "soc");
+  HS_CHECK(d.ok());
+  for (auto _ : state) {
+    auto inst = scanchain::InsertScanChain(d.value());
+    benchmark::DoNotOptimize(inst);
+  }
+}
+BENCHMARK(BM_InsertScanChain_Soc)->Unit(benchmark::kMillisecond);
+
+// Non-interference cost: cycles/sec of the instrumented vs original SoC.
+void BM_TickOriginal(benchmark::State& state) {
+  auto d = rtl::CompileVerilog(periph::BuildSoc(periph::DefaultCorpus()),
+                               "soc");
+  HS_CHECK(d.ok());
+  auto simr = sim::Simulator::Create(d.value());
+  HS_CHECK(simr.ok());
+  for (auto _ : state) simr.value().Tick(100);
+}
+BENCHMARK(BM_TickOriginal)->Unit(benchmark::kMicrosecond);
+
+void BM_TickInstrumented(benchmark::State& state) {
+  auto d = rtl::CompileVerilog(periph::BuildSoc(periph::DefaultCorpus()),
+                               "soc");
+  HS_CHECK(d.ok());
+  auto inst = scanchain::InsertScanChain(d.value());
+  HS_CHECK(inst.ok());
+  auto simr = sim::Simulator::Create(inst.value().design);
+  HS_CHECK(simr.ok());
+  for (auto _ : state) simr.value().Tick(100);
+}
+BENCHMARK(BM_TickInstrumented)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

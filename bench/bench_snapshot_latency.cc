@@ -1,0 +1,140 @@
+// E1 — hardware snapshot save/restore latency per peripheral and method
+// (paper RQ1: "How long does it take to save/restore a hardware state?").
+//
+// Reproduces the paper's comparison of the three snapshotting mechanisms:
+//   * FPGA scan chain: one pass of state_bits + mem_words fabric cycles —
+//     grows linearly with design size, microseconds at 100 MHz;
+//   * FPGA vendor readback: dumps the whole fabric configuration —
+//     large and almost independent of the design;
+//   * simulator + CRIU: checkpoints the whole simulator process —
+//     large and independent of the design.
+// Expected shape: scan is orders of magnitude faster; only scan scales
+// with (small) design size; readback/CRIU are flat.
+//
+// The table reports modeled hardware time; the google-benchmark section
+// below it measures the host wall-clock cost of actually shifting the
+// emulated scan chain and of the simulator state dump.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bus/sim_target.h"
+#include "fpga/fpga_target.h"
+#include "periph/periph.h"
+#include "rtl/elaborate.h"
+#include "scanchain/scan_controller.h"
+#include "scanchain/scan_pass.h"
+#include "sim/simulator.h"
+
+using namespace hardsnap;
+
+namespace {
+
+struct Row {
+  std::string name;
+  rtl::Design design;
+};
+
+std::vector<Row> Corpus() {
+  std::vector<Row> rows;
+  auto add = [&rows](const std::string& name, const std::string& src,
+                     const std::string& top) {
+    auto d = rtl::CompileVerilog(src, top);
+    HS_CHECK_MSG(d.ok(), d.status().ToString());
+    rows.push_back(Row{name, std::move(d).value()});
+  };
+  add("hs_timer", periph::TimerVerilog(), "hs_timer");
+  add("hs_uart", periph::UartVerilog(), "hs_uart");
+  add("hs_watchdog", periph::WatchdogVerilog(), "hs_watchdog");
+  add("hs_aes128", periph::Aes128Verilog(), "hs_aes128");
+  add("hs_sha256", periph::Sha256Verilog(), "hs_sha256");
+  add("soc (all 4)", periph::BuildSoc(periph::DefaultCorpus()), "soc");
+  return rows;
+}
+
+void PrintTable() {
+  std::printf(
+      "E1: hardware snapshot save/restore latency by method\n"
+      "%-12s %10s %9s | %14s %14s %14s\n",
+      "design", "FF bits", "mem bits", "scan-chain", "readback", "CRIU");
+  for (auto& row : Corpus()) {
+    auto stats = row.design.Stats();
+    auto fpga = fpga::FpgaTarget::Create(row.design);
+    HS_CHECK(fpga.ok());
+    auto sim = bus::SimulatorTarget::Create(row.design);
+    HS_CHECK(sim.ok());
+    std::printf("%-12s %10u %9u | %14s %14s %14s\n", row.name.c_str(),
+                stats.num_flop_bits, stats.num_memory_bits,
+                fpga.value()->ScanPassCost().ToString().c_str(),
+                fpga.value()->ReadbackCost().ToString().c_str(),
+                sim.value()->CriuCost().ToString().c_str());
+  }
+  std::printf(
+      "\n(scan-chain = state-linear pass at 100 MHz + USB3 command; "
+      "readback = full-fabric dump; CRIU = process image freeze+dump)\n\n");
+}
+
+// Wall-clock: one full scan save on the emulated fabric.
+void BM_ScanChainSave(benchmark::State& bm_state) {
+  auto d = rtl::CompileVerilog(periph::BuildSoc(periph::DefaultCorpus()),
+                               "soc");
+  HS_CHECK(d.ok());
+  auto inst = scanchain::InsertScanChain(d.value());
+  HS_CHECK(inst.ok());
+  auto sim = sim::Simulator::Create(inst.value().design);
+  HS_CHECK(sim.ok());
+  sim::Simulator simulator = std::move(sim).value();
+  HS_CHECK(simulator.PokeInput("uart_rx", 1).ok());
+  scanchain::ScanController ctrl(&simulator, inst.value().map);
+  for (auto _ : bm_state) {
+    auto saved = ctrl.Save();
+    benchmark::DoNotOptimize(saved);
+  }
+  bm_state.SetLabel(std::to_string(inst.value().map.total_bits) +
+                    " chain bits");
+}
+BENCHMARK(BM_ScanChainSave)->Unit(benchmark::kMillisecond);
+
+// Wall-clock: simulator-native state dump (the primitive under CRIU).
+void BM_SimulatorDumpState(benchmark::State& bm_state) {
+  auto d = rtl::CompileVerilog(periph::BuildSoc(periph::DefaultCorpus()),
+                               "soc");
+  HS_CHECK(d.ok());
+  auto sim = sim::Simulator::Create(d.value());
+  HS_CHECK(sim.ok());
+  for (auto _ : bm_state) {
+    auto state = sim.value().DumpState();
+    benchmark::DoNotOptimize(state);
+  }
+}
+BENCHMARK(BM_SimulatorDumpState)->Unit(benchmark::kMicrosecond);
+
+// Wall-clock: restore through the scan chain (emulated fabric).
+void BM_ScanChainRestore(benchmark::State& bm_state) {
+  auto d = rtl::CompileVerilog(periph::BuildSoc(periph::DefaultCorpus()),
+                               "soc");
+  HS_CHECK(d.ok());
+  auto inst = scanchain::InsertScanChain(d.value());
+  HS_CHECK(inst.ok());
+  auto sim = sim::Simulator::Create(inst.value().design);
+  HS_CHECK(sim.ok());
+  sim::Simulator simulator = std::move(sim).value();
+  HS_CHECK(simulator.PokeInput("uart_rx", 1).ok());
+  scanchain::ScanController ctrl(&simulator, inst.value().map);
+  auto snapshot = ctrl.Save();
+  HS_CHECK(snapshot.ok());
+  for (auto _ : bm_state) {
+    HS_CHECK(ctrl.Restore(snapshot.value()).ok());
+  }
+  bm_state.SetLabel("full save+restore pass");
+}
+BENCHMARK(BM_ScanChainRestore)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

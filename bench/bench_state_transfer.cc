@@ -1,0 +1,140 @@
+// E6 — multi-target orchestration: live state transfer cost and the
+// combined-run benefit (paper Sec. III-B: "start the analysis on the FPGA
+// target and once a particular point is reached the FPGA state is
+// transferred to the Verilator target").
+//
+// Reproduces two tables:
+//   (a) one-way transfer cost between targets (modeled): source capture +
+//       destination load, per direction;
+//   (b) the "trace after a long prefix" workload: run N cycles of warm-up
+//       then T traced cycles. Strategies: all-simulator (slow but
+//       traceable), all-FPGA (fast, no trace possible), and the HardSnap
+//       hand-off (FPGA prefix + transfer + simulator tracing).
+// Expected shape: hand-off approaches FPGA speed while still delivering
+// the trace; the crossover vs all-simulator moves earlier as the prefix
+// grows.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bus/sim_target.h"
+#include "fpga/fpga_target.h"
+#include "periph/periph.h"
+#include "rtl/elaborate.h"
+#include "snapshot/orchestrator.h"
+
+using namespace hardsnap;
+
+namespace {
+
+rtl::Design& Soc() {
+  static rtl::Design* d = [] {
+    auto r = rtl::CompileVerilog(periph::BuildSoc(periph::DefaultCorpus()),
+                                 "soc");
+    HS_CHECK_MSG(r.ok(), r.status().ToString());
+    return new rtl::Design(std::move(r).value());
+  }();
+  return *d;
+}
+
+void PrintTransferTable() {
+  std::printf("E6a: live state transfer cost (modeled, one way)\n");
+  std::printf("%-24s %14s\n", "direction", "cost");
+  {
+    auto f = fpga::FpgaTarget::Create(Soc());
+    auto s = bus::SimulatorTarget::Create(Soc());
+    HS_CHECK(f.ok() && s.ok());
+    HS_CHECK(f.value()->ResetHardware().ok());
+    HS_CHECK(s.value()->ResetHardware().ok());
+    const Duration f0 = f.value()->clock().now();
+    const Duration s0 = s.value()->clock().now();
+    auto state = f.value()->SaveState();
+    HS_CHECK(state.ok());
+    HS_CHECK(s.value()->RestoreState(state.value()).ok());
+    const Duration cost = (f.value()->clock().now() - f0) +
+                          (s.value()->clock().now() - s0);
+    std::printf("%-24s %14s\n", "fpga -> simulator", cost.ToString().c_str());
+  }
+  {
+    auto f = fpga::FpgaTarget::Create(Soc());
+    auto s = bus::SimulatorTarget::Create(Soc());
+    HS_CHECK(f.ok() && s.ok());
+    HS_CHECK(f.value()->ResetHardware().ok());
+    HS_CHECK(s.value()->ResetHardware().ok());
+    const Duration f0 = f.value()->clock().now();
+    const Duration s0 = s.value()->clock().now();
+    auto state = s.value()->SaveState();
+    HS_CHECK(state.ok());
+    HS_CHECK(f.value()->RestoreState(state.value()).ok());
+    const Duration cost = (f.value()->clock().now() - f0) +
+                          (s.value()->clock().now() - s0);
+    std::printf("%-24s %14s\n", "simulator -> fpga", cost.ToString().c_str());
+  }
+  std::printf(
+      "\n(fpga side = scan pass + USB3 bulk; simulator side = CRIU "
+      "checkpoint — the asymmetric costs the paper discusses)\n\n");
+}
+
+void PrintHandoffTable() {
+  std::printf(
+      "E6b: 'full trace after long prefix' workload "
+      "(prefix cycles + 1000 traced cycles)\n");
+  std::printf("%-10s | %14s %14s %14s | %s\n", "prefix", "all-simulator",
+              "all-fpga", "handoff", "trace?");
+  for (uint64_t prefix : {10'000ull, 100'000ull, 1'000'000ull, 10'000'000ull}) {
+    const uint64_t traced = 1000;
+    Duration all_sim, all_fpga, handoff;
+    {
+      auto s = bus::SimulatorTarget::Create(Soc());
+      HS_CHECK(s.ok());
+      // Cost model only — avoid interpreting 10M cycles on the host.
+      all_sim = PeriodOfHz(s.value()->options().sim_clock_hz) *
+                static_cast<int64_t>(prefix + traced);
+    }
+    {
+      all_fpga = PeriodOfHz(100e6) * static_cast<int64_t>(prefix + traced);
+    }
+    {
+      auto f = fpga::FpgaTarget::Create(Soc());
+      auto s = bus::SimulatorTarget::Create(Soc());
+      HS_CHECK(f.ok() && s.ok());
+      handoff = PeriodOfHz(100e6) * static_cast<int64_t>(prefix) +
+                f.value()->ScanPassCost() + f.value()->BulkTransferCost() +
+                s.value()->CriuCost() +
+                PeriodOfHz(s.value()->options().sim_clock_hz) *
+                    static_cast<int64_t>(traced);
+    }
+    std::printf("%-10llu | %14s %14s %14s | handoff+sim only\n",
+                static_cast<unsigned long long>(prefix),
+                all_sim.ToString().c_str(), all_fpga.ToString().c_str(),
+                handoff.ToString().c_str());
+  }
+  std::printf(
+      "\n(all-fpga cannot produce the trace at all; the handoff pays one "
+      "transfer and wins against all-simulator as the prefix grows)\n\n");
+}
+
+// Measured: actual end-to-end migration through the orchestrator.
+void BM_OrchestratorMigration(benchmark::State& state) {
+  auto f = fpga::FpgaTarget::Create(Soc());
+  auto s = bus::SimulatorTarget::Create(Soc());
+  HS_CHECK(f.ok() && s.ok());
+  snapshot::TargetOrchestrator orch({f.value().get(), s.value().get()});
+  HS_CHECK(orch.active().ResetHardware().ok());
+  size_t next = 1;
+  for (auto _ : state) {
+    HS_CHECK(orch.MoveTo(next).ok());
+    next = 1 - next;
+  }
+}
+BENCHMARK(BM_OrchestratorMigration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTransferTable();
+  PrintHandoffTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,196 @@
+// E4 — how beneficial is hardware snapshotting for firmware analysis?
+// (paper RQ2: execution speed of the symbolic analysis with HardSnap
+// snapshots vs the naive-and-consistent reboot/re-execute flow).
+//
+// Workload: the branch-tree driver — an expensive init prefix followed by
+// `b` symbolic branches (2^b paths touching peripherals). For each path
+// count we run the same analysis in:
+//   hardsnap           snapshots at every state switch (Algorithm 1)
+//   naive-consistent   reboot + replay the state's entire prefix
+// and report total modeled analysis time, the replay overhead, and the
+// speedup. The third Fig. 1 flavour (naive-inconsistent) is shown for
+// completeness — it is faster still but UNSOUND (see bench_consistency).
+//
+// Expected shape: speedup grows with the number of concurrently explored
+// paths, exactly the paper's argument for hardware snapshotting.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bus/sim_target.h"
+#include "firmware/corpus.h"
+#include "fpga/fpga_target.h"
+#include "periph/periph.h"
+#include "rtl/elaborate.h"
+#include "symex/executor.h"
+#include "vm/assembler.h"
+
+using namespace hardsnap;
+
+namespace {
+
+rtl::Design& Soc() {
+  static rtl::Design* d = [] {
+    auto r = rtl::CompileVerilog(periph::BuildSoc(periph::DefaultCorpus()),
+                                 "soc");
+    HS_CHECK_MSG(r.ok(), r.status().ToString());
+    return new rtl::Design(std::move(r).value());
+  }();
+  return *d;
+}
+
+struct RunResult {
+  symex::Report report;
+  Duration total;
+};
+
+RunResult RunOne(symex::ConsistencyMode mode, unsigned branches,
+                 bus::HardwareTarget* target, bool use_slots = true) {
+  symex::ExecOptions opts;
+  opts.mode = mode;
+  opts.search = symex::SearchStrategy::kBfs;
+  opts.use_device_slots = use_slots;
+  opts.max_instructions = 4'000'000;
+  symex::Executor ex(target, opts);
+  auto img = vm::Assemble(firmware::BranchTreeFirmware(branches, 60));
+  HS_CHECK(img.ok());
+  HS_CHECK(ex.LoadFirmware(img.value()).ok());
+  ex.MakeSymbolicRegister(10, "input");
+  auto report = ex.Run();
+  HS_CHECK_MSG(report.ok(), report.status().ToString());
+  RunResult r{std::move(report).value(), Duration()};
+  r.total = r.report.analysis_hw_time;
+  return r;
+}
+
+void PrintTable() {
+  std::printf(
+      "E4: symbolic-analysis cost vs path count (simulator target, BFS)\n"
+      "%-7s %-7s | %14s %10s %10s | %14s %10s | %9s\n",
+      "paths", "instr", "naive-consist", "reboots", "replayed", "hardsnap",
+      "switches", "speedup");
+  for (unsigned branches : {2u, 3u, 4u, 5u, 6u}) {
+    auto t1 = bus::SimulatorTarget::Create(Soc());
+    HS_CHECK(t1.ok());
+    auto naive = RunOne(symex::ConsistencyMode::kNaiveConsistent, branches,
+                        t1.value().get());
+    auto t2 = bus::SimulatorTarget::Create(Soc());
+    HS_CHECK(t2.ok());
+    auto hs = RunOne(symex::ConsistencyMode::kHardSnap, branches,
+                     t2.value().get());
+    const double speedup =
+        static_cast<double>(naive.total.picos()) /
+        static_cast<double>(hs.total.picos());
+    std::printf("%-7llu %-7llu | %14s %10llu %10llu | %14s %10llu | %8.2fx\n",
+                static_cast<unsigned long long>(hs.report.paths_completed),
+                static_cast<unsigned long long>(hs.report.instructions),
+                naive.total.ToString().c_str(),
+                static_cast<unsigned long long>(naive.report.reboots),
+                static_cast<unsigned long long>(
+                    naive.report.replayed_instructions),
+                hs.total.ToString().c_str(),
+                static_cast<unsigned long long>(
+                    hs.report.hw_context_switches),
+                speedup);
+  }
+  std::printf("\n");
+
+  // Same workload, hardsnap on the FPGA target: context switches through
+  // the on-fabric scan chain instead of CRIU.
+  std::printf(
+      "E4b: hardsnap context-switch mechanism ablation (4 branches)\n"
+      "%-22s %14s %12s %14s\n", "target/mechanism", "analysis time",
+      "switches", "snapshot time");
+  {
+    auto t = bus::SimulatorTarget::Create(Soc());
+    HS_CHECK(t.ok());
+    auto r = RunOne(symex::ConsistencyMode::kHardSnap, 4, t.value().get());
+    std::printf("%-22s %14s %12llu %14s\n", "simulator (CRIU)",
+                r.total.ToString().c_str(),
+                static_cast<unsigned long long>(r.report.hw_context_switches),
+                t.value()->stats().snapshot_time.ToString().c_str());
+  }
+  {
+    auto t = fpga::FpgaTarget::Create(Soc());
+    HS_CHECK(t.ok());
+    auto r = RunOne(symex::ConsistencyMode::kHardSnap, 4, t.value().get(),
+                    /*use_slots=*/false);
+    std::printf("%-22s %14s %12llu %14s\n", "fpga (scan + host)",
+                r.total.ToString().c_str(),
+                static_cast<unsigned long long>(r.report.hw_context_switches),
+                t.value()->stats().snapshot_time.ToString().c_str());
+  }
+  {
+    auto t = fpga::FpgaTarget::Create(Soc());
+    HS_CHECK(t.ok());
+    auto r = RunOne(symex::ConsistencyMode::kHardSnap, 4, t.value().get(),
+                    /*use_slots=*/true);
+    std::printf("%-22s %14s %12llu %14s\n", "fpga (SRAM slots)",
+                r.total.ToString().c_str(),
+                static_cast<unsigned long long>(r.report.hw_context_switches),
+                t.value()->stats().snapshot_time.ToString().c_str());
+  }
+  std::printf(
+      "\n(fpga scan switches are microseconds; the snapshot mechanism, not "
+      "the symbolic engine, dominates analysis time)\n\n");
+
+  // E4c: searcher ablation — context switches (and hence snapshot work)
+  // per state-selection heuristic on the same 16-path workload.
+  std::printf(
+      "E4c: hardsnap context switches by search strategy (4 branches)\n"
+      "%-10s %12s %14s %8s\n", "search", "switches", "analysis time",
+      "paths");
+  for (auto strat :
+       {symex::SearchStrategy::kDfs, symex::SearchStrategy::kBfs,
+        symex::SearchStrategy::kRandom, symex::SearchStrategy::kCoverage}) {
+    auto t = fpga::FpgaTarget::Create(Soc());
+    HS_CHECK(t.ok());
+    symex::ExecOptions opts;
+    opts.mode = symex::ConsistencyMode::kHardSnap;
+    opts.search = strat;
+    opts.seed = 7;
+    opts.max_instructions = 4'000'000;
+    symex::Executor ex(t.value().get(), opts);
+    auto img = vm::Assemble(firmware::BranchTreeFirmware(4, 60));
+    HS_CHECK(img.ok());
+    HS_CHECK(ex.LoadFirmware(img.value()).ok());
+    ex.MakeSymbolicRegister(10, "input");
+    auto report = ex.Run();
+    HS_CHECK(report.ok());
+    std::printf("%-10s %12llu %14s %8llu\n",
+                symex::SearchStrategyName(strat),
+                static_cast<unsigned long long>(
+                    report.value().hw_context_switches),
+                report.value().analysis_hw_time.ToString().c_str(),
+                static_cast<unsigned long long>(
+                    report.value().paths_completed));
+  }
+  std::printf(
+      "\n(depth-first completes paths before switching: fewest snapshot "
+      "passes; breadth-first maximizes interleaving)\n\n");
+}
+
+// Wall-clock benchmark of the full analysis at 4 branches, per mode.
+void BM_Analysis(benchmark::State& state) {
+  const auto mode = static_cast<symex::ConsistencyMode>(state.range(0));
+  for (auto _ : state) {
+    auto t = bus::SimulatorTarget::Create(Soc());
+    HS_CHECK(t.ok());
+    auto r = RunOne(mode, 3, t.value().get());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(symex::ConsistencyModeName(mode));
+}
+BENCHMARK(BM_Analysis)
+    ->Arg(static_cast<int>(symex::ConsistencyMode::kHardSnap))
+    ->Arg(static_cast<int>(symex::ConsistencyMode::kNaiveConsistent))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: find a buffer overflow in a driver with symbolic execution.
+//
+// Builds the default 4-peripheral SoC on the software simulator target,
+// loads a small firmware "packet parser" whose length field is attacker-
+// controlled, marks the packet bytes symbolic, and lets HardSnap explore
+// every path. The out-of-bounds store is found automatically and comes
+// with a concrete reproducer (the packet bytes that trigger it).
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/session.h"
+#include "firmware/corpus.h"
+#include "vm/memmap.h"
+
+using namespace hardsnap;
+
+int main() {
+  core::SessionConfig cfg;  // default corpus, simulator target
+  cfg.exec.search = symex::SearchStrategy::kDfs;
+  cfg.exec.max_instructions = 500000;
+
+  auto session_or = core::Session::Create(cfg);
+  if (!session_or.ok()) {
+    std::fprintf(stderr, "session: %s\n",
+                 session_or.status().ToString().c_str());
+    return 1;
+  }
+  auto session = std::move(session_or).value();
+
+  std::printf("SoC: %u flip-flop bits, %u memory bits, %u expression nodes\n",
+              session->hardware_info().soc_stats.num_flop_bits,
+              session->hardware_info().soc_stats.num_memory_bits,
+              session->hardware_info().soc_stats.num_expr_nodes);
+
+  if (auto s = session->LoadFirmwareAsm(
+          firmware::VulnerableParserFirmware());
+      !s.ok()) {
+    std::fprintf(stderr, "firmware: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  // The first 2 bytes of the packet (length + first payload byte) are
+  // attacker-controlled.
+  if (auto s = session->MakeSymbolicRegion(vm::kRamBase, 2, "packet");
+      !s.ok()) {
+    std::fprintf(stderr, "symbolic: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  auto report_or = session->Run();
+  if (!report_or.ok()) {
+    std::fprintf(stderr, "run: %s\n", report_or.status().ToString().c_str());
+    return 1;
+  }
+  const symex::Report& report = report_or.value();
+
+  std::printf("analysis: %s\n", report.Summary().c_str());
+  for (const auto& bug : report.bugs) {
+    std::printf("BUG %-22s pc=0x%04x  %s\n", bug.kind.c_str(), bug.pc,
+                bug.detail.c_str());
+    for (const auto& [name, value] : bug.test_case.inputs) {
+      std::printf("  reproducer: %s = %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+  }
+  return report.bugs.empty() ? 1 : 0;  // expect to find the bug
+}

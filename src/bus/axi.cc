@@ -1,0 +1,326 @@
+#include "bus/axi.h"
+
+namespace hardsnap::bus {
+
+std::string AxiLiteBridgeVerilog() {
+  return R"(
+module hs_axil_bridge(
+  input clk, input rst,
+  // write address channel
+  input awvalid, output awready, input [15:0] awaddr,
+  // write data channel
+  input wvalid, output wready, input [31:0] wdata,
+  // write response channel
+  output bvalid, input bready, output [1:0] bresp,
+  // read address channel
+  input arvalid, output arready, input [15:0] araddr,
+  // read data channel
+  output rvalid, input rready, output [31:0] rdata, output [1:0] rresp,
+  // register-bus master
+  output m_sel, output m_wr, output m_rd,
+  output [15:0] m_addr, output [31:0] m_wdata, input [31:0] m_rdata
+);
+  reg aw_got;
+  reg [15:0] aw_addr_r;
+  reg w_got;
+  reg [31:0] w_data_r;
+  reg b_pending;
+  reg ar_got;
+  reg [15:0] ar_addr_r;
+  reg r_pending;
+  reg [31:0] r_data_r;
+
+  // Address and data phases are accepted independently and in any order,
+  // as AXI4-Lite requires; a new phase is not accepted while a response
+  // is still outstanding.
+  assign awready = !aw_got && !b_pending;
+  assign wready = !w_got && !b_pending;
+  assign arready = !ar_got && !r_pending;
+
+  wire do_write = aw_got && w_got && !b_pending;
+  wire do_read = ar_got && !r_pending && !do_write;
+
+  assign m_sel = do_write || do_read;
+  assign m_wr = do_write;
+  assign m_rd = do_read;
+  assign m_addr = do_write ? aw_addr_r : ar_addr_r;
+  assign m_wdata = w_data_r;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      aw_got <= 1'b0;
+      aw_addr_r <= 16'h0;
+      w_got <= 1'b0;
+      w_data_r <= 32'h0;
+      b_pending <= 1'b0;
+      ar_got <= 1'b0;
+      ar_addr_r <= 16'h0;
+      r_pending <= 1'b0;
+      r_data_r <= 32'h0;
+    end else begin
+      if (awvalid && awready) begin
+        aw_got <= 1'b1;
+        aw_addr_r <= awaddr;
+      end
+      if (wvalid && wready) begin
+        w_got <= 1'b1;
+        w_data_r <= wdata;
+      end
+      if (do_write) begin
+        aw_got <= 1'b0;
+        w_got <= 1'b0;
+        b_pending <= 1'b1;
+      end
+      if (bvalid && bready) begin
+        b_pending <= 1'b0;
+      end
+      if (arvalid && arready) begin
+        ar_got <= 1'b1;
+        ar_addr_r <= araddr;
+      end
+      if (do_read) begin
+        ar_got <= 1'b0;
+        r_pending <= 1'b1;
+        r_data_r <= m_rdata;
+      end
+      if (rvalid && rready) begin
+        r_pending <= 1'b0;
+      end
+    end
+  end
+
+  assign bvalid = b_pending;
+  assign bresp = 2'b00;
+  assign rvalid = r_pending;
+  assign rdata = r_data_r;
+  assign rresp = 2'b00;
+endmodule
+)";
+}
+
+std::string WrapSocWithAxi(const std::vector<periph::PeripheralInfo>& p) {
+  std::string src = periph::BuildSoc(p);
+  src += AxiLiteBridgeVerilog();
+
+  unsigned max_irq = 0;
+  for (const auto& info : p)
+    if (info.irq_line > max_irq) max_irq = info.irq_line;
+  const std::string irq_w = std::to_string(max_irq);
+  bool has_uart = false;
+  for (const auto& info : p)
+    if (info.name == "hs_uart") has_uart = true;
+
+  src += "module axi_soc(\n"
+         "  input clk, input rst,\n"
+         "  input awvalid, output awready, input [15:0] awaddr,\n"
+         "  input wvalid, output wready, input [31:0] wdata,\n"
+         "  output bvalid, input bready, output [1:0] bresp,\n"
+         "  input arvalid, output arready, input [15:0] araddr,\n"
+         "  output rvalid, input rready, output [31:0] rdata, "
+         "output [1:0] rresp,\n"
+         "  output [" + irq_w + ":0] irq";
+  if (has_uart) src += ",\n  input uart_rx, output uart_tx";
+  src += "\n);\n";
+  src += "  wire m_sel, m_wr, m_rd;\n"
+         "  wire [15:0] m_addr;\n"
+         "  wire [31:0] m_wdata, m_rdata;\n";
+  src += "  hs_axil_bridge u_bridge (.clk(clk), .rst(rst),\n"
+         "    .awvalid(awvalid), .awready(awready), .awaddr(awaddr),\n"
+         "    .wvalid(wvalid), .wready(wready), .wdata(wdata),\n"
+         "    .bvalid(bvalid), .bready(bready), .bresp(bresp),\n"
+         "    .arvalid(arvalid), .arready(arready), .araddr(araddr),\n"
+         "    .rvalid(rvalid), .rready(rready), .rdata(rdata), .rresp(rresp),\n"
+         "    .m_sel(m_sel), .m_wr(m_wr), .m_rd(m_rd), .m_addr(m_addr),\n"
+         "    .m_wdata(m_wdata), .m_rdata(m_rdata));\n";
+  src += "  soc u_soc (.clk(clk), .rst(rst), .sel(m_sel), .wr(m_wr), "
+         ".rd(m_rd), .addr(m_addr), .wdata(m_wdata), .rdata(m_rdata), "
+         ".irq(irq)";
+  if (has_uart) src += ", .uart_rx(uart_rx), .uart_tx(uart_tx)";
+  src += ");\n";
+  src += "endmodule\n";
+  return src;
+}
+
+std::string WishboneBridgeVerilog() {
+  return R"(
+module hs_wb_bridge(
+  input clk, input rst,
+  // Wishbone B4 classic slave
+  input cyc, input stb, input we,
+  input [15:0] adr, input [31:0] dat_w,
+  output ack, output [31:0] dat_r,
+  // register-bus master
+  output m_sel, output m_wr, output m_rd,
+  output [15:0] m_addr, output [31:0] m_wdata, input [31:0] m_rdata
+);
+  // Classic single cycle: the bus operation executes on the first strobe
+  // cycle; ack is registered so every transaction takes two cycles and the
+  // master must drop stb after ack (no block cycles).
+  reg ack_r;
+  reg [31:0] dat_r_q;
+
+  wire access = cyc && stb && !ack_r;
+  assign m_sel = access;
+  assign m_wr = access && we;
+  assign m_rd = access && !we;
+  assign m_addr = adr;
+  assign m_wdata = dat_w;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      ack_r <= 1'b0;
+      dat_r_q <= 32'h0;
+    end else begin
+      ack_r <= access;
+      if (access && !we) dat_r_q <= m_rdata;
+    end
+  end
+  assign ack = ack_r;
+  assign dat_r = dat_r_q;
+endmodule
+)";
+}
+
+std::string WrapSocWithWishbone(
+    const std::vector<periph::PeripheralInfo>& p) {
+  std::string src = periph::BuildSoc(p);
+  src += WishboneBridgeVerilog();
+
+  unsigned max_irq = 0;
+  for (const auto& info : p)
+    if (info.irq_line > max_irq) max_irq = info.irq_line;
+  const std::string irq_w = std::to_string(max_irq);
+  bool has_uart = false;
+  for (const auto& info : p)
+    if (info.name == "hs_uart") has_uart = true;
+
+  src += "module wb_soc(\n";
+  src += "  input clk, input rst,\n";
+  src += "  input cyc, input stb, input we,\n";
+  src += "  input [15:0] adr, input [31:0] dat_w,\n";
+  src += "  output ack, output [31:0] dat_r,\n";
+  src += "  output [" + irq_w + ":0] irq";
+  if (has_uart) src += ",\n  input uart_rx, output uart_tx";
+  src += "\n);\n";
+  src += "  wire m_sel, m_wr, m_rd;\n";
+  src += "  wire [15:0] m_addr;\n";
+  src += "  wire [31:0] m_wdata, m_rdata;\n";
+  src += "  hs_wb_bridge u_bridge (.clk(clk), .rst(rst), .cyc(cyc), "
+         ".stb(stb), .we(we), .adr(adr), .dat_w(dat_w), .ack(ack), "
+         ".dat_r(dat_r), .m_sel(m_sel), .m_wr(m_wr), .m_rd(m_rd), "
+         ".m_addr(m_addr), .m_wdata(m_wdata), .m_rdata(m_rdata));\n";
+  src += "  soc u_soc (.clk(clk), .rst(rst), .sel(m_sel), .wr(m_wr), "
+         ".rd(m_rd), .addr(m_addr), .wdata(m_wdata), .rdata(m_rdata), "
+         ".irq(irq)";
+  if (has_uart) src += ", .uart_rx(uart_rx), .uart_tx(uart_tx)";
+  src += ");\nendmodule\n";
+  return src;
+}
+
+WishboneDriver::WishboneDriver(sim::Simulator* sim) : sim_(sim) {
+  HS_CHECK_MSG(sim->design().FindSignal("cyc") != rtl::kInvalidId,
+               "simulator is not executing a Wishbone design");
+}
+
+Status WishboneDriver::Write32(uint32_t addr, uint32_t value) {
+  HS_RETURN_IF_ERROR(sim_->PokeInput("cyc", 1));
+  HS_RETURN_IF_ERROR(sim_->PokeInput("stb", 1));
+  HS_RETURN_IF_ERROR(sim_->PokeInput("we", 1));
+  HS_RETURN_IF_ERROR(sim_->PokeInput("adr", addr));
+  HS_RETURN_IF_ERROR(sim_->PokeInput("dat_w", value));
+  for (unsigned cycle = 0; cycle < 16; ++cycle) {
+    const bool acked = sim_->Peek("ack").value_or(0) != 0;
+    sim_->Tick(1);
+    if (acked) {
+      HS_RETURN_IF_ERROR(sim_->PokeInput("cyc", 0));
+      HS_RETURN_IF_ERROR(sim_->PokeInput("stb", 0));
+      return Status::Ok();
+    }
+  }
+  return Internal("Wishbone write timed out");
+}
+
+Result<uint32_t> WishboneDriver::Read32(uint32_t addr) {
+  HS_RETURN_IF_ERROR(sim_->PokeInput("cyc", 1));
+  HS_RETURN_IF_ERROR(sim_->PokeInput("stb", 1));
+  HS_RETURN_IF_ERROR(sim_->PokeInput("we", 0));
+  HS_RETURN_IF_ERROR(sim_->PokeInput("adr", addr));
+  for (unsigned cycle = 0; cycle < 16; ++cycle) {
+    const bool acked = sim_->Peek("ack").value_or(0) != 0;
+    const uint64_t data = sim_->Peek("dat_r").value_or(0);
+    sim_->Tick(1);
+    if (acked) {
+      HS_RETURN_IF_ERROR(sim_->PokeInput("cyc", 0));
+      HS_RETURN_IF_ERROR(sim_->PokeInput("stb", 0));
+      return static_cast<uint32_t>(data);
+    }
+  }
+  return Internal("Wishbone read timed out");
+}
+
+AxiLiteDriver::AxiLiteDriver(sim::Simulator* sim) : sim_(sim) {
+  HS_CHECK_MSG(sim->design().FindSignal("awvalid") != rtl::kInvalidId,
+               "simulator is not executing an AXI4-Lite design");
+}
+
+Status AxiLiteDriver::Write32(uint32_t addr, uint32_t value) {
+  HS_RETURN_IF_ERROR(sim_->PokeInput("awvalid", 1));
+  HS_RETURN_IF_ERROR(sim_->PokeInput("awaddr", addr));
+  HS_RETURN_IF_ERROR(sim_->PokeInput("wvalid", 1));
+  HS_RETURN_IF_ERROR(sim_->PokeInput("wdata", value));
+  HS_RETURN_IF_ERROR(sim_->PokeInput("bready", 1));
+
+  bool aw_done = false, w_done = false;
+  last_latency_ = 0;
+  for (unsigned cycle = 0; cycle < 100; ++cycle) {
+    const bool aw_h = !aw_done && sim_->Peek("awready").value_or(0) != 0;
+    const bool w_h = !w_done && sim_->Peek("wready").value_or(0) != 0;
+    const bool b_h = sim_->Peek("bvalid").value_or(0) != 0;
+    const uint64_t bresp = sim_->Peek("bresp").value_or(0);
+    sim_->Tick(1);
+    ++last_latency_;
+    if (aw_h) {
+      aw_done = true;
+      HS_RETURN_IF_ERROR(sim_->PokeInput("awvalid", 0));
+    }
+    if (w_h) {
+      w_done = true;
+      HS_RETURN_IF_ERROR(sim_->PokeInput("wvalid", 0));
+    }
+    if (b_h) {
+      HS_RETURN_IF_ERROR(sim_->PokeInput("bready", 0));
+      if (bresp != 0) return Internal("AXI write response error (BRESP)");
+      return Status::Ok();
+    }
+  }
+  return Internal("AXI write transaction timed out");
+}
+
+Result<uint32_t> AxiLiteDriver::Read32(uint32_t addr) {
+  HS_RETURN_IF_ERROR(sim_->PokeInput("arvalid", 1));
+  HS_RETURN_IF_ERROR(sim_->PokeInput("araddr", addr));
+  HS_RETURN_IF_ERROR(sim_->PokeInput("rready", 1));
+
+  bool ar_done = false;
+  last_latency_ = 0;
+  for (unsigned cycle = 0; cycle < 100; ++cycle) {
+    const bool ar_h = !ar_done && sim_->Peek("arready").value_or(0) != 0;
+    const bool r_h = sim_->Peek("rvalid").value_or(0) != 0;
+    const uint64_t rresp = sim_->Peek("rresp").value_or(0);
+    const uint64_t rdata = sim_->Peek("rdata").value_or(0);
+    sim_->Tick(1);
+    ++last_latency_;
+    if (ar_h) {
+      ar_done = true;
+      HS_RETURN_IF_ERROR(sim_->PokeInput("arvalid", 0));
+    }
+    if (r_h) {
+      HS_RETURN_IF_ERROR(sim_->PokeInput("rready", 0));
+      if (rresp != 0) return Internal("AXI read response error (RRESP)");
+      return static_cast<uint32_t>(rdata);
+    }
+  }
+  return Internal("AXI read transaction timed out");
+}
+
+}  // namespace hardsnap::bus

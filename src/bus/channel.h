@@ -1,0 +1,47 @@
+// I/O forwarding channel models.
+//
+// The paper's VM reaches hardware through different transports with very
+// different per-transaction latencies, and measures them (evaluation RQ1:
+// "we complete the performance evaluation by measuring the I/O forwarding
+// latency"):
+//   * the simulator target is reached through shared memory on the host;
+//   * the FPGA target is reached through Inception's USB 3.0 low-latency
+//     debugger (modified to emit AXI transactions directly);
+//   * the classic hardware-in-the-loop baseline (Avatar/Inception) goes
+//     through a JTAG debugger, orders of magnitude slower.
+//
+// A ChannelModel charges virtual time per MMIO transaction; targets fold
+// it into their clocks so experiment E2 can regenerate the latency table.
+#pragma once
+
+#include <string>
+
+#include "common/virtual_clock.h"
+
+namespace hardsnap::bus {
+
+struct ChannelModel {
+  std::string name;
+  Duration per_transaction;  // one 32-bit read or write, round trip
+
+  Duration CostOf(unsigned transactions) const {
+    return per_transaction * transactions;
+  }
+};
+
+// Same-host shared memory ring between the VM and the simulator process.
+inline ChannelModel SharedMemoryChannel() {
+  return {"shared-memory", Duration::Nanos(250)};
+}
+
+// USB 3.0 low-latency debugger bridging to the FPGA's AXI fabric.
+inline ChannelModel Usb3Channel() {
+  return {"usb3-debugger", Duration::Micros(4)};
+}
+
+// JTAG debugger baseline (hardware-in-the-loop tools such as Avatar).
+inline ChannelModel JtagChannel() {
+  return {"jtag-debugger", Duration::Millis(1)};
+}
+
+}  // namespace hardsnap::bus

@@ -1,0 +1,40 @@
+#include "bus/recording_target.h"
+
+namespace hardsnap::bus {
+
+Status RecordingTarget::ReplayTo(size_t mark) {
+  if (mark > log_.size()) return OutOfRange("replay mark beyond log");
+  // Move the log aside: re-issued operations must not re-record.
+  std::vector<IoRecord> log = std::move(log_);
+  log_.clear();
+  HS_RETURN_IF_ERROR(inner_->ResetHardware());
+  for (size_t i = 0; i < mark; ++i) {
+    const IoRecord& rec = log[i];
+    switch (rec.kind) {
+      case IoRecord::Kind::kWrite:
+        HS_RETURN_IF_ERROR(inner_->Write32(rec.addr, rec.value));
+        break;
+      case IoRecord::Kind::kRead: {
+        auto v = inner_->Read32(rec.addr);
+        if (!v.ok()) return v.status();
+        if (v.value() != rec.value) {
+          log_ = std::move(log);  // keep the log for diagnosis
+          return FailedPrecondition(
+              "replay diverged at interaction " + std::to_string(i) +
+              ": read of 0x" + std::to_string(rec.addr) + " returned " +
+              std::to_string(v.value()) + ", recorded " +
+              std::to_string(rec.value));
+        }
+        break;
+      }
+      case IoRecord::Kind::kRun:
+        HS_RETURN_IF_ERROR(inner_->Run(rec.cycles));
+        break;
+    }
+  }
+  log.resize(mark);
+  log_ = std::move(log);
+  return Status::Ok();
+}
+
+}  // namespace hardsnap::bus

@@ -1,0 +1,89 @@
+// Record-and-replay target wrapper — the baseline the paper's introduction
+// rules out: "One obvious solution ... would be a record-and-replay
+// approach, however, it is extremely slow and error-prone as the number of
+// interactions to replay may be considerable. Talebi et al. report 8800
+// I/O operations just for the initialization of the camera driver in the
+// Nexus 5X."
+//
+// RecordingTarget wraps any HardwareTarget and logs every MMIO transaction
+// and Run() span. A "snapshot" under record-replay is just a log position
+// (free to take); a "restore" is a full device reboot followed by
+// re-issuing every logged interaction up to that position — paying the
+// forwarding latency for each one again. bench_replay compares this against
+// real state snapshots as the interaction count grows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bus/target.h"
+#include "common/status.h"
+
+namespace hardsnap::bus {
+
+struct IoRecord {
+  enum class Kind : uint8_t { kRead, kWrite, kRun } kind;
+  uint32_t addr = 0;
+  uint32_t value = 0;     // written value, or the value a read returned
+  uint64_t cycles = 0;    // kRun
+};
+
+class RecordingTarget : public HardwareTarget {
+ public:
+  explicit RecordingTarget(HardwareTarget* inner) : inner_(inner) {}
+
+  TargetKind kind() const override { return inner_->kind(); }
+  const std::string& name() const override { return name_; }
+
+  Result<uint32_t> Read32(uint32_t addr) override {
+    auto v = inner_->Read32(addr);
+    if (v.ok())
+      log_.push_back(IoRecord{IoRecord::Kind::kRead, addr, v.value(), 0});
+    return v;
+  }
+  Status Write32(uint32_t addr, uint32_t value) override {
+    HS_RETURN_IF_ERROR(inner_->Write32(addr, value));
+    log_.push_back(IoRecord{IoRecord::Kind::kWrite, addr, value, 0});
+    return Status::Ok();
+  }
+  Status Run(uint64_t cycles) override {
+    HS_RETURN_IF_ERROR(inner_->Run(cycles));
+    if (!log_.empty() && log_.back().kind == IoRecord::Kind::kRun) {
+      log_.back().cycles += cycles;  // coalesce adjacent run spans
+    } else {
+      log_.push_back(IoRecord{IoRecord::Kind::kRun, 0, 0, cycles});
+    }
+    return Status::Ok();
+  }
+  uint32_t IrqVector() override { return inner_->IrqVector(); }
+  Status ResetHardware() override {
+    log_.clear();
+    return inner_->ResetHardware();
+  }
+  Result<sim::HardwareState> SaveState() override {
+    return inner_->SaveState();
+  }
+  Status RestoreState(const sim::HardwareState& state) override {
+    return inner_->RestoreState(state);
+  }
+  const VirtualClock& clock() const override { return inner_->clock(); }
+  const TargetStats& stats() const override { return inner_->stats(); }
+
+  // --- record/replay API --------------------------------------------------
+  // A replay checkpoint: the current log position.
+  size_t Mark() const { return log_.size(); }
+  const std::vector<IoRecord>& log() const { return log_; }
+
+  // Reboot the device and re-issue the first `mark` interactions. Detects
+  // divergence: if a replayed read returns a different value than it did
+  // during recording, the replay is inconsistent (the error-prone part the
+  // paper warns about) and an error names the offending interaction.
+  Status ReplayTo(size_t mark);
+
+ private:
+  std::string name_ = "record-replay";
+  HardwareTarget* inner_;
+  std::vector<IoRecord> log_;
+};
+
+}  // namespace hardsnap::bus

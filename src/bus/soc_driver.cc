@@ -1,0 +1,49 @@
+#include "bus/soc_driver.h"
+
+namespace hardsnap::bus {
+
+SocBusDriver::SocBusDriver(sim::Simulator* sim) : sim_(sim) {
+  const auto& d = sim->design();
+  sel_ = d.FindSignal("sel");
+  wr_ = d.FindSignal("wr");
+  rd_ = d.FindSignal("rd");
+  addr_ = d.FindSignal("addr");
+  wdata_ = d.FindSignal("wdata");
+  rdata_ = d.FindSignal("rdata");
+  irq_ = d.FindSignal("irq");
+  HS_CHECK_MSG(sel_ != rtl::kInvalidId && wr_ != rtl::kInvalidId &&
+                   rd_ != rtl::kInvalidId && addr_ != rtl::kInvalidId &&
+                   wdata_ != rtl::kInvalidId && rdata_ != rtl::kInvalidId,
+               "simulator is not executing a SoC-pinout design");
+}
+
+Status SocBusDriver::Write32(uint32_t addr, uint32_t value) {
+  HS_RETURN_IF_ERROR(sim_->PokeInput(sel_, 1));
+  HS_RETURN_IF_ERROR(sim_->PokeInput(wr_, 1));
+  HS_RETURN_IF_ERROR(sim_->PokeInput(rd_, 0));
+  HS_RETURN_IF_ERROR(sim_->PokeInput(addr_, addr));
+  HS_RETURN_IF_ERROR(sim_->PokeInput(wdata_, value));
+  sim_->Tick(1);
+  HS_RETURN_IF_ERROR(sim_->PokeInput(sel_, 0));
+  HS_RETURN_IF_ERROR(sim_->PokeInput(wr_, 0));
+  return Status::Ok();
+}
+
+Result<uint32_t> SocBusDriver::Read32(uint32_t addr) {
+  HS_RETURN_IF_ERROR(sim_->PokeInput(sel_, 1));
+  HS_RETURN_IF_ERROR(sim_->PokeInput(rd_, 1));
+  HS_RETURN_IF_ERROR(sim_->PokeInput(wr_, 0));
+  HS_RETURN_IF_ERROR(sim_->PokeInput(addr_, addr));
+  const uint32_t value = static_cast<uint32_t>(sim_->PeekId(rdata_));
+  sim_->Tick(1);
+  HS_RETURN_IF_ERROR(sim_->PokeInput(sel_, 0));
+  HS_RETURN_IF_ERROR(sim_->PokeInput(rd_, 0));
+  return value;
+}
+
+uint32_t SocBusDriver::IrqVector() const {
+  return irq_ == rtl::kInvalidId ? 0
+                                 : static_cast<uint32_t>(sim_->PeekId(irq_));
+}
+
+}  // namespace hardsnap::bus

@@ -1,0 +1,37 @@
+// SocBusDriver: drives the generated SoC's register-bus pins on a
+// Simulator. Shared by both hardware targets (the simulator target uses it
+// directly; the emulated FPGA target uses it as its AXI master model).
+//
+// Protocol (see periph/periph.h): a transaction asserts sel with wr or rd
+// for exactly one clock cycle; read data is combinational while sel && rd
+// is high and read side effects (FIFO pops) commit on the edge.
+#pragma once
+
+#include "common/status.h"
+#include "sim/simulator.h"
+
+namespace hardsnap::bus {
+
+class SocBusDriver {
+ public:
+  // The simulator must be executing a design with the SoC pinout
+  // (sel/wr/rd/addr/wdata/rdata/irq).
+  explicit SocBusDriver(sim::Simulator* sim);
+
+  // One write transaction (1 cycle).
+  Status Write32(uint32_t addr, uint32_t value);
+
+  // One read transaction (1 cycle, side effects included).
+  Result<uint32_t> Read32(uint32_t addr);
+
+  // Current interrupt vector (side-band, no bus cycle).
+  uint32_t IrqVector() const;
+
+  sim::Simulator* simulator() { return sim_; }
+
+ private:
+  sim::Simulator* sim_;
+  rtl::SignalId sel_, wr_, rd_, addr_, wdata_, rdata_, irq_;
+};
+
+}  // namespace hardsnap::bus

@@ -1,0 +1,78 @@
+// HardwareTarget: the interface the symbolic virtual machine uses to reach
+// a hardware back-end (paper Sec. III-B "multi-target orchestration").
+//
+// Both back-ends execute the same peripheral RTL; they differ in speed,
+// introspection and snapshot mechanism:
+//
+//                      SimulatorTarget            FpgaTarget
+//   execution speed    slow (host interprets)     fabric clock (modeled)
+//   MMIO transport     shared memory              USB3 debugger
+//   visibility         every signal, every cycle  bus + scan chain only
+//   snapshot           CRIU process checkpoint    scan chain / readback
+//
+// All targets account virtual time on their own VirtualClock; the VM and
+// the benchmarks read it to regenerate the paper's tables. Wall-clock
+// costs (how long OUR host takes) are measured by the benchmarks
+// separately where relevant.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/virtual_clock.h"
+#include "sim/simulator.h"
+
+namespace hardsnap::bus {
+
+enum class TargetKind { kSimulator, kFpga };
+
+const char* TargetKindName(TargetKind kind);
+
+struct TargetStats {
+  uint64_t mmio_reads = 0;
+  uint64_t mmio_writes = 0;
+  uint64_t cycles_run = 0;
+  uint64_t snapshots_saved = 0;
+  uint64_t snapshots_restored = 0;
+  Duration io_time;        // virtual time spent forwarding MMIO
+  Duration run_time;       // virtual time spent executing
+  Duration snapshot_time;  // virtual time spent saving/restoring state
+};
+
+class HardwareTarget {
+ public:
+  virtual ~HardwareTarget() = default;
+
+  virtual TargetKind kind() const = 0;
+  virtual const std::string& name() const = 0;
+
+  // --- MMIO forwarding -------------------------------------------------
+  // 32-bit single-beat transactions into the SoC register space. Each
+  // costs one bus cycle at the target plus the channel round trip.
+  virtual Result<uint32_t> Read32(uint32_t addr) = 0;
+  virtual Status Write32(uint32_t addr, uint32_t value) = 0;
+
+  // --- execution ---------------------------------------------------------
+  // Let the hardware run for `cycles` clock cycles (peripherals make
+  // progress; the VM calls this as firmware time advances).
+  virtual Status Run(uint64_t cycles) = 0;
+
+  // Current level-sensitive interrupt vector (side-band wires, free).
+  virtual uint32_t IrqVector() = 0;
+
+  // Drive the SoC reset for a full power-on reset.
+  virtual Status ResetHardware() = 0;
+
+  // --- snapshotting --------------------------------------------------------
+  // Capture / load the full architectural hardware state. Implementations
+  // charge their mechanism's cost (CRIU, scan chain) to the virtual clock.
+  virtual Result<sim::HardwareState> SaveState() = 0;
+  virtual Status RestoreState(const sim::HardwareState& state) = 0;
+
+  // --- accounting ----------------------------------------------------------
+  virtual const VirtualClock& clock() const = 0;
+  virtual const TargetStats& stats() const = 0;
+};
+
+}  // namespace hardsnap::bus

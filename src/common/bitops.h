@@ -1,0 +1,51 @@
+// Bit-manipulation helpers shared by the RTL simulator, scan-chain pass,
+// solver and CPU model. All HardSnap signal values are carried in uint64_t
+// lanes; signals wider than 64 bits are represented as multiple lanes by
+// higher layers.
+#pragma once
+
+#include <cstdint>
+
+namespace hardsnap {
+
+// Mask with the low `width` bits set. width must be in [0, 64].
+constexpr uint64_t LowMask(unsigned width) {
+  return width >= 64 ? ~uint64_t{0} : ((uint64_t{1} << width) - 1);
+}
+
+// Truncate v to `width` bits.
+constexpr uint64_t TruncBits(uint64_t v, unsigned width) {
+  return v & LowMask(width);
+}
+
+// Sign-extend the low `width` bits of v to 64 bits.
+constexpr int64_t SignExtend(uint64_t v, unsigned width) {
+  if (width == 0 || width >= 64) return static_cast<int64_t>(v);
+  const uint64_t sign = uint64_t{1} << (width - 1);
+  return static_cast<int64_t>((v ^ sign) - sign);
+}
+
+// Extract bits [hi:lo] of v (Verilog part-select semantics).
+constexpr uint64_t ExtractBits(uint64_t v, unsigned hi, unsigned lo) {
+  return TruncBits(v >> lo, hi - lo + 1);
+}
+
+// Number of bits needed to represent values 0..n-1 (>=1).
+constexpr unsigned BitsFor(uint64_t n) {
+  unsigned bits = 1;
+  while ((uint64_t{1} << bits) < n && bits < 64) ++bits;
+  return bits;
+}
+
+constexpr unsigned PopCount(uint64_t v) {
+  unsigned c = 0;
+  while (v) { v &= v - 1; ++c; }
+  return c;
+}
+
+// Parity (XOR-reduce) of the low `width` bits.
+constexpr uint64_t XorReduce(uint64_t v, unsigned width) {
+  return PopCount(TruncBits(v, width)) & 1u;
+}
+
+}  // namespace hardsnap

@@ -1,0 +1,39 @@
+// Minimal leveled logging. Quiet by default (benchmarks), verbose on demand
+// (examples, debugging). Not thread-safe by design: HardSnap's pipeline is
+// single-threaded per session, matching the determinism requirement.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace hardsnap {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static LogLevel& Threshold() {
+    static LogLevel level = LogLevel::kWarn;
+    return level;
+  }
+
+  static void Log(LogLevel level, const std::string& msg) {
+    if (level < Threshold()) return;
+    const char* tag = "?";
+    switch (level) {
+      case LogLevel::kDebug: tag = "D"; break;
+      case LogLevel::kInfo: tag = "I"; break;
+      case LogLevel::kWarn: tag = "W"; break;
+      case LogLevel::kError: tag = "E"; break;
+      case LogLevel::kOff: return;
+    }
+    std::fprintf(stderr, "[hardsnap %s] %s\n", tag, msg.c_str());
+  }
+};
+
+inline void LogDebug(const std::string& m) { Logger::Log(LogLevel::kDebug, m); }
+inline void LogInfo(const std::string& m) { Logger::Log(LogLevel::kInfo, m); }
+inline void LogWarn(const std::string& m) { Logger::Log(LogLevel::kWarn, m); }
+inline void LogError(const std::string& m) { Logger::Log(LogLevel::kError, m); }
+
+}  // namespace hardsnap

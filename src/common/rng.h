@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation.
+//
+// HardSnap analyses must be reproducible: a snapshot restored and re-run
+// must behave identically, and CI failures must replay. All randomized
+// components (searchers, workload generators, property tests) take an
+// explicit Rng seeded by the caller — never a global generator.
+#pragma once
+
+#include <cstdint>
+
+namespace hardsnap {
+
+// xoshiro256** — small, fast, high-quality; seeded via splitmix64 so that
+// consecutive integer seeds give unrelated streams.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    uint64_t x = seed;
+    for (auto& lane : s_) lane = SplitMix64(&x);
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) {
+    // Rejection-free Lemire reduction is overkill here; modulo bias is
+    // negligible for the bounds we use (<< 2^64).
+    return Next() % bound;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  // Uniform `width`-bit value.
+  uint64_t Bits(unsigned width) {
+    return width >= 64 ? Next() : (Next() & ((uint64_t{1} << width) - 1));
+  }
+
+  bool Chance(double p) {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  static uint64_t SplitMix64(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace hardsnap

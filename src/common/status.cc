@@ -1,0 +1,35 @@
+#include "common/status.h"
+
+namespace hardsnap {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kParseError: return "PARSE_ERROR";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& detail) {
+  std::fprintf(stderr, "HS_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               detail.empty() ? "" : " — ", detail.c_str());
+  std::abort();
+}
+
+}  // namespace hardsnap

@@ -1,0 +1,140 @@
+// Lightweight error-handling primitives used across HardSnap.
+//
+// We deliberately avoid exceptions on hot simulation paths; fallible
+// operations return Status or Result<T>. Fatal invariant violations use
+// HS_CHECK which aborts with a diagnostic (these indicate bugs in HardSnap
+// itself, never user input errors).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace hardsnap {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // lookup failed (signal, snapshot id, symbol, ...)
+  kFailedPrecondition,// operation not legal in current state
+  kOutOfRange,        // address / index outside mapped range
+  kUnimplemented,     // feature intentionally unsupported
+  kParseError,        // Verilog / assembly front-end rejection
+  kInternal,          // invariant broken inside HardSnap
+  kResourceExhausted, // budget / capacity exceeded
+};
+
+const char* StatusCodeName(StatusCode code);
+
+// Status: result of an operation that produces no value.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status{}; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "CODE: message" form for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgument(std::string msg) {
+  return Status{StatusCode::kInvalidArgument, std::move(msg)};
+}
+inline Status NotFound(std::string msg) {
+  return Status{StatusCode::kNotFound, std::move(msg)};
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status{StatusCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status OutOfRange(std::string msg) {
+  return Status{StatusCode::kOutOfRange, std::move(msg)};
+}
+inline Status Unimplemented(std::string msg) {
+  return Status{StatusCode::kUnimplemented, std::move(msg)};
+}
+inline Status ParseError(std::string msg) {
+  return Status{StatusCode::kParseError, std::move(msg)};
+}
+inline Status Internal(std::string msg) {
+  return Status{StatusCode::kInternal, std::move(msg)};
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status{StatusCode::kResourceExhausted, std::move(msg)};
+}
+
+// Result<T>: either a value or a Status explaining why there is none.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT: implicit
+  Result(Status status) : data_(std::move(status)) {}   // NOLINT: implicit
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk{};
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+
+  T& value() & { return std::get<T>(data_); }
+  const T& value() const& { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& detail);
+
+}  // namespace hardsnap
+
+// Fatal assertion for internal invariants.
+#define HS_CHECK(expr)                                                  \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::hardsnap::CheckFailed(__FILE__, __LINE__, #expr, "");           \
+    }                                                                   \
+  } while (0)
+
+#define HS_CHECK_MSG(expr, detail)                                      \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::hardsnap::CheckFailed(__FILE__, __LINE__, #expr, (detail));     \
+    }                                                                   \
+  } while (0)
+
+// Propagate a non-ok Status from the current function.
+#define HS_RETURN_IF_ERROR(expr)                                        \
+  do {                                                                  \
+    ::hardsnap::Status hs_status__ = (expr);                            \
+    if (!hs_status__.ok()) return hs_status__;                          \
+  } while (0)
+
+// Evaluate a Result<T> expression; on error propagate, else bind value.
+#define HS_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  HS_ASSIGN_OR_RETURN_IMPL(HS_CONCAT_(hs_result__, __LINE__), lhs, expr)
+#define HS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)                        \
+  auto tmp = (expr);                                                    \
+  if (!tmp.ok()) return tmp.status();                                   \
+  lhs = std::move(tmp).value()
+#define HS_CONCAT_(a, b) HS_CONCAT_IMPL_(a, b)
+#define HS_CONCAT_IMPL_(a, b) a##b

@@ -1,0 +1,24 @@
+#include "common/virtual_clock.h"
+
+#include <cstdio>
+
+namespace hardsnap {
+
+std::string Duration::ToString() const {
+  char buf[64];
+  const double ps = static_cast<double>(ps_);
+  if (ps_ < 1000) {
+    std::snprintf(buf, sizeof buf, "%ld ps", static_cast<long>(ps_));
+  } else if (ps_ < 1000000) {
+    std::snprintf(buf, sizeof buf, "%.2f ns", ps / 1e3);
+  } else if (ps_ < 1000000000) {
+    std::snprintf(buf, sizeof buf, "%.2f us", ps / 1e6);
+  } else if (ps_ < 1000000000000) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", ps / 1e9);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", ps / 1e12);
+  }
+  return buf;
+}
+
+}  // namespace hardsnap

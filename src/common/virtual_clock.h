@@ -1,0 +1,77 @@
+// Virtual time accounting.
+//
+// HardSnap's evaluation compares *modeled hardware time* across targets
+// (FPGA fabric cycles, USB3 transaction latency, CRIU checkpoint time),
+// not host wall-clock. A VirtualClock accumulates picoseconds; every
+// component that consumes modeled time (bus channels, scan controller,
+// fabric clock) charges it here. Wall time is measured separately by the
+// benchmarks where relevant.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hardsnap {
+
+// A span of virtual time. Stored in picoseconds so that a 1 GHz clock edge
+// (1000 ps) is exactly representable and a femto-level unit is unnecessary.
+class Duration {
+ public:
+  constexpr Duration() : ps_(0) {}
+
+  static constexpr Duration Picos(int64_t ps) { return Duration{ps}; }
+  static constexpr Duration Nanos(int64_t ns) { return Duration{ns * 1000}; }
+  static constexpr Duration Micros(int64_t us) {
+    return Duration{us * 1000000};
+  }
+  static constexpr Duration Millis(int64_t ms) {
+    return Duration{ms * 1000000000};
+  }
+  static constexpr Duration Seconds(double s) {
+    return Duration{static_cast<int64_t>(s * 1e12)};
+  }
+
+  constexpr int64_t picos() const { return ps_; }
+  constexpr double nanos() const { return static_cast<double>(ps_) / 1e3; }
+  constexpr double micros() const { return static_cast<double>(ps_) / 1e6; }
+  constexpr double millis() const { return static_cast<double>(ps_) / 1e9; }
+  constexpr double seconds() const { return static_cast<double>(ps_) / 1e12; }
+
+  constexpr Duration operator+(Duration o) const {
+    return Duration{ps_ + o.ps_};
+  }
+  constexpr Duration operator-(Duration o) const {
+    return Duration{ps_ - o.ps_};
+  }
+  constexpr Duration operator*(int64_t k) const { return Duration{ps_ * k}; }
+  Duration& operator+=(Duration o) {
+    ps_ += o.ps_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  // "12.5 us" style rendering for reports.
+  std::string ToString() const;
+
+ private:
+  constexpr explicit Duration(int64_t ps) : ps_(ps) {}
+  int64_t ps_;
+};
+
+// Monotonic virtual clock. Components advance it; benchmarks snapshot it.
+class VirtualClock {
+ public:
+  Duration now() const { return now_; }
+  void Advance(Duration d) { now_ += d; }
+  void Reset() { now_ = Duration{}; }
+
+ private:
+  Duration now_;
+};
+
+// Frequency helper: period of a clock in virtual time.
+constexpr Duration PeriodOfHz(double hz) {
+  return Duration::Picos(static_cast<int64_t>(1e12 / hz));
+}
+
+}  // namespace hardsnap

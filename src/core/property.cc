@@ -1,0 +1,278 @@
+#include "core/property.h"
+
+#include <cctype>
+#include <cstring>
+
+#include "common/bitops.h"
+
+namespace hardsnap::core {
+
+struct SignalProperty::Node {
+  enum class Op {
+    kConst, kSignal,
+    kNot, kBitNot, kNeg,
+    kOr, kAnd, kBitOr, kBitXor, kBitAnd,
+    kEq, kNe, kLt, kLe, kGt, kGe,
+    kAdd, kSub,
+    kImplies,
+  };
+  Op op = Op::kConst;
+  uint64_t value = 0;
+  rtl::SignalId signal = rtl::kInvalidId;
+  unsigned width = 64;
+  NodePtr lhs, rhs;
+};
+
+// The parser lives inside the class's implementation to reach Node.
+class PropertyParser {
+ public:
+  PropertyParser(const std::string& src, const rtl::Design& design)
+      : src_(src), design_(design) {}
+
+  using Node = SignalProperty::Node;
+  using NodePtr = SignalProperty::NodePtr;
+  using Op = Node::Op;
+
+  Result<NodePtr> Parse() {
+    auto e = ParseImplies();
+    if (!e.ok()) return e.status();
+    SkipSpace();
+    if (pos_ != src_.size())
+      return Err("trailing characters after expression");
+    return e;
+  }
+
+ private:
+  Status Err(const std::string& msg) const {
+    return ParseError("property '" + src_ + "': " + msg);
+  }
+
+  void SkipSpace() {
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[pos_])))
+      ++pos_;
+  }
+
+  bool Eat(const char* tok) {
+    SkipSpace();
+    const size_t n = std::strlen(tok);
+    if (src_.compare(pos_, n, tok) != 0) return false;
+    // Avoid eating "<" of "<=" etc.: if tok is a single-char operator that
+    // prefixes a longer operator at this position, reject.
+    if (n == 1 && pos_ + 1 < src_.size()) {
+      const char c = tok[0], next = src_[pos_ + 1];
+      if ((c == '<' || c == '>' || c == '!' || c == '=') && next == '=')
+        return false;
+      if (c == '&' && next == '&') return false;
+      if (c == '|' && next == '|') return false;
+      if (c == '-' && next == '>') return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  NodePtr MakeBin(Op op, NodePtr l, NodePtr r) {
+    auto n = std::make_unique<Node>();
+    n->op = op;
+    n->lhs = std::move(l);
+    n->rhs = std::move(r);
+    return n;
+  }
+
+  template <typename Sub>
+  Result<NodePtr> LeftChain(Sub sub,
+                            std::initializer_list<std::pair<const char*, Op>>
+                                ops) {
+    auto lhs = sub();
+    if (!lhs.ok()) return lhs.status();
+    NodePtr node = std::move(lhs).value();
+    for (;;) {
+      bool matched = false;
+      for (const auto& [tok, op] : ops) {
+        if (Eat(tok)) {
+          auto rhs = sub();
+          if (!rhs.ok()) return rhs.status();
+          node = MakeBin(op, std::move(node), std::move(rhs).value());
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return node;
+    }
+  }
+
+  Result<NodePtr> ParseImplies() {
+    auto lhs = ParseOr();
+    if (!lhs.ok()) return lhs.status();
+    if (Eat("->")) {
+      auto rhs = ParseImplies();  // right associative
+      if (!rhs.ok()) return rhs.status();
+      return MakeBin(Op::kImplies, std::move(lhs).value(),
+                     std::move(rhs).value());
+    }
+    return lhs;
+  }
+
+  Result<NodePtr> ParseOr() {
+    return LeftChain([this] { return ParseAnd(); }, {{"||", Op::kOr}});
+  }
+  Result<NodePtr> ParseAnd() {
+    return LeftChain([this] { return ParseBitOr(); }, {{"&&", Op::kAnd}});
+  }
+  Result<NodePtr> ParseBitOr() {
+    return LeftChain([this] { return ParseBitXor(); }, {{"|", Op::kBitOr}});
+  }
+  Result<NodePtr> ParseBitXor() {
+    return LeftChain([this] { return ParseBitAnd(); }, {{"^", Op::kBitXor}});
+  }
+  Result<NodePtr> ParseBitAnd() {
+    return LeftChain([this] { return ParseEq(); }, {{"&", Op::kBitAnd}});
+  }
+  Result<NodePtr> ParseEq() {
+    return LeftChain([this] { return ParseRel(); },
+                     {{"==", Op::kEq}, {"!=", Op::kNe}});
+  }
+  Result<NodePtr> ParseRel() {
+    return LeftChain([this] { return ParseAdd(); },
+                     {{"<=", Op::kLe}, {">=", Op::kGe},
+                      {"<", Op::kLt}, {">", Op::kGt}});
+  }
+  Result<NodePtr> ParseAdd() {
+    return LeftChain([this] { return ParseUnary(); },
+                     {{"+", Op::kAdd}, {"-", Op::kSub}});
+  }
+
+  Result<NodePtr> ParseUnary() {
+    if (Eat("!")) {
+      auto sub = ParseUnary();
+      if (!sub.ok()) return sub.status();
+      auto n = std::make_unique<Node>();
+      n->op = Op::kNot;
+      n->lhs = std::move(sub).value();
+      return n;
+    }
+    if (Eat("~")) {
+      auto sub = ParseUnary();
+      if (!sub.ok()) return sub.status();
+      auto n = std::make_unique<Node>();
+      n->op = Op::kBitNot;
+      n->lhs = std::move(sub).value();
+      return n;
+    }
+    if (Eat("-")) {
+      auto sub = ParseUnary();
+      if (!sub.ok()) return sub.status();
+      auto n = std::make_unique<Node>();
+      n->op = Op::kNeg;
+      n->lhs = std::move(sub).value();
+      return n;
+    }
+    return ParsePrimary();
+  }
+
+  Result<NodePtr> ParsePrimary() {
+    SkipSpace();
+    if (Eat("(")) {
+      auto e = ParseImplies();
+      if (!e.ok()) return e.status();
+      if (!Eat(")")) return Err("expected ')'");
+      return e;
+    }
+    if (pos_ >= src_.size()) return Err("unexpected end of property");
+    const char c = src_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      uint64_t value = 0;
+      if (pos_ + 1 < src_.size() && c == '0' &&
+          (src_[pos_ + 1] == 'x' || src_[pos_ + 1] == 'X')) {
+        pos_ += 2;
+        while (pos_ < src_.size() &&
+               std::isxdigit(static_cast<unsigned char>(src_[pos_]))) {
+          const char d = static_cast<char>(std::tolower(src_[pos_]));
+          value = value * 16 +
+                  static_cast<uint64_t>(d <= '9' ? d - '0' : d - 'a' + 10);
+          ++pos_;
+        }
+      } else {
+        while (pos_ < src_.size() &&
+               std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+          value = value * 10 + static_cast<uint64_t>(src_[pos_] - '0');
+          ++pos_;
+        }
+      }
+      auto n = std::make_unique<Node>();
+      n->op = Op::kConst;
+      n->value = value;
+      return n;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string name;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_' || src_[pos_] == '.')) {
+        name += src_[pos_++];
+      }
+      const rtl::SignalId id = design_.FindSignal(name);
+      if (id == rtl::kInvalidId)
+        return Err("unknown signal '" + name + "'");
+      auto n = std::make_unique<Node>();
+      n->op = Op::kSignal;
+      n->signal = id;
+      n->width = design_.signal(id).width;
+      return n;
+    }
+    return Err(std::string("unexpected character '") + c + "'");
+  }
+
+  const std::string& src_;
+  const rtl::Design& design_;
+  size_t pos_ = 0;
+};
+
+namespace {
+
+uint64_t EvalNode(const SignalProperty::Node& n, const sim::Simulator& sim) {
+  using Op = SignalProperty::Node::Op;
+  auto l = [&] { return EvalNode(*n.lhs, sim); };
+  auto r = [&] { return EvalNode(*n.rhs, sim); };
+  switch (n.op) {
+    case Op::kConst: return n.value;
+    case Op::kSignal: return sim.PeekId(n.signal);
+    case Op::kNot: return l() == 0 ? 1 : 0;
+    case Op::kBitNot: return TruncBits(~l(), n.lhs->width);
+    case Op::kNeg: return ~l() + 1;
+    case Op::kOr: return (l() != 0 || r() != 0) ? 1 : 0;
+    case Op::kAnd: return (l() != 0 && r() != 0) ? 1 : 0;
+    case Op::kBitOr: return l() | r();
+    case Op::kBitXor: return l() ^ r();
+    case Op::kBitAnd: return l() & r();
+    case Op::kEq: return l() == r() ? 1 : 0;
+    case Op::kNe: return l() != r() ? 1 : 0;
+    case Op::kLt: return l() < r() ? 1 : 0;
+    case Op::kLe: return l() <= r() ? 1 : 0;
+    case Op::kGt: return l() > r() ? 1 : 0;
+    case Op::kGe: return l() >= r() ? 1 : 0;
+    case Op::kAdd: return l() + r();
+    case Op::kSub: return l() - r();
+    case Op::kImplies: return (l() == 0 || r() != 0) ? 1 : 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<SignalProperty> SignalProperty::Compile(const std::string& source,
+                                               const rtl::Design& design) {
+  PropertyParser parser(source, design);
+  auto root = parser.Parse();
+  if (!root.ok()) return root.status();
+  SignalProperty prop;
+  prop.source_ = source;
+  prop.root_ = std::shared_ptr<const Node>(std::move(root).value().release());
+  return prop;
+}
+
+bool SignalProperty::Holds(const sim::Simulator& sim) const {
+  return EvalNode(*root_, sim) != 0;
+}
+
+}  // namespace hardsnap::core

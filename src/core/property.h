@@ -1,0 +1,68 @@
+// Hardware property language (paper Sec. III: HardSnap "enables analysts
+// to ... express security properties using a high level of abstraction").
+//
+// A SignalProperty is a boolean expression over the SoC's hierarchical
+// signal names, written in Verilog-expression syntax:
+//
+//     "!(u_aes.busy && u_aes.done)"          // never both
+//     "u_timer.value <= u_timer.load_val"    // counter bounded
+//     "(u_wdog.barked -> u_wdog.reset_req)"  // implication
+//
+// Properties are parsed once and evaluated against the live simulator on
+// every executed instruction of every state (the full-visibility target;
+// on the FPGA such invariants are exactly what you CANNOT check, which is
+// the paper's motivation for target hand-off). A property that evaluates
+// false flags a bug with its source text.
+//
+// Grammar (C/Verilog precedence):
+//   expr   := implies
+//   implies:= or ('->' or)*                  right-assoc implication
+//   or     := and ('||' and)*
+//   and    := bor ('&&' bor)*
+//   bor    := bxor ('|' bxor)*
+//   bxor   := band ('^' band)*
+//   band   := eq ('&' eq)*
+//   eq     := rel (('=='|'!=') rel)*
+//   rel    := add (('<'|'<='|'>'|'>=') add)*
+//   add    := unary (('+'|'-') unary)*
+//   unary  := ('!'|'~'|'-')* primary
+//   primary:= number | signal | '(' expr ')'
+//   signal := ident ('.' ident)*             hierarchical name
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/simulator.h"
+
+namespace hardsnap::core {
+
+class SignalProperty {
+ public:
+  // Parses `source` and resolves every signal name against `design`.
+  // Unknown signals are a compile-time error (with the name in the
+  // message), not a runtime surprise.
+  static Result<SignalProperty> Compile(const std::string& source,
+                                        const rtl::Design& design);
+
+  // True iff the property holds under the simulator's current values.
+  bool Holds(const sim::Simulator& sim) const;
+
+  const std::string& source() const { return source_; }
+
+  // Implementation detail exposed for the parser translation unit.
+  struct Node;
+  using NodePtr = std::unique_ptr<Node>;
+
+ private:
+  SignalProperty() = default;
+  friend class PropertyParser;
+
+  std::string source_;
+  std::shared_ptr<const Node> root_;  // shared: properties are copyable
+};
+
+}  // namespace hardsnap::core

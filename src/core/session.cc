@@ -1,0 +1,111 @@
+#include "core/session.h"
+
+#include "rtl/elaborate.h"
+
+namespace hardsnap::core {
+
+Result<std::unique_ptr<Session>> Session::Create(SessionConfig config) {
+  auto session = std::unique_ptr<Session>(new Session());
+  if (config.peripherals.empty())
+    config.peripherals = periph::DefaultCorpus();
+  session->config_ = config;
+
+  auto design =
+      rtl::CompileVerilog(periph::BuildSoc(config.peripherals), "soc");
+  if (!design.ok()) return design.status();
+  session->soc_ = std::make_unique<rtl::Design>(std::move(design).value());
+
+  std::vector<bus::HardwareTarget*> targets;
+  const bool want_sim = config.target != SessionConfig::Target::kFpga;
+  const bool want_fpga = config.target != SessionConfig::Target::kSimulator;
+  if (want_sim) {
+    auto t = bus::SimulatorTarget::Create(*session->soc_,
+                                          config.simulator_options);
+    if (!t.ok()) return t.status();
+    session->sim_target_ = std::move(t).value();
+  }
+  if (want_fpga) {
+    auto t = fpga::FpgaTarget::Create(*session->soc_, config.fpga_options);
+    if (!t.ok()) return t.status();
+    session->fpga_target_ = std::move(t).value();
+  }
+  // kBoth starts on the FPGA (the fast target); MoveToTarget switches.
+  if (session->fpga_target_) targets.push_back(session->fpga_target_.get());
+  if (session->sim_target_) targets.push_back(session->sim_target_.get());
+  session->orchestrator_ =
+      std::make_unique<snapshot::TargetOrchestrator>(std::move(targets));
+  HS_RETURN_IF_ERROR(session->orchestrator_->active().ResetHardware());
+
+  session->proxy_target_ =
+      std::make_unique<OrchestratedTarget>(session->orchestrator_.get());
+  session->executor_ = std::make_unique<symex::Executor>(
+      session->proxy_target_.get(), config.exec);
+  return session;
+}
+
+Status Session::LoadFirmwareAsm(const std::string& assembly) {
+  auto img = vm::Assemble(assembly);
+  if (!img.ok()) return img.status();
+  return LoadFirmware(img.value());
+}
+
+Status Session::LoadFirmware(const vm::FirmwareImage& image) {
+  image_ = image;
+  return executor_->LoadFirmware(image_);
+}
+
+solver::TermId Session::MakeSymbolicRegister(unsigned reg,
+                                             const std::string& name) {
+  return executor_->MakeSymbolicRegister(reg, name);
+}
+
+Status Session::MakeSymbolicRegion(uint32_t addr, unsigned bytes,
+                                   const std::string& name) {
+  return executor_->MakeSymbolicRegion(addr, bytes, name);
+}
+
+void Session::AddAssertion(symex::Executor::AssertionFn fn) {
+  executor_->AddAssertion(std::move(fn));
+}
+
+Status Session::AddHardwareInvariant(const std::string& property) {
+  if (!sim_target_)
+    return FailedPrecondition(
+        "hardware invariants need the full-visibility simulator target "
+        "(the FPGA exposes no internal signals — the paper's Sec. III-A "
+        "trade-off); create the session with Target::kSimulator or kBoth");
+  auto compiled = SignalProperty::Compile(property, *soc_);
+  if (!compiled.ok()) return compiled.status();
+  sim::Simulator* simulator = sim_target_->simulator();
+  executor_->AddAssertion(
+      [prop = std::move(compiled).value(), simulator,
+       this](const symex::State&) -> std::string {
+        // Only meaningful while the simulator holds the live state.
+        if (orchestrator_->active().kind() != bus::TargetKind::kSimulator)
+          return "";
+        if (!prop.Holds(*simulator))
+          return "hardware invariant violated: " + prop.source();
+        return "";
+      });
+  return Status::Ok();
+}
+
+Result<symex::Report> Session::Run() { return executor_->Run(); }
+
+Status Session::MoveToTarget(bus::TargetKind kind) {
+  auto idx = orchestrator_->IndexOf(kind);
+  if (!idx.ok()) return idx.status();
+  return orchestrator_->MoveTo(idx.value());
+}
+
+HardwareInfo Session::hardware_info() const {
+  HardwareInfo info;
+  info.soc_stats = soc_->Stats();
+  if (fpga_target_) {
+    info.scan_chain_bits = fpga_target_->scan_map().total_bits;
+    info.scan_mem_words = fpga_target_->scan_map().total_mem_words;
+  }
+  return info;
+}
+
+}  // namespace hardsnap::core

@@ -1,0 +1,146 @@
+// hardsnap::Session — the framework's public entry point (paper Fig. 2).
+//
+// A session compiles a set of Verilog peripherals into one SoC, boots it
+// on the requested hardware target(s) (software simulator, emulated FPGA,
+// or both with live state transfer), and runs firmware under the selective
+// symbolic virtual machine with hardware/software co-snapshotting.
+//
+// Typical use:
+//
+//   hardsnap::core::SessionConfig cfg;            // default corpus, sim
+//   auto session = hardsnap::core::Session::Create(cfg);
+//   session->LoadFirmwareAsm(my_driver_asm);
+//   session->MakeSymbolicRegister(10, "input");   // a0 is attacker data
+//   auto report = session->Run();
+//   // report.bugs[i].test_case reproduces each finding
+//
+// For hardware-only testing (software testbench, no firmware), use
+// hardware() to drive the register bus directly, and the snapshotting
+// calls to save/restore device state around experiments.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bus/sim_target.h"
+#include "common/status.h"
+#include "fpga/fpga_target.h"
+#include "periph/periph.h"
+#include "rtl/ir.h"
+#include "core/property.h"
+#include "snapshot/orchestrator.h"
+#include "symex/executor.h"
+#include "vm/assembler.h"
+
+namespace hardsnap::core {
+
+// HardwareTarget proxy that always forwards to the orchestrator's active
+// target, so the executor transparently follows MoveToTarget() calls.
+class OrchestratedTarget : public bus::HardwareTarget {
+ public:
+  explicit OrchestratedTarget(snapshot::TargetOrchestrator* orch)
+      : orch_(orch) {}
+  bus::TargetKind kind() const override { return orch_->active().kind(); }
+  const std::string& name() const override { return orch_->active().name(); }
+  Result<uint32_t> Read32(uint32_t addr) override {
+    return orch_->active().Read32(addr);
+  }
+  Status Write32(uint32_t addr, uint32_t value) override {
+    return orch_->active().Write32(addr, value);
+  }
+  Status Run(uint64_t cycles) override { return orch_->active().Run(cycles); }
+  uint32_t IrqVector() override { return orch_->active().IrqVector(); }
+  Status ResetHardware() override { return orch_->active().ResetHardware(); }
+  Result<sim::HardwareState> SaveState() override {
+    return orch_->active().SaveState();
+  }
+  Status RestoreState(const sim::HardwareState& state) override {
+    return orch_->active().RestoreState(state);
+  }
+  const VirtualClock& clock() const override {
+    return orch_->active().clock();
+  }
+  const bus::TargetStats& stats() const override {
+    return orch_->active().stats();
+  }
+
+ private:
+  snapshot::TargetOrchestrator* orch_;
+};
+
+struct SessionConfig {
+  // Peripherals to build into the SoC (default: the paper's 4-IP corpus).
+  std::vector<periph::PeripheralInfo> peripherals;
+
+  // Which target executes the hardware. kBoth builds simulator + FPGA and
+  // starts on the FPGA (fast), allowing MoveToTarget() at any time.
+  enum class Target { kSimulator, kFpga, kBoth };
+  Target target = Target::kSimulator;
+
+  bus::SimulatorTargetOptions simulator_options;
+  fpga::FpgaTargetOptions fpga_options;
+  symex::ExecOptions exec;
+};
+
+struct HardwareInfo {
+  rtl::DesignStats soc_stats;
+  unsigned scan_chain_bits = 0;   // 0 when no FPGA target present
+  unsigned scan_mem_words = 0;
+};
+
+class Session {
+ public:
+  static Result<std::unique_ptr<Session>> Create(SessionConfig config);
+
+  // --- firmware ------------------------------------------------------
+  Status LoadFirmwareAsm(const std::string& assembly);
+  Status LoadFirmware(const vm::FirmwareImage& image);
+  const vm::FirmwareImage& firmware() const { return image_; }
+
+  // --- symbolic inputs & properties ----------------------------------
+  solver::TermId MakeSymbolicRegister(unsigned reg, const std::string& name);
+  Status MakeSymbolicRegion(uint32_t addr, unsigned bytes,
+                            const std::string& name);
+  void AddAssertion(symex::Executor::AssertionFn fn);
+
+  // High-level hardware invariant over hierarchical signal names, e.g.
+  // "!(u_aes.busy && u_aes.done)". Checked after every instruction of
+  // every state via the full-visibility simulator target; requires one
+  // (this is precisely what the FPGA target cannot offer — move the state
+  // over when you need invariants).
+  Status AddHardwareInvariant(const std::string& property);
+
+  // --- analysis ---------------------------------------------------------
+  // Runs the symbolic VM on the active target. May be called once per
+  // session (states and solver context live in the executor).
+  Result<symex::Report> Run();
+
+  // --- direct hardware access (software testbench mode) -----------------
+  bus::HardwareTarget& hardware() { return orchestrator_->active(); }
+  snapshot::TargetOrchestrator& orchestrator() { return *orchestrator_; }
+  Status MoveToTarget(bus::TargetKind kind);
+
+  // The compiled SoC (for inspection / custom simulators).
+  const rtl::Design& soc() const { return *soc_; }
+  HardwareInfo hardware_info() const;
+
+  // Full-visibility handle when a simulator target exists (tracing).
+  bus::SimulatorTarget* simulator_target() { return sim_target_.get(); }
+  fpga::FpgaTarget* fpga_target() { return fpga_target_.get(); }
+
+ private:
+  Session() = default;
+
+  SessionConfig config_;
+  std::unique_ptr<rtl::Design> soc_;
+  std::unique_ptr<bus::SimulatorTarget> sim_target_;
+  std::unique_ptr<fpga::FpgaTarget> fpga_target_;
+  std::unique_ptr<snapshot::TargetOrchestrator> orchestrator_;
+  std::unique_ptr<OrchestratedTarget> proxy_target_;
+  std::unique_ptr<symex::Executor> executor_;
+  vm::FirmwareImage image_;
+};
+
+}  // namespace hardsnap::core

@@ -1,0 +1,361 @@
+#include "firmware/corpus.h"
+
+#include <array>
+#include <cstdio>
+
+#include "periph/ref_models.h"
+
+namespace hardsnap::firmware {
+
+namespace {
+
+std::string Hex(uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%08x", v);
+  return buf;
+}
+
+// First ciphertext word for AES-128 with key word0 = kw0 and plaintext
+// word0 = pw0 (all other words zero), matching the peripheral's register
+// layout (big-endian words).
+uint32_t AesOutWord0(uint32_t kw0, uint32_t pw0) {
+  std::array<uint8_t, 16> key{}, pt{};
+  for (int b = 0; b < 4; ++b) {
+    key[b] = static_cast<uint8_t>(kw0 >> (24 - 8 * b));
+    pt[b] = static_cast<uint8_t>(pw0 >> (24 - 8 * b));
+  }
+  auto ct = periph::ref::Aes128Encrypt(key, pt);
+  return (uint32_t{ct[0]} << 24) | (uint32_t{ct[1]} << 16) |
+         (uint32_t{ct[2]} << 8) | uint32_t{ct[3]};
+}
+
+constexpr uint32_t kTimerBase = 0x40000000;
+constexpr uint32_t kUartBase = 0x40000100;
+constexpr uint32_t kAesBase = 0x40000200;
+constexpr uint32_t kShaBase = 0x40000300;
+constexpr uint32_t kExitAddr = 0x50000004;
+
+const char* kExitSeq = R"(
+finish:
+  li t0, 0x50000004
+  sw a0, 0(t0)
+)";
+
+}  // namespace
+
+std::string Fig1ConsistencyFirmware() {
+  const uint32_t key_a = 0x11111111, in_a = 0xa0a0a0a0;
+  const uint32_t key_b = 0x22222222, in_b = 0xb5b5b5b5;
+  const uint32_t exp_a = AesOutWord0(key_a, in_a);
+  const uint32_t exp_b = AesOutWord0(key_b, in_b);
+
+  std::string src;
+  src += "_start:\n";
+  src += "  andi a0, a0, 1\n";
+  src += "  bnez a0, path_b\n";
+  // ---- REQ A ----
+  src += "path_a:\n";
+  src += "  li t1, " + Hex(kAesBase) + "\n";
+  src += "  li t2, " + Hex(key_a) + "\n";
+  src += "  sw t2, 0x10(t1)\n";
+  src += "  li t2, " + Hex(in_a) + "\n";
+  src += "  sw t2, 0x20(t1)\n";
+  src += "  li t2, 1\n";
+  src += "  sw t2, 0(t1)\n";
+  src += "wait_a:\n";
+  src += "  lw t3, 4(t1)\n";
+  src += "  andi t3, t3, 2\n";
+  src += "  beqz t3, wait_a\n";
+  src += "  lw t4, 0x30(t1)\n";
+  src += "  li t5, " + Hex(exp_a) + "\n";
+  src += "  beq t4, t5, good_a\n";
+  src += "bug_false_positive:\n";
+  src += "  ebreak            # unreachable on consistent hardware\n";
+  src += "good_a:\n";
+  src += "  li a0, 0\n";
+  src += "  j finish\n";
+  // ---- REQ B ----
+  src += "path_b:\n";
+  src += "  li t1, " + Hex(kAesBase) + "\n";
+  src += "  li t2, " + Hex(key_b) + "\n";
+  src += "  sw t2, 0x10(t1)\n";
+  src += "  li t2, " + Hex(in_b) + "\n";
+  src += "  sw t2, 0x20(t1)\n";
+  src += "  li t2, 1\n";
+  src += "  sw t2, 0(t1)\n";
+  src += "wait_b:\n";
+  src += "  lw t3, 4(t1)\n";
+  src += "  andi t3, t3, 2\n";
+  src += "  beqz t3, wait_b\n";
+  src += "  lw t4, 0x30(t1)\n";
+  src += "  li t5, " + Hex(exp_b) + "\n";
+  src += "  bne t4, t5, miss_b\n";
+  src += "bug_real:\n";
+  src += "  ebreak            # the planted bug: fires on CORRECT hardware\n";
+  src += "miss_b:\n";
+  src += "  li a0, 1\n";
+  src += kExitSeq;
+  return src;
+}
+
+std::string BranchTreeFirmware(unsigned branches, unsigned init_loops) {
+  std::string src;
+  src += "_start:\n";
+  // Expensive init prefix (UART configuration churn).
+  src += "  li t0, " + Hex(kUartBase) + "\n";
+  src += "  li t1, " + std::to_string(init_loops) + "\n";
+  src += "init_loop:\n";
+  src += "  li t2, 0x10007\n";
+  src += "  sw t2, 0(t0)\n";
+  src += "  addi t1, t1, -1\n";
+  src += "  bnez t1, init_loop\n";
+  // Branch tree over the bits of a0 with per-branch peripheral work.
+  src += "  li s0, " + Hex(kTimerBase) + "\n";
+  src += "  mv s1, a0\n";
+  for (unsigned i = 0; i < branches; ++i) {
+    const std::string n = std::to_string(i);
+    src += "branch_" + n + ":\n";
+    src += "  andi t3, s1, 1\n";
+    src += "  srli s1, s1, 1\n";
+    src += "  beqz t3, skip_" + n + "\n";
+    src += "  li t4, " + std::to_string(i + 1) + "\n";
+    src += "  sw t4, 8(s0)\n";    // program the prescaler
+    src += "  j next_" + n + "\n";
+    src += "skip_" + n + ":\n";
+    src += "  lw t4, 0xc(s0)\n";  // poke the status register instead
+    src += "next_" + n + ":\n";
+    src += "  nop\n";
+  }
+  src += "  li a0, 0\n";
+  src += kExitSeq;
+  return src;
+}
+
+std::string VulnerableParserFirmware() {
+  std::string src;
+  src += "_start:\n";
+  src += "  li t0, 0x10000000\n";   // symbolic packet: [len, payload...]
+  src += "  lbu t1, 0(t0)\n";
+  src += "  li t2, 0x1003fff0\n";   // 16-byte buffer at the top of RAM
+  src += "  li t3, 0\n";
+  src += "copy:\n";
+  src += "  beq t3, t1, done\n";
+  src += "  add t4, t0, t3\n";
+  src += "  lbu t5, 1(t4)\n";
+  src += "  add t6, t2, t3\n";
+  src += "  sb t5, 0(t6)\n";        // out of RAM once t3 >= 16
+  src += "  addi t3, t3, 1\n";
+  src += "  j copy\n";
+  src += "done:\n";
+  src += "  li a0, 0\n";
+  src += kExitSeq;
+  return src;
+}
+
+std::string TimerInterruptFirmware(unsigned ticks) {
+  std::string src;
+  src += "_start:\n";
+  src += "  j main\n";
+  src += "  .org 0x40\n";
+  src += "isr:\n";
+  src += "  li s10, " + Hex(kTimerBase) + "\n";
+  src += "  sw zero, 0xc(s10)\n";   // acknowledge: clear expired
+  src += "  addi s9, s9, 1\n";
+  src += "  mret\n";
+  src += "main:\n";
+  src += "  la t0, isr\n";
+  src += "  csrw mtvec, t0\n";
+  src += "  li t1, " + Hex(kTimerBase) + "\n";
+  src += "  li t2, 5\n";
+  src += "  sw t2, 4(t1)\n";        // LOAD = 5
+  src += "  li t2, 7\n";
+  src += "  sw t2, 0(t1)\n";        // enable | irq_en | auto-reload
+  src += "  li t3, 8\n";
+  src += "  csrw mstatus, t3\n";    // MIE
+  src += "wait:\n";
+  src += "  li t4, " + std::to_string(ticks) + "\n";
+  src += "  blt s9, t4, wait\n";
+  src += "  mv a0, zero\n";
+  src += kExitSeq;
+  return src;
+}
+
+std::string AesSelfTestFirmware() {
+  // FIPS-197 style vector: key = 000102...0f, pt = 00112233..ff.
+  std::array<uint8_t, 16> key{}, pt{};
+  for (int i = 0; i < 16; ++i) {
+    key[i] = static_cast<uint8_t>(i);
+    pt[i] = static_cast<uint8_t>(0x11 * i);
+  }
+  auto ct = periph::ref::Aes128Encrypt(key, pt);
+  auto word = [](const std::array<uint8_t, 16>& b, int w) {
+    return (uint32_t{b[4 * w]} << 24) | (uint32_t{b[4 * w + 1]} << 16) |
+           (uint32_t{b[4 * w + 2]} << 8) | uint32_t{b[4 * w + 3]};
+  };
+
+  std::string src;
+  src += "_start:\n";
+  src += "  li t1, " + Hex(kAesBase) + "\n";
+  for (int w = 0; w < 4; ++w) {
+    src += "  li t2, " + Hex(word(key, w)) + "\n";
+    src += "  sw t2, " + std::to_string(0x10 + 4 * w) + "(t1)\n";
+    src += "  li t2, " + Hex(word(pt, w)) + "\n";
+    src += "  sw t2, " + std::to_string(0x20 + 4 * w) + "(t1)\n";
+  }
+  src += "  li t2, 1\n";
+  src += "  sw t2, 0(t1)\n";
+  src += "busy:\n";
+  src += "  lw t3, 4(t1)\n";
+  src += "  andi t3, t3, 2\n";
+  src += "  beqz t3, busy\n";
+  for (int w = 0; w < 4; ++w) {
+    src += "  lw t4, " + std::to_string(0x30 + 4 * w) + "(t1)\n";
+    src += "  li t5, " + Hex(word(ct, w)) + "\n";
+    src += "  beq t4, t5, ok_" + std::to_string(w) + "\n";
+    src += "  ebreak\n";
+    src += "ok_" + std::to_string(w) + ":\n";
+    src += "  nop\n";
+  }
+  src += "  li a0, 0\n";
+  src += kExitSeq;
+  return src;
+}
+
+std::string ShaSelfTestFirmware() {
+  // Single padded block for "abc".
+  std::array<uint32_t, 16> block{};
+  block[0] = 0x61626380;
+  block[15] = 24;
+  auto state = periph::ref::Sha256H0();
+  periph::ref::Sha256Compress(&state, block);
+
+  std::string src;
+  src += "_start:\n";
+  src += "  li t1, " + Hex(kShaBase) + "\n";
+  src += "  li t2, 4\n";
+  src += "  sw t2, 0(t1)\n";  // CTRL.init
+  for (int i = 0; i < 16; ++i) {
+    src += "  li t2, " + Hex(block[i]) + "\n";
+    src += "  sw t2, " + std::to_string(0x40 + 4 * i) + "(t1)\n";
+  }
+  src += "  li t2, 1\n";
+  src += "  sw t2, 0(t1)\n";  // CTRL.start
+  src += "busy:\n";
+  src += "  lw t3, 4(t1)\n";
+  src += "  andi t3, t3, 2\n";
+  src += "  beqz t3, busy\n";
+  for (int i = 0; i < 2; ++i) {
+    src += "  lw t4, " + std::to_string(0x80 + 4 * i) + "(t1)\n";
+    src += "  li t5, " + Hex(state[i]) + "\n";
+    src += "  beq t4, t5, ok_" + std::to_string(i) + "\n";
+    src += "  ebreak\n";
+    src += "ok_" + std::to_string(i) + ":\n";
+    src += "  nop\n";
+  }
+  src += "  li a0, 0\n";
+  src += kExitSeq;
+  return src;
+}
+
+std::string UartIrqEchoFirmware(unsigned count) {
+  std::string src;
+  src += "_start:\n";
+  src += "  j main\n";
+  src += "  .org 0x40\n";
+  src += "isr:\n";
+  src += "  li s10, " + Hex(kUartBase) + "\n";
+  src += "  lw s11, 0xc(s10)\n";   // pop RX byte
+  src += "  li s10, 0x10000100\n";
+  src += "  add s10, s10, s9\n";
+  src += "  sb s11, 0(s10)\n";
+  src += "  addi s9, s9, 1\n";
+  src += "  mret\n";
+  src += "main:\n";
+  src += "  la t0, isr\n";
+  src += "  csrw mtvec, t0\n";
+  src += "  li t1, " + Hex(kUartBase) + "\n";
+  // divisor 7 | loopback | irq_en_rx
+  src += "  li t2, 0x30007\n";
+  src += "  sw t2, 0(t1)\n";
+  src += "  li t3, 8\n";
+  src += "  csrw mstatus, t3\n";
+  // push the pattern (i*7+1)
+  src += "  li t4, 0\n";
+  src += "  li t5, 1\n";
+  src += "push:\n";
+  src += "  sw t5, 8(t1)\n";
+  src += "  addi t5, t5, 7\n";
+  src += "  andi t5, t5, 0xff\n";
+  src += "  addi t4, t4, 1\n";
+  src += "  li t6, " + std::to_string(count) + "\n";
+  src += "  blt t4, t6, push\n";
+  // wait for all bytes to arrive via the ISR
+  src += "wait:\n";
+  src += "  li t6, " + std::to_string(count) + "\n";
+  src += "  blt s9, t6, wait\n";
+  // verify
+  src += "  li t0, 0x10000100\n";
+  src += "  li t4, 0\n";
+  src += "  li t5, 1\n";
+  src += "check:\n";
+  src += "  add t1, t0, t4\n";
+  src += "  lbu t2, 0(t1)\n";
+  src += "  beq t2, t5, match\n";
+  src += "  ebreak\n";
+  src += "match:\n";
+  src += "  addi t5, t5, 7\n";
+  src += "  andi t5, t5, 0xff\n";
+  src += "  addi t4, t4, 1\n";
+  src += "  li t6, " + std::to_string(count) + "\n";
+  src += "  blt t4, t6, check\n";
+  src += "  li a0, 0\n";
+  src += kExitSeq;
+  return src;
+}
+
+std::string SecureBootFirmware() {
+  std::string src;
+  src += "_start:\n";
+  // Load the image byte and build the padded single-byte SHA block:
+  // block word 0 = {image, 0x80, 0, 0}; word 15 = bit length (8).
+  src += "  li s0, 0x10000000\n";     // image byte (symbolic)
+  src += "  lbu s1, 0(s0)\n";
+  src += "  li t1, " + Hex(kShaBase) + "\n";
+  src += "  li t2, 4\n";
+  src += "  sw t2, 0(t1)\n";           // CTRL.init (load H0)
+  src += "  slli t3, s1, 24\n";        // image in the top byte
+  src += "  li t4, 0x00800000\n";      // 0x80 padding marker
+  src += "  or t3, t3, t4\n";
+  src += "  sw t3, 0x40(t1)\n";        // block word 0
+  src += "  li t3, 8\n";
+  src += "  sw t3, 0x7c(t1)\n";        // block word 15: bit length
+  src += "  li t2, 1\n";
+  src += "  sw t2, 0(t1)\n";           // CTRL.start
+  src += "hash_wait:\n";
+  src += "  lw t3, 4(t1)\n";
+  src += "  andi t3, t3, 2\n";
+  src += "  beqz t3, hash_wait\n";
+  // Compare digest words 0 and 1 against the expected value in
+  // unprotected RAM (+0x10) — the planted design flaw.
+  src += "  li s2, 0x10000010\n";
+  src += "  lw t4, 0x80(t1)\n";
+  src += "  lw t5, 0(s2)\n";
+  src += "  bne t4, t5, reject\n";
+  src += "  lw t4, 0x84(t1)\n";
+  src += "  lw t5, 4(s2)\n";
+  src += "  bne t4, t5, reject\n";
+  // Signature accepted: boot. Only image 0x42 is genuine.
+  src += "  li t6, 0x42\n";
+  src += "  beq s1, t6, genuine\n";
+  src += "bug_boot_bypass:\n";
+  src += "  ebreak              # booted a tampered image\n";
+  src += "genuine:\n";
+  src += "  li a0, 0\n";
+  src += "  j finish\n";
+  src += "reject:\n";
+  src += "  li a0, 1\n";
+  src += kExitSeq;
+  return src;
+}
+
+}  // namespace hardsnap::firmware

@@ -1,0 +1,69 @@
+// Synthetic firmware corpus (paper Sec. V: "we demonstrate the capability
+// of our tool on a synthetic design composed of open-source hardware
+// peripherals and firmware").
+//
+// Each function returns RV32 assembly for the SoC built by
+// periph::BuildSoc(periph::DefaultCorpus()):
+//   region 0 timer, region 1 uart, region 2 aes, region 3 sha
+// mapped at the VM's MMIO window (0x4000_0000 | region<<8 | reg).
+//
+// Expected crypto values embedded in the firmware are computed from the
+// golden reference models at generation time, never hardcoded.
+#pragma once
+
+#include <string>
+
+namespace hardsnap::firmware {
+
+// Fig. 1 scenario: one symbolic input selects REQ A or REQ B; both paths
+// drive the shared AES accelerator and check the result.
+//   * Path A traps (ebreak) if its ciphertext is WRONG  — a check that
+//     never fires on consistent hardware (inconsistent co-testing turns it
+//     into a false positive).
+//   * Path B traps if its ciphertext is RIGHT — a planted "real bug" that
+//     consistent analysis must find (inconsistent co-testing misses it:
+//     false negative).
+// MakeSymbolicRegister(10, ...) must be called to make a0 symbolic.
+std::string Fig1ConsistencyFirmware();
+
+// Branchy driver for the snapshot-speedup experiment (E4): an expensive
+// init sequence (init_loops x ~6 instructions of UART configuration),
+// then `branches` sequential symbolic branches each doing peripheral work
+// — 2^branches paths sharing the init prefix. Symbolic input: a0.
+std::string BranchTreeFirmware(unsigned branches, unsigned init_loops);
+
+// Vulnerable driver for bug-finding demos: parses a "packet" from a
+// symbolic 8-byte region at RAM base (MakeSymbolicRegion) where byte 0 is
+// a length field copied into a 16-byte buffer at the top of RAM without
+// bounds checking: lengths > 16 write beyond RAM (out-of-bounds store).
+std::string VulnerableParserFirmware();
+
+// Timer-interrupt blinky: programs the timer, enables machine interrupts,
+// counts expirations in the handler, exits after `ticks` interrupts.
+std::string TimerInterruptFirmware(unsigned ticks);
+
+// AES driver smoke test: encrypts a fixed vector, compares all four output
+// words against the reference model, exits 0 on success / traps on
+// mismatch. Fully concrete (no symbolic input needed).
+std::string AesSelfTestFirmware();
+
+// SHA-256 driver: hashes "abc" (pre-padded block) on the accelerator and
+// verifies the first two digest words. Fully concrete.
+std::string ShaSelfTestFirmware();
+
+// UART loopback echo: pushes `count` bytes through the UART in loopback
+// mode using the RX interrupt, verifies the received sequence, exit 0.
+std::string UartIrqEchoFirmware(unsigned count);
+
+// Secure-boot bypass scenario: the boot ROM hashes a 1-byte "image"
+// (RAM+0) on the SHA-256 accelerator and compares the first two digest
+// words against an expected value stored in UNPROTECTED RAM (+0x10).
+// Only image byte 0x42 is genuine; booting anything else is the planted
+// vulnerability (ebreak at label `bug_boot_bypass`). Because both the
+// image and the expected digest are attacker-controlled, symbolic
+// execution synthesizes the full exploit: a tampered image plus the
+// matching forged digest, computed through the real accelerator RTL.
+// Mark RAM+0 (1 byte) and RAM+0x10 (8 bytes) symbolic.
+std::string SecureBootFirmware();
+
+}  // namespace hardsnap::firmware

@@ -1,0 +1,178 @@
+#include "fpga/fpga_target.h"
+
+namespace hardsnap::fpga {
+
+using sim::HardwareState;
+
+FpgaTarget::FpgaTarget(std::unique_ptr<scanchain::InstrumentedDesign> inst,
+                       FpgaTargetOptions options)
+    : options_(options), inst_(std::move(inst)) {
+  sram_.resize(options_.sram_slots);
+}
+
+Result<std::unique_ptr<FpgaTarget>> FpgaTarget::Create(
+    const rtl::Design& soc_design, FpgaTargetOptions options) {
+  auto inst = scanchain::InsertScanChain(soc_design, options.scan);
+  if (!inst.ok()) return inst.status();
+  auto fabric = sim::Simulator::Create(inst.value().design);
+  if (!fabric.ok()) return fabric.status();
+
+  auto target = std::unique_ptr<FpgaTarget>(new FpgaTarget(
+      std::make_unique<scanchain::InstrumentedDesign>(std::move(inst).value()),
+      options));
+  target->fabric_ =
+      std::make_unique<sim::Simulator>(std::move(fabric).value());
+  target->driver_ = std::make_unique<bus::SocBusDriver>(target->fabric_.get());
+  target->scan_ = std::make_unique<scanchain::ScanController>(
+      target->fabric_.get(), target->inst_->map);
+  HS_RETURN_IF_ERROR(target->fabric_->PokeInput("scan_enable", 0));
+  HS_RETURN_IF_ERROR(target->fabric_->PokeInput("scan_in", 0));
+  HS_RETURN_IF_ERROR(target->fabric_->PokeInput("scan_hold", 0));
+  if (target->fabric_->design().FindSignal("uart_rx") != rtl::kInvalidId) {
+    HS_RETURN_IF_ERROR(target->fabric_->PokeInput("uart_rx", 1));
+  }
+  return target;
+}
+
+void FpgaTarget::ChargeIo(unsigned transactions) {
+  const Duration cost = options_.channel.CostOf(transactions) +
+                        FabricCycles(transactions);
+  clock_.Advance(cost);
+  stats_.io_time += cost;
+}
+
+Result<uint32_t> FpgaTarget::Read32(uint32_t addr) {
+  auto v = driver_->Read32(addr);
+  if (!v.ok()) return v.status();
+  ++stats_.mmio_reads;
+  ChargeIo(1);
+  return v;
+}
+
+Status FpgaTarget::Write32(uint32_t addr, uint32_t value) {
+  HS_RETURN_IF_ERROR(driver_->Write32(addr, value));
+  ++stats_.mmio_writes;
+  ChargeIo(1);
+  return Status::Ok();
+}
+
+Status FpgaTarget::Run(uint64_t cycles) {
+  fabric_->Tick(static_cast<unsigned>(cycles));
+  stats_.cycles_run += cycles;
+  const Duration cost = FabricCycles(cycles);
+  clock_.Advance(cost);
+  stats_.run_time += cost;
+  return Status::Ok();
+}
+
+Status FpgaTarget::ResetHardware() {
+  HS_RETURN_IF_ERROR(fabric_->Reset());
+  clock_.Advance(FabricCycles(2));
+  return Status::Ok();
+}
+
+Duration FpgaTarget::ScanPassCost() const {
+  // One full scan pass at fabric speed, plus the controller command
+  // exchange over USB3 (start + completion poll).
+  return FabricCycles(scan_->PassCycles()) + options_.channel.CostOf(2);
+}
+
+Duration FpgaTarget::BulkTransferCost() const {
+  const uint64_t bytes =
+      (inst_->map.total_bits + 7) / 8 +
+      8ull * inst_->map.total_mem_words;  // words stream as 64-bit beats
+  const double seconds =
+      static_cast<double>(bytes) / options_.bulk_bytes_per_sec;
+  return Duration::Seconds(seconds) + options_.channel.per_transaction;
+}
+
+Duration FpgaTarget::ReadbackCost() const {
+  const double seconds = static_cast<double>(options_.fabric_config_bits / 8) /
+                         options_.readback_bytes_per_sec;
+  return options_.readback_setup + Duration::Seconds(seconds);
+}
+
+Status FpgaTarget::SaveToSlot(unsigned slot) {
+  if (slot >= sram_.size()) return OutOfRange("no such SRAM slot");
+  auto state = scan_->Save();
+  if (!state.ok()) return state.status();
+  sram_[slot] = std::make_unique<HardwareState>(std::move(state).value());
+  ++stats_.snapshots_saved;
+  const Duration cost = ScanPassCost();
+  clock_.Advance(cost);
+  stats_.snapshot_time += cost;
+  return Status::Ok();
+}
+
+Status FpgaTarget::RestoreFromSlot(unsigned slot) {
+  if (slot >= sram_.size()) return OutOfRange("no such SRAM slot");
+  if (!sram_[slot]) return FailedPrecondition("SRAM slot is empty");
+  HS_RETURN_IF_ERROR(scan_->Restore(*sram_[slot]));
+  ++stats_.snapshots_restored;
+  const Duration cost = ScanPassCost();
+  clock_.Advance(cost);
+  stats_.snapshot_time += cost;
+  return Status::Ok();
+}
+
+Status FpgaTarget::SwapWithSlot(unsigned slot) {
+  if (slot >= sram_.size()) return OutOfRange("no such SRAM slot");
+  if (!sram_[slot]) return FailedPrecondition("SRAM slot is empty");
+  auto old = scan_->SaveRestore(*sram_[slot]);
+  if (!old.ok()) return old.status();
+  *sram_[slot] = std::move(old).value();
+  ++stats_.snapshots_saved;
+  ++stats_.snapshots_restored;
+  const Duration cost = ScanPassCost();
+  clock_.Advance(cost);
+  stats_.snapshot_time += cost;
+  return Status::Ok();
+}
+
+bool FpgaTarget::SlotOccupied(unsigned slot) const {
+  return slot < sram_.size() && sram_[slot] != nullptr;
+}
+
+Result<HardwareState> FpgaTarget::DownloadSlot(unsigned slot) {
+  if (slot >= sram_.size()) return OutOfRange("no such SRAM slot");
+  if (!sram_[slot]) return FailedPrecondition("SRAM slot is empty");
+  const Duration cost = BulkTransferCost();
+  clock_.Advance(cost);
+  stats_.snapshot_time += cost;
+  return *sram_[slot];
+}
+
+Status FpgaTarget::UploadSlot(unsigned slot, const HardwareState& state) {
+  if (slot >= sram_.size()) return OutOfRange("no such SRAM slot");
+  sram_[slot] = std::make_unique<HardwareState>(state);
+  const Duration cost = BulkTransferCost();
+  clock_.Advance(cost);
+  stats_.snapshot_time += cost;
+  return Status::Ok();
+}
+
+Result<HardwareState> FpgaTarget::SaveState() {
+  HS_RETURN_IF_ERROR(SaveToSlot(0));
+  return DownloadSlot(0);
+}
+
+Status FpgaTarget::RestoreState(const HardwareState& state) {
+  HS_RETURN_IF_ERROR(UploadSlot(0, state));
+  return RestoreFromSlot(0);
+}
+
+Result<HardwareState> FpgaTarget::Readback() {
+  if (!options_.readback_supported)
+    return Unimplemented("this FPGA has no readback capability");
+  // Readback captures the fabric flop/BRAM contents; functionally the
+  // same bits the scan chain extracts, at full-device cost. The fabric
+  // must be quiescent during the dump (the real feature freezes clocks).
+  auto state = fabric_->DumpState();
+  ++stats_.snapshots_saved;
+  const Duration cost = ReadbackCost();
+  clock_.Advance(cost);
+  stats_.snapshot_time += cost;
+  return state;
+}
+
+}  // namespace hardsnap::fpga

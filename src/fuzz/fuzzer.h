@@ -1,0 +1,108 @@
+// Snapshot-based coverage-guided fuzzing.
+//
+// The paper's motivation (Sec. II, citing Muench et al.): "fuzzing
+// embedded systems requires to restart the target under test after each
+// fuzzing input to reset a clean state ... restarting the embedded
+// systems requires a complete reboot of the device which is extremely
+// slow." HardSnap's snapshots remove the reboot: capture SW+HW state once
+// after initialization, then restore per input.
+//
+// This module implements both disciplines over the concrete CPU so their
+// cost can be compared (bench_fuzzing):
+//   kSnapshotReset — one combined software+hardware snapshot taken at the
+//                    harness point; restore per test case (HardSnap).
+//   kRebootReset   — power-cycle the hardware and re-execute firmware from
+//                    the entry point for every test case (the baseline).
+//
+// The fuzzer itself is a minimal but real coverage-guided loop: a corpus
+// seeded with one input, per-input mutation (bit flips, byte sets,
+// interesting constants, length-preserving), new-control-flow-edge
+// tracking, and crash de-duplication by faulting pc.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bus/target.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/virtual_clock.h"
+#include "vm/cpu.h"
+
+namespace hardsnap::fuzz {
+
+enum class ResetStrategy : uint8_t { kSnapshotReset, kRebootReset };
+const char* ResetStrategyName(ResetStrategy s);
+
+struct FuzzOptions {
+  ResetStrategy reset = ResetStrategy::kSnapshotReset;
+  uint64_t seed = 1;
+  uint32_t input_addr = 0x10000000;   // where inputs are injected (RAM)
+  unsigned input_size = 8;
+  uint64_t max_instructions_per_exec = 20000;
+  // Instructions to execute from _start before the harness point where
+  // the snapshot is taken (inputs must not be read before this point).
+  uint64_t init_instructions = 0;     // 0 = snapshot immediately at entry
+  // Modeled cost of one device reboot for the baseline strategy.
+  Duration reboot_cost = Duration::Millis(250);
+  unsigned cycles_per_instruction = 1;
+};
+
+struct Crash {
+  uint32_t pc = 0;
+  std::string reason;
+  std::vector<uint8_t> input;
+};
+
+struct FuzzStats {
+  uint64_t execs = 0;
+  uint64_t total_instructions = 0;
+  uint64_t corpus_size = 0;
+  uint64_t edges_covered = 0;
+  uint64_t crashes = 0;            // unique by faulting pc
+  uint64_t reboots = 0;
+  uint64_t snapshot_restores = 0;
+  Duration reset_overhead;         // modeled time spent resetting state
+  Duration hw_time;                // total modeled hardware time
+};
+
+class Fuzzer {
+ public:
+  // `target` provides the peripherals; `image` is the firmware.
+  Fuzzer(bus::HardwareTarget* target, const vm::FirmwareImage& image,
+         FuzzOptions options);
+
+  // Run `execs` test cases. Callable repeatedly; corpus persists.
+  Result<FuzzStats> Run(uint64_t execs);
+
+  const std::vector<Crash>& crashes() const { return crashes_; }
+  const std::vector<std::vector<uint8_t>>& corpus() const { return corpus_; }
+  const FuzzStats& stats() const { return stats_; }
+
+ private:
+  Status PrepareSnapshot();
+  Status ResetForNextExec();
+  std::vector<uint8_t> Mutate(const std::vector<uint8_t>& parent);
+
+  bus::HardwareTarget* target_;
+  vm::FirmwareImage image_;
+  FuzzOptions options_;
+  Rng rng_;
+
+  vm::Cpu cpu_;
+  bool snapshot_ready_ = false;
+  vm::CpuState sw_snapshot_;
+  sim::HardwareState hw_snapshot_;
+
+  std::vector<std::vector<uint8_t>> corpus_;
+  std::set<uint64_t> edges_;          // hashed (from, to) control-flow edges
+  std::set<uint32_t> crash_pcs_;
+  std::vector<Crash> crashes_;
+  FuzzStats stats_;
+  VirtualClock reset_clock_;
+};
+
+}  // namespace hardsnap::fuzz

@@ -1,0 +1,278 @@
+#include <cstdio>
+#include <string>
+
+#include "periph/periph.h"
+#include "periph/ref_models.h"
+
+namespace hardsnap::periph {
+
+namespace {
+
+std::string S(int i) { return "s" + std::to_string(i); }
+std::string K(int i) { return "k" + std::to_string(i); }
+
+std::string Hex8(uint8_t v) {
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "8'h%02x", v);
+  return buf;
+}
+
+std::string HexAddr(uint32_t a) {
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "8'h%02x", a);
+  return buf;
+}
+
+}  // namespace
+
+// Byte-serial AES-128 encryption core: a single shared S-box (one lookup
+// per cycle) services both SubBytes (16 cycles per round) and the on-the-
+// fly key schedule (4 cycles per round). ShiftRows, MixColumns and
+// AddRoundKey are single-cycle parallel steps. A block takes ~230 cycles —
+// the area-optimized design point common in microcontroller crypto IP.
+//
+// Phases: IDLE(0) -> ARK0(1) -> SUB(2) -> SHIFT(3) -> MIX(4) -> KS(5) ->
+// KSX(6) -> ARK(7; loops to SUB or finishes) -> DONE(outputs latched,
+// STATUS.done set, irq raised if enabled).
+//
+// State bytes follow FIPS-197 order: s[i] is state element row i%4,
+// column i/4; word registers are big-endian.
+std::string Aes128Verilog() {
+  const auto& sbox = ref::AesSbox();
+  std::string src;
+  src += R"(
+module hs_aes128(
+  input clk, input rst,
+  input sel, input wr, input rd,
+  input [7:0] addr, input [31:0] wdata,
+  output [31:0] rdata, output irq
+);
+  reg busy;
+  reg done;
+  reg irq_en;
+  reg [2:0] phase;
+  reg [3:0] round;
+  reg [3:0] bytecnt;
+  reg [7:0] rcon;
+)";
+  for (int i = 0; i < 16; ++i) src += "  reg [7:0] " + S(i) + ";\n";
+  for (int i = 0; i < 16; ++i) src += "  reg [7:0] " + K(i) + ";\n";
+  for (int i = 0; i < 4; ++i) src += "  reg [7:0] t" + std::to_string(i) + ";\n";
+  for (int i = 0; i < 4; ++i) {
+    src += "  reg [31:0] key_buf" + std::to_string(i) + ";\n";
+    src += "  reg [31:0] din" + std::to_string(i) + ";\n";
+  }
+
+  // Shared S-box input mux: SubBytes reads state bytes, the key schedule
+  // reads the rotated last key word (k13, k14, k15, k12).
+  src += "\n  reg [7:0] sbox_in;\n  always @(*) begin\n"
+         "    if (phase == 3'd2) begin\n      case (bytecnt)\n";
+  for (int i = 0; i < 16; ++i)
+    src += "        4'd" + std::to_string(i) + ": sbox_in = " + S(i) + ";\n";
+  src += "        default: sbox_in = 8'h0;\n      endcase\n"
+         "    end else begin\n      case (bytecnt)\n"
+         "        4'd0: sbox_in = k13;\n"
+         "        4'd1: sbox_in = k14;\n"
+         "        4'd2: sbox_in = k15;\n"
+         "        default: sbox_in = k12;\n      endcase\n    end\n  end\n";
+
+  // The S-box ROM (combinational case; generated from the golden model).
+  src += "\n  reg [7:0] sbox_out;\n  always @(*) begin\n    case (sbox_in)\n";
+  for (int i = 0; i < 256; ++i)
+    src += "      " + Hex8(static_cast<uint8_t>(i)) + ": sbox_out = " +
+           Hex8(sbox[i]) + ";\n";
+  src += "      default: sbox_out = 8'h0;\n    endcase\n  end\n";
+
+  // xtime() of every state byte for MixColumns, and of rcon.
+  for (int i = 0; i < 16; ++i) {
+    src += "  wire [7:0] xt" + std::to_string(i) + " = {" + S(i) +
+           "[6:0], 1'b0} ^ (" + S(i) + "[7] ? 8'h1b : 8'h00);\n";
+  }
+  src += "  wire [7:0] rcon_next = {rcon[6:0], 1'b0} ^ "
+         "(rcon[7] ? 8'h1b : 8'h00);\n";
+
+  // Next round key bytes (KSX step): word 0 = old word 0 ^ SubWord(RotWord
+  // (word 3)) ^ rcon; words 1..3 chain.
+  src += "  wire [7:0] nk0 = k0 ^ t0 ^ rcon;\n";
+  for (int i = 1; i < 4; ++i)
+    src += "  wire [7:0] nk" + std::to_string(i) + " = k" + std::to_string(i) +
+           " ^ t" + std::to_string(i) + ";\n";
+  for (int i = 4; i < 16; ++i)
+    src += "  wire [7:0] nk" + std::to_string(i) + " = k" + std::to_string(i) +
+           " ^ nk" + std::to_string(i - 4) + ";\n";
+
+  src += R"(
+  always @(posedge clk) begin
+    if (rst) begin
+      busy <= 1'b0;
+      done <= 1'b0;
+      irq_en <= 1'b0;
+      phase <= 3'd0;
+      round <= 4'h0;
+      bytecnt <= 4'h0;
+      rcon <= 8'h01;
+    end else begin
+      case (phase)
+        3'd1: begin  // ARK0: initial AddRoundKey
+)";
+  for (int i = 0; i < 16; ++i)
+    src += "          " + S(i) + " <= " + S(i) + " ^ " + K(i) + ";\n";
+  src += R"(
+          round <= 4'h1;
+          phase <= 3'd2;
+          bytecnt <= 4'h0;
+        end
+        3'd2: begin  // SUB: one S-box lookup per cycle
+          case (bytecnt)
+)";
+  for (int i = 0; i < 16; ++i)
+    src += "            4'd" + std::to_string(i) + ": " + S(i) +
+           " <= sbox_out;\n";
+  src += R"(
+          endcase
+          if (bytecnt == 4'd15) begin
+            phase <= 3'd3;
+            bytecnt <= 4'h0;
+          end else begin
+            bytecnt <= bytecnt + 4'h1;
+          end
+        end
+        3'd3: begin  // SHIFT: ShiftRows permutation
+)";
+  // new s[r + 4c] = old s[r + 4*((c + r) % 4)]
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c)
+      src += "          " + S(r + 4 * c) + " <= " + S(r + 4 * ((c + r) % 4)) +
+             ";\n";
+  src += R"(
+          phase <= (round == 4'd10) ? 3'd5 : 3'd4;
+        end
+        3'd4: begin  // MIX: MixColumns on all four columns
+)";
+  for (int c = 0; c < 4; ++c) {
+    const int b = 4 * c;
+    auto sb = [&](int r) { return S(b + (r % 4)); };
+    auto xb = [&](int r) { return "xt" + std::to_string(b + (r % 4)); };
+    for (int r = 0; r < 4; ++r) {
+      // b_r = 2*a_r ^ 3*a_{r+1} ^ a_{r+2} ^ a_{r+3}
+      src += "          " + S(b + r) + " <= " + xb(r) + " ^ (" + xb(r + 1) +
+             " ^ " + sb(r + 1) + ") ^ " + sb(r + 2) + " ^ " + sb(r + 3) +
+             ";\n";
+    }
+  }
+  src += R"(
+          phase <= 3'd5;
+        end
+        3'd5: begin  // KS: four S-box lookups for the key schedule
+          case (bytecnt)
+            4'd0: t0 <= sbox_out;
+            4'd1: t1 <= sbox_out;
+            4'd2: t2 <= sbox_out;
+            default: t3 <= sbox_out;
+          endcase
+          if (bytecnt == 4'd3) begin
+            phase <= 3'd6;
+            bytecnt <= 4'h0;
+          end else begin
+            bytecnt <= bytecnt + 4'h1;
+          end
+        end
+        3'd6: begin  // KSX: commit the next round key
+)";
+  for (int i = 0; i < 16; ++i)
+    src += "          " + K(i) + " <= nk" + std::to_string(i) + ";\n";
+  src += R"(
+          rcon <= rcon_next;
+          phase <= 3'd7;
+        end
+        3'd7: begin  // ARK: AddRoundKey (key regs committed last cycle)
+)";
+  for (int i = 0; i < 16; ++i)
+    src += "          " + S(i) + " <= " + S(i) + " ^ " + K(i) + ";\n";
+  src += R"(
+          if (round == 4'd10) begin
+            phase <= 3'd0;
+            busy <= 1'b0;
+            done <= 1'b1;
+          end else begin
+            round <= round + 4'h1;
+            phase <= 3'd2;
+            bytecnt <= 4'h0;
+          end
+        end
+      endcase
+
+      if (sel && wr) begin
+        case (addr)
+          8'h00: begin
+            irq_en <= wdata[1];
+            if (wdata[0] && !busy) begin
+              busy <= 1'b1;
+              done <= 1'b0;
+              phase <= 3'd1;
+              round <= 4'h0;
+              rcon <= 8'h01;
+)";
+  // Load state and key bytes from the word buffers (big-endian words).
+  for (int i = 0; i < 16; ++i) {
+    const int word = i / 4, byte = i % 4, hi = 31 - 8 * byte;
+    src += "              " + S(i) + " <= din" + std::to_string(word) + "[" +
+           std::to_string(hi) + ":" + std::to_string(hi - 7) + "];\n";
+    src += "              " + K(i) + " <= key_buf" + std::to_string(word) +
+           "[" + std::to_string(hi) + ":" + std::to_string(hi - 7) + "];\n";
+  }
+  src += R"(
+            end
+          end
+          8'h04: done <= 1'b0;
+)";
+  for (int i = 0; i < 4; ++i) {
+    src += "          " + HexAddr(0x10 + 4 * i) + ": key_buf" +
+           std::to_string(i) + " <= wdata;\n";
+    src += "          " + HexAddr(0x20 + 4 * i) + ": din" + std::to_string(i) +
+           " <= wdata;\n";
+  }
+  src += R"(
+        endcase
+      end
+    end
+  end
+
+  // Result is observed directly from the state registers once done.
+)";
+  for (int w = 0; w < 4; ++w) {
+    src += "  wire [31:0] result" + std::to_string(w) + " = {" + S(4 * w) +
+           ", " + S(4 * w + 1) + ", " + S(4 * w + 2) + ", " + S(4 * w + 3) +
+           "};\n";
+  }
+  src += R"(
+  reg [31:0] rdata_mux;
+  always @(*) begin
+    case (addr)
+      8'h00: rdata_mux = {30'h0, irq_en, 1'b0};
+      8'h04: rdata_mux = {30'h0, done, busy};
+)";
+  for (int i = 0; i < 4; ++i) {
+    src += "      " + HexAddr(0x10 + 4 * i) + ": rdata_mux = key_buf" +
+           std::to_string(i) + ";\n";
+    src += "      " + HexAddr(0x20 + 4 * i) + ": rdata_mux = din" +
+           std::to_string(i) + ";\n";
+    src += "      " + HexAddr(0x30 + 4 * i) + ": rdata_mux = result" +
+           std::to_string(i) + ";\n";
+  }
+  src += R"(
+      default: rdata_mux = 32'h0;
+    endcase
+  end
+  assign rdata = rdata_mux;
+  assign irq = done && irq_en;
+endmodule
+)";
+  return src;
+}
+
+PeripheralInfo Aes128Peripheral() {
+  return PeripheralInfo{"hs_aes128", "u_aes", Aes128Verilog(), 2, 2};
+}
+
+}  // namespace hardsnap::periph

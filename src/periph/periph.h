@@ -1,0 +1,113 @@
+// Peripheral corpus (paper Sec. V: "a corpus of 4 synthetic real world and
+// open-source peripherals ... common on embedded systems and [with]
+// different design complexities").
+//
+// Every peripheral is authored in the HardSnap Verilog subset and exposes
+// the same simple synchronous register bus, which the bus layer adapts to
+// AXI4-Lite:
+//
+//   input  clk, rst
+//   input  sel            address decode hit (owned by the interconnect)
+//   input  wr             write strobe   (sel && wr: commit wdata at edge)
+//   input  rd             read strobe    (sel && rd: read side effects,
+//                                         e.g. FIFO pop, commit at edge)
+//   input  [7:0]  addr    byte offset within the peripheral's 256 B region
+//   input  [31:0] wdata
+//   output [31:0] rdata   combinational readback
+//   output irq            level interrupt
+//
+// The corpus, in increasing state size:
+//   hs_timer   down-counter with prescaler and auto-reload   (~100 bits)
+//   hs_uart    8N1 serial port, 8-deep TX/RX FIFOs, loopback (~300 bits)
+//   hs_aes128  byte-serial AES-128 encryption accelerator    (~700 bits)
+//   hs_sha256  SHA-256 accelerator, 1 round/cycle            (~1400 bits)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hardsnap::periph {
+
+// Verilog source of each core (top module name matches the function name).
+std::string TimerVerilog();     // module hs_timer
+std::string UartVerilog();      // module hs_uart
+std::string Sha256Verilog();    // module hs_sha256
+std::string Aes128Verilog();    // module hs_aes128
+std::string WatchdogVerilog();  // module hs_watchdog (extension IP)
+
+struct PeripheralInfo {
+  std::string name;        // module name, e.g. "hs_timer"
+  std::string instance;    // instance name in the SoC, e.g. "u_timer"
+  std::string verilog;     // module source
+  uint32_t region = 0;     // SoC address region index (addr[15:8])
+  unsigned irq_line = 0;   // bit index in the SoC irq vector
+};
+
+PeripheralInfo TimerPeripheral();
+PeripheralInfo UartPeripheral();
+PeripheralInfo Sha256Peripheral();
+PeripheralInfo Aes128Peripheral();
+PeripheralInfo WatchdogPeripheral();  // region 4, irq line 4
+
+// All four, with their default regions (timer=0, uart=1, aes=2, sha=3).
+std::vector<PeripheralInfo> DefaultCorpus();
+
+// The four defaults plus the windowed watchdog (region 4).
+std::vector<PeripheralInfo> ExtendedCorpus();
+
+// Generate a single flat SoC wrapping the given peripherals behind an
+// address decoder:
+//   module soc(input clk, input rst, input sel, input wr, input rd,
+//              input [15:0] addr, input [31:0] wdata,
+//              output [31:0] rdata, output [NIRQ-1:0] irq);
+// Region i (addr[15:8] == region) routes to peripheral i. The returned
+// string contains all module sources plus the generated top.
+std::string BuildSoc(const std::vector<PeripheralInfo>& peripherals);
+
+// --- register maps ----------------------------------------------------------
+namespace timer_regs {
+inline constexpr uint32_t kCtrl = 0x00;    // [0] enable [1] irq_en [2] reload
+inline constexpr uint32_t kLoad = 0x04;    // write: load value + reset count
+inline constexpr uint32_t kPrescale = 0x08;
+inline constexpr uint32_t kStatus = 0x0c;  // [0] expired; write to clear
+inline constexpr uint32_t kValue = 0x10;   // current count (read-only)
+}  // namespace timer_regs
+
+namespace uart_regs {
+inline constexpr uint32_t kCtrl = 0x00;    // [15:0] divisor [16] loopback
+                                           // [17] irq_en_rx [18] irq_en_tx
+inline constexpr uint32_t kStatus = 0x04;  // [0] tx_full [1] tx_empty
+                                           // [2] rx_avail [3] overrun
+                                           // [7:4] rx_cnt [11:8] tx_cnt
+inline constexpr uint32_t kTx = 0x08;      // write: push TX FIFO
+inline constexpr uint32_t kRx = 0x0c;      // read: pop RX FIFO
+}  // namespace uart_regs
+
+namespace aes_regs {
+inline constexpr uint32_t kCtrl = 0x00;    // [0] start [1] irq_en
+inline constexpr uint32_t kStatus = 0x04;  // [0] busy [1] done; write clears
+inline constexpr uint32_t kKey0 = 0x10;    // key words, big-endian word 0..3
+inline constexpr uint32_t kIn0 = 0x20;     // plaintext words
+inline constexpr uint32_t kOut0 = 0x30;    // ciphertext words (read-only)
+}  // namespace aes_regs
+
+namespace sha_regs {
+inline constexpr uint32_t kCtrl = 0x00;    // [0] start [1] irq_en [2] init
+inline constexpr uint32_t kStatus = 0x04;  // [0] busy [1] done; write clears
+inline constexpr uint32_t kWord0 = 0x40;   // 16 message words 0x40..0x7c
+inline constexpr uint32_t kDigest0 = 0x80; // 8 digest words (read-only)
+}  // namespace sha_regs
+
+namespace wdog_regs {
+inline constexpr uint32_t kCtrl = 0x00;     // [0] enable [1] irq_en
+inline constexpr uint32_t kTimeout = 0x04;  // countdown reload
+inline constexpr uint32_t kWindow = 0x08;   // kick allowed when count < window
+inline constexpr uint32_t kKick = 0x0c;     // write 0x5afe inside the window
+inline constexpr uint32_t kStatus = 0x10;   // [0] barked [1] reset_req
+                                            // [2] bad_kick; write clears
+inline constexpr uint32_t kCount = 0x14;    // read-only
+inline constexpr uint32_t kKickMagic = 0x5afe;
+}  // namespace wdog_regs
+
+}  // namespace hardsnap::periph

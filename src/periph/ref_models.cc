@@ -1,0 +1,205 @@
+#include "periph/ref_models.h"
+
+#include <cmath>
+
+namespace hardsnap::periph::ref {
+
+namespace {
+
+// GF(2^8) multiply, AES polynomial x^8 + x^4 + x^3 + x + 1 (0x11b).
+uint8_t GfMul(uint8_t a, uint8_t b) {
+  uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p ^= a;
+    const bool hi = a & 0x80;
+    a = static_cast<uint8_t>(a << 1);
+    if (hi) a ^= 0x1b;
+    b >>= 1;
+  }
+  return p;
+}
+
+uint8_t GfInverse(uint8_t x) {
+  if (x == 0) return 0;
+  // x^254 by square-and-multiply (Fermat in GF(2^8)).
+  uint8_t result = 1, base = x;
+  int e = 254;
+  while (e) {
+    if (e & 1) result = GfMul(result, base);
+    base = GfMul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+uint8_t RotL8(uint8_t v, int n) {
+  return static_cast<uint8_t>((v << n) | (v >> (8 - n)));
+}
+
+uint32_t RotR32(uint32_t v, int n) { return (v >> n) | (v << (32 - n)); }
+
+bool IsPrime(int n) {
+  for (int d = 2; d * d <= n; ++d)
+    if (n % d == 0) return false;
+  return n >= 2;
+}
+
+}  // namespace
+
+const std::array<uint8_t, 256>& AesSbox() {
+  static const std::array<uint8_t, 256> table = [] {
+    std::array<uint8_t, 256> t{};
+    for (int x = 0; x < 256; ++x) {
+      uint8_t b = GfInverse(static_cast<uint8_t>(x));
+      t[x] = static_cast<uint8_t>(b ^ RotL8(b, 1) ^ RotL8(b, 2) ^
+                                  RotL8(b, 3) ^ RotL8(b, 4) ^ 0x63);
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::array<uint8_t, 176> AesKeyExpand(const std::array<uint8_t, 16>& key) {
+  std::array<uint8_t, 176> w{};
+  const auto& sbox = AesSbox();
+  for (int i = 0; i < 16; ++i) w[i] = key[i];
+  uint8_t rcon = 1;
+  for (int i = 16; i < 176; i += 4) {
+    uint8_t t[4] = {w[i - 4], w[i - 3], w[i - 2], w[i - 1]};
+    if (i % 16 == 0) {
+      // RotWord + SubWord + Rcon.
+      uint8_t tmp = t[0];
+      t[0] = static_cast<uint8_t>(sbox[t[1]] ^ rcon);
+      t[1] = sbox[t[2]];
+      t[2] = sbox[t[3]];
+      t[3] = sbox[tmp];
+      rcon = GfMul(rcon, 2);
+    }
+    for (int j = 0; j < 4; ++j) w[i + j] = static_cast<uint8_t>(w[i - 16 + j] ^ t[j]);
+  }
+  return w;
+}
+
+std::array<uint8_t, 16> Aes128Encrypt(const std::array<uint8_t, 16>& key,
+                                      const std::array<uint8_t, 16>& pt) {
+  const auto& sbox = AesSbox();
+  const auto rk = AesKeyExpand(key);
+  std::array<uint8_t, 16> s = pt;
+
+  auto add_round_key = [&](int round) {
+    for (int i = 0; i < 16; ++i) s[i] ^= rk[16 * round + i];
+  };
+  auto sub_bytes = [&] {
+    for (auto& b : s) b = sbox[b];
+  };
+  auto shift_rows = [&] {
+    std::array<uint8_t, 16> t = s;
+    // state[r][c] = s[r + 4c]; row r rotates left by r columns.
+    for (int r = 0; r < 4; ++r)
+      for (int c = 0; c < 4; ++c) t[r + 4 * c] = s[r + 4 * ((c + r) % 4)];
+    s = t;
+  };
+  auto mix_columns = [&] {
+    for (int c = 0; c < 4; ++c) {
+      uint8_t a0 = s[4 * c], a1 = s[4 * c + 1], a2 = s[4 * c + 2],
+              a3 = s[4 * c + 3];
+      s[4 * c + 0] = static_cast<uint8_t>(GfMul(a0, 2) ^ GfMul(a1, 3) ^ a2 ^ a3);
+      s[4 * c + 1] = static_cast<uint8_t>(a0 ^ GfMul(a1, 2) ^ GfMul(a2, 3) ^ a3);
+      s[4 * c + 2] = static_cast<uint8_t>(a0 ^ a1 ^ GfMul(a2, 2) ^ GfMul(a3, 3));
+      s[4 * c + 3] = static_cast<uint8_t>(GfMul(a0, 3) ^ a1 ^ a2 ^ GfMul(a3, 2));
+    }
+  };
+
+  add_round_key(0);
+  for (int round = 1; round <= 9; ++round) {
+    sub_bytes();
+    shift_rows();
+    mix_columns();
+    add_round_key(round);
+  }
+  sub_bytes();
+  shift_rows();
+  add_round_key(10);
+  return s;
+}
+
+const std::array<uint32_t, 64>& Sha256K() {
+  static const std::array<uint32_t, 64> table = [] {
+    std::array<uint32_t, 64> t{};
+    int count = 0;
+    for (int n = 2; count < 64; ++n) {
+      if (!IsPrime(n)) continue;
+      const long double root = cbrtl(static_cast<long double>(n));
+      const long double frac = root - floorl(root);
+      t[count++] = static_cast<uint32_t>(frac * 4294967296.0L);
+    }
+    return t;
+  }();
+  return table;
+}
+
+const std::array<uint32_t, 8>& Sha256H0() {
+  static const std::array<uint32_t, 8> table = [] {
+    std::array<uint32_t, 8> t{};
+    int count = 0;
+    for (int n = 2; count < 8; ++n) {
+      if (!IsPrime(n)) continue;
+      const long double root = sqrtl(static_cast<long double>(n));
+      const long double frac = root - floorl(root);
+      t[count++] = static_cast<uint32_t>(frac * 4294967296.0L);
+    }
+    return t;
+  }();
+  return table;
+}
+
+void Sha256Compress(std::array<uint32_t, 8>* state,
+                    const std::array<uint32_t, 16>& block) {
+  const auto& k = Sha256K();
+  uint32_t w[64];
+  for (int i = 0; i < 16; ++i) w[i] = block[i];
+  for (int i = 16; i < 64; ++i) {
+    const uint32_t s0 =
+        RotR32(w[i - 15], 7) ^ RotR32(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const uint32_t s1 =
+        RotR32(w[i - 2], 17) ^ RotR32(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  uint32_t a = (*state)[0], b = (*state)[1], c = (*state)[2], d = (*state)[3];
+  uint32_t e = (*state)[4], f = (*state)[5], g = (*state)[6], h = (*state)[7];
+  for (int i = 0; i < 64; ++i) {
+    const uint32_t S1 = RotR32(e, 6) ^ RotR32(e, 11) ^ RotR32(e, 25);
+    const uint32_t ch = (e & f) ^ (~e & g);
+    const uint32_t t1 = h + S1 + ch + k[i] + w[i];
+    const uint32_t S0 = RotR32(a, 2) ^ RotR32(a, 13) ^ RotR32(a, 22);
+    const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const uint32_t t2 = S0 + maj;
+    h = g; g = f; f = e; e = d + t1;
+    d = c; c = b; b = a; a = t1 + t2;
+  }
+  (*state)[0] += a; (*state)[1] += b; (*state)[2] += c; (*state)[3] += d;
+  (*state)[4] += e; (*state)[5] += f; (*state)[6] += g; (*state)[7] += h;
+}
+
+std::array<uint32_t, 8> Sha256(const std::vector<uint8_t>& msg) {
+  std::array<uint32_t, 8> state = Sha256H0();
+  std::vector<uint8_t> padded = msg;
+  const uint64_t bit_len = static_cast<uint64_t>(msg.size()) * 8;
+  padded.push_back(0x80);
+  while (padded.size() % 64 != 56) padded.push_back(0);
+  for (int i = 7; i >= 0; --i)
+    padded.push_back(static_cast<uint8_t>(bit_len >> (8 * i)));
+  for (size_t off = 0; off < padded.size(); off += 64) {
+    std::array<uint32_t, 16> block{};
+    for (int i = 0; i < 16; ++i) {
+      block[i] = (uint32_t{padded[off + 4 * i]} << 24) |
+                 (uint32_t{padded[off + 4 * i + 1]} << 16) |
+                 (uint32_t{padded[off + 4 * i + 2]} << 8) |
+                 uint32_t{padded[off + 4 * i + 3]};
+    }
+    Sha256Compress(&state, block);
+  }
+  return state;
+}
+
+}  // namespace hardsnap::periph::ref

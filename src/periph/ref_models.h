@@ -1,0 +1,42 @@
+// Golden software models of the crypto peripherals.
+//
+// Used three ways: (1) unit tests compare the RTL cores against these,
+// (2) the Verilog generators pull their constant tables from here so the
+// hardware and the model can never disagree on a constant, and (3) the
+// firmware-level examples check accelerator results against them.
+//
+// All tables are derived programmatically (AES S-box from GF(2^8)
+// inversion + affine map; SHA-256 K/H from the fractional parts of cube/
+// square roots of the first primes) rather than transcribed, eliminating
+// typo risk.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace hardsnap::periph::ref {
+
+// --- AES-128 -----------------------------------------------------------------
+const std::array<uint8_t, 256>& AesSbox();
+
+// Expand a 16-byte key into 11 round keys (176 bytes).
+std::array<uint8_t, 176> AesKeyExpand(const std::array<uint8_t, 16>& key);
+
+// Encrypt one block. Byte order follows FIPS-197: in[i] is state column-
+// major element r + 4c with r = i % 4, c = i / 4.
+std::array<uint8_t, 16> Aes128Encrypt(const std::array<uint8_t, 16>& key,
+                                      const std::array<uint8_t, 16>& pt);
+
+// --- SHA-256 -----------------------------------------------------------------
+const std::array<uint32_t, 64>& Sha256K();
+const std::array<uint32_t, 8>& Sha256H0();
+
+// Compress one 512-bit block (16 big-endian words) into `state`.
+void Sha256Compress(std::array<uint32_t, 8>* state,
+                    const std::array<uint32_t, 16>& block);
+
+// Full hash of an arbitrary byte message (padding included).
+std::array<uint32_t, 8> Sha256(const std::vector<uint8_t>& msg);
+
+}  // namespace hardsnap::periph::ref

@@ -1,0 +1,188 @@
+#include <cstdio>
+#include <string>
+
+#include "periph/periph.h"
+#include "periph/ref_models.h"
+
+namespace hardsnap::periph {
+
+namespace {
+
+std::string Hex32(uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "32'h%08x", v);
+  return buf;
+}
+
+// ror(x, n) for a 32-bit signal name.
+std::string Ror(const std::string& x, int n) {
+  return "{" + x + "[" + std::to_string(n - 1) + ":0], " + x + "[31:" +
+         std::to_string(n) + "]}";
+}
+
+}  // namespace
+
+// SHA-256 accelerator, one compression round per cycle (the classic
+// open-core microarchitecture: 8 working registers, a 16-word sliding
+// message-schedule window, a round counter indexing the K ROM).
+//
+// Usage: write CTRL.init to load the initial hash value, write the 16
+// message words (big-endian, pre-padded by software), write CTRL.start;
+// 64 cycles later STATUS.done rises (and irq if enabled) and the running
+// digest H has absorbed the block. Multi-block messages repeat without
+// re-init. The K table and H0 constants are generated from the same
+// functions the golden model uses.
+std::string Sha256Verilog() {
+  const auto& K = ref::Sha256K();
+  const auto& H0 = ref::Sha256H0();
+
+  std::string src;
+  src += R"(
+module hs_sha256(
+  input clk, input rst,
+  input sel, input wr, input rd,
+  input [7:0] addr, input [31:0] wdata,
+  output [31:0] rdata, output irq
+);
+  reg busy;
+  reg done;
+  reg irq_en;
+  reg [5:0] round;
+)";
+  // Digest registers h0..h7 and working registers wa..wh.
+  for (int i = 0; i < 8; ++i)
+    src += "  reg [31:0] h" + std::to_string(i) + ";\n";
+  for (char c = 'a'; c <= 'h'; ++c)
+    src += std::string("  reg [31:0] w") + c + ";\n";
+  // Message schedule window.
+  for (int i = 0; i < 16; ++i)
+    src += "  reg [31:0] m" + std::to_string(i) + ";\n";
+
+  // K ROM as a combinational case on the round counter.
+  src += "\n  reg [31:0] k_val;\n  always @(*) begin\n    case (round)\n";
+  for (int i = 0; i < 64; ++i)
+    src += "      6'd" + std::to_string(i) + ": k_val = " + Hex32(K[i]) +
+           ";\n";
+  src += "      default: k_val = 32'h0;\n    endcase\n  end\n";
+
+  // Round datapath.
+  src += "\n  wire [31:0] big_s1 = " + Ror("we", 6) + " ^ " + Ror("we", 11) +
+         " ^ " + Ror("we", 25) + ";\n";
+  src += "  wire [31:0] ch_efg = (we & wf) ^ (~we & wg);\n";
+  src += "  wire [31:0] t1 = wh + big_s1 + ch_efg + k_val + m0;\n";
+  src += "  wire [31:0] big_s0 = " + Ror("wa", 2) + " ^ " + Ror("wa", 13) +
+         " ^ " + Ror("wa", 22) + ";\n";
+  src += "  wire [31:0] maj_abc = (wa & wb) ^ (wa & wc) ^ (wb & wc);\n";
+  src += "  wire [31:0] t2 = big_s0 + maj_abc;\n";
+  src += "  wire [31:0] sig0 = " + Ror("m1", 7) + " ^ " + Ror("m1", 18) +
+         " ^ (m1 >> 3);\n";
+  src += "  wire [31:0] sig1 = " + Ror("m14", 17) + " ^ " + Ror("m14", 19) +
+         " ^ (m14 >> 10);\n";
+  src += "  wire [31:0] m_next = m0 + sig0 + m9 + sig1;\n";
+
+  src += R"(
+  always @(posedge clk) begin
+    if (rst) begin
+      busy <= 1'b0;
+      done <= 1'b0;
+      irq_en <= 1'b0;
+      round <= 6'h0;
+    end else begin
+      if (busy) begin
+        wh <= wg;
+        wg <= wf;
+        wf <= we;
+        we <= wd + t1;
+        wd <= wc;
+        wc <= wb;
+        wb <= wa;
+        wa <= t1 + t2;
+)";
+  for (int i = 0; i < 15; ++i)
+    src += "        m" + std::to_string(i) + " <= m" + std::to_string(i + 1) +
+           ";\n";
+  src += "        m15 <= m_next;\n";
+  src += R"(
+        if (round == 6'd63) begin
+          busy <= 1'b0;
+          done <= 1'b1;
+          h0 <= h0 + (t1 + t2);
+          h1 <= h1 + wa;
+          h2 <= h2 + wb;
+          h3 <= h3 + wc;
+          h4 <= h4 + (wd + t1);
+          h5 <= h5 + we;
+          h6 <= h6 + wf;
+          h7 <= h7 + wg;
+        end else begin
+          round <= round + 6'h1;
+        end
+      end
+      if (sel && wr) begin
+        case (addr)
+          8'h00: begin
+            irq_en <= wdata[1];
+            if (wdata[2]) begin
+)";
+  for (int i = 0; i < 8; ++i)
+    src += "              h" + std::to_string(i) + " <= " + Hex32(H0[i]) +
+           ";\n";
+  src += R"(
+              done <= 1'b0;
+            end
+            if (wdata[0] && !busy) begin
+              busy <= 1'b1;
+              done <= 1'b0;
+              round <= 6'h0;
+              wa <= h0;
+              wb <= h1;
+              wc <= h2;
+              wd <= h3;
+              we <= h4;
+              wf <= h5;
+              wg <= h6;
+              wh <= h7;
+            end
+          end
+          8'h04: done <= 1'b0;
+)";
+  for (int i = 0; i < 16; ++i) {
+    char addr_hex[8];
+    std::snprintf(addr_hex, sizeof addr_hex, "8'h%02x", 0x40 + 4 * i);
+    src += "          " + std::string(addr_hex) + ": m" + std::to_string(i) +
+           " <= wdata;\n";
+  }
+  src += R"(
+        endcase
+      end
+    end
+  end
+
+  reg [31:0] rdata_mux;
+  always @(*) begin
+    case (addr)
+      8'h00: rdata_mux = {30'h0, irq_en, 1'b0};
+      8'h04: rdata_mux = {30'h0, done, busy};
+)";
+  for (int i = 0; i < 8; ++i) {
+    char addr_hex[8];
+    std::snprintf(addr_hex, sizeof addr_hex, "8'h%02x", 0x80 + 4 * i);
+    src += "      " + std::string(addr_hex) + ": rdata_mux = h" +
+           std::to_string(i) + ";\n";
+  }
+  src += R"(
+      default: rdata_mux = 32'h0;
+    endcase
+  end
+  assign rdata = rdata_mux;
+  assign irq = done && irq_en;
+endmodule
+)";
+  return src;
+}
+
+PeripheralInfo Sha256Peripheral() {
+  return PeripheralInfo{"hs_sha256", "u_sha", Sha256Verilog(), 3, 3};
+}
+
+}  // namespace hardsnap::periph

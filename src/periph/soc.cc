@@ -1,0 +1,81 @@
+#include <cstdio>
+#include <string>
+
+#include "periph/periph.h"
+
+namespace hardsnap::periph {
+
+std::vector<PeripheralInfo> DefaultCorpus() {
+  return {TimerPeripheral(), UartPeripheral(), Aes128Peripheral(),
+          Sha256Peripheral()};
+}
+
+std::vector<PeripheralInfo> ExtendedCorpus() {
+  auto corpus = DefaultCorpus();
+  corpus.push_back(WatchdogPeripheral());
+  return corpus;
+}
+
+// Generate the flat SoC: one shared register bus, address decoded by
+// addr[15:8] (region index), per-peripheral irq lines collected into a
+// vector. UART serial pins are looped to the SoC boundary when present.
+std::string BuildSoc(const std::vector<PeripheralInfo>& peripherals) {
+  const size_t n = peripherals.size();
+  std::string src;
+  for (const auto& p : peripherals) src += p.verilog + "\n";
+
+  unsigned max_irq = 0;
+  for (const auto& p : peripherals)
+    if (p.irq_line > max_irq) max_irq = p.irq_line;
+  const unsigned irq_width = max_irq + 1;
+
+  bool has_uart = false;
+  for (const auto& p : peripherals)
+    if (p.name == "hs_uart") has_uart = true;
+
+  src += "module soc(\n"
+         "  input clk, input rst,\n"
+         "  input sel, input wr, input rd,\n"
+         "  input [15:0] addr, input [31:0] wdata,\n"
+         "  output [31:0] rdata,\n"
+         "  output [" + std::to_string(irq_width - 1) + ":0] irq";
+  if (has_uart) src += ",\n  input uart_rx, output uart_tx";
+  src += "\n);\n";
+
+  for (size_t i = 0; i < n; ++i) {
+    const auto& p = peripherals[i];
+    const std::string idx = std::to_string(i);
+    src += "  wire sel_" + idx + " = sel && (addr[15:8] == 8'd" +
+           std::to_string(p.region) + ");\n";
+    src += "  wire [31:0] rdata_" + idx + ";\n";
+    src += "  wire irq_" + idx + ";\n";
+    src += "  " + p.name + " " + p.instance + " (.clk(clk), .rst(rst), " +
+           ".sel(sel_" + idx + "), .wr(wr), .rd(rd), .addr(addr[7:0]), " +
+           ".wdata(wdata), .rdata(rdata_" + idx + "), .irq(irq_" + idx + ")";
+    if (p.name == "hs_uart") src += ", .rx(uart_rx), .tx(uart_tx)";
+    src += ");\n";
+  }
+
+  // Read-data mux: the selected peripheral's readback, else zero.
+  src += "  assign rdata = ";
+  for (size_t i = 0; i < n; ++i)
+    src += "sel_" + std::to_string(i) + " ? rdata_" + std::to_string(i) +
+           " : ";
+  src += "32'h0;\n";
+
+  // IRQ vector: OR of one-hot terms per peripheral.
+  const std::string w = std::to_string(irq_width);
+  src += "  assign irq = " + w + "'h0";
+  for (size_t i = 0; i < n; ++i) {
+    char mask[32];
+    std::snprintf(mask, sizeof mask, "%s'h%x", w.c_str(),
+                  1u << peripherals[i].irq_line);
+    src += " | (irq_" + std::to_string(i) + " ? " + mask + " : " + w +
+           "'h0)";
+  }
+  src += ";\n";
+  src += "endmodule\n";
+  return src;
+}
+
+}  // namespace hardsnap::periph

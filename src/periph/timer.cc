@@ -1,0 +1,99 @@
+#include "periph/periph.h"
+
+namespace hardsnap::periph {
+
+// Programmable down-counter: VALUE decrements once per prescaler rollover;
+// on reaching 1 it raises `expired` (sticky until STATUS write) and either
+// reloads from LOAD (auto-reload mode) or stops. The smallest corpus
+// member — the paper's "simple peripheral" data point.
+std::string TimerVerilog() {
+  return R"(
+module hs_timer(
+  input clk, input rst,
+  input sel, input wr, input rd,
+  input [7:0] addr, input [31:0] wdata,
+  output [31:0] rdata, output irq
+);
+  reg enable;
+  reg irq_en;
+  reg auto_reload;
+  reg expired;
+  reg [31:0] load_val;
+  reg [31:0] value;
+  reg [15:0] prescale;
+  reg [15:0] prescale_cnt;
+
+  wire tick_now = enable && (prescale_cnt == prescale);
+
+  always @(posedge clk) begin
+    if (rst) begin
+      enable <= 1'b0;
+      irq_en <= 1'b0;
+      auto_reload <= 1'b0;
+      expired <= 1'b0;
+      load_val <= 32'h0;
+      value <= 32'h0;
+      prescale <= 16'h0;
+      prescale_cnt <= 16'h0;
+    end else begin
+      if (enable) begin
+        if (tick_now) begin
+          prescale_cnt <= 16'h0;
+          if (value <= 32'h1) begin
+            expired <= 1'b1;
+            if (auto_reload) begin
+              value <= load_val;
+            end else begin
+              value <= 32'h0;
+              enable <= 1'b0;
+            end
+          end else begin
+            value <= value - 32'h1;
+          end
+        end else begin
+          prescale_cnt <= prescale_cnt + 16'h1;
+        end
+      end
+      // Bus writes win over the counting datapath (declared later in the
+      // block, so these non-blocking assignments take priority).
+      if (sel && wr) begin
+        case (addr)
+          8'h00: begin
+            enable <= wdata[0];
+            irq_en <= wdata[1];
+            auto_reload <= wdata[2];
+          end
+          8'h04: begin
+            load_val <= wdata;
+            value <= wdata;
+            prescale_cnt <= 16'h0;
+          end
+          8'h08: prescale <= wdata[15:0];
+          8'h0c: expired <= 1'b0;
+        endcase
+      end
+    end
+  end
+
+  reg [31:0] rdata_mux;
+  always @(*) begin
+    case (addr)
+      8'h00: rdata_mux = {29'h0, auto_reload, irq_en, enable};
+      8'h04: rdata_mux = load_val;
+      8'h08: rdata_mux = {16'h0, prescale};
+      8'h0c: rdata_mux = {31'h0, expired};
+      8'h10: rdata_mux = value;
+      default: rdata_mux = 32'h0;
+    endcase
+  end
+  assign rdata = rdata_mux;
+  assign irq = expired && irq_en;
+endmodule
+)";
+}
+
+PeripheralInfo TimerPeripheral() {
+  return PeripheralInfo{"hs_timer", "u_timer", TimerVerilog(), 0, 0};
+}
+
+}  // namespace hardsnap::periph

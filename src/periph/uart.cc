@@ -1,0 +1,210 @@
+#include "periph/periph.h"
+
+namespace hardsnap::periph {
+
+// 8N1 serial port with 8-deep TX/RX FIFOs, programmable divisor and a
+// line-level loopback mode (rx is driven from tx internally). Bit period
+// is divisor+1 clk cycles; the receiver confirms the start bit at half a
+// period and samples each data bit mid-eye. Divisors below 4 are not
+// supported (the sampler needs headroom).
+//
+// Interrupt: rx_avail (data waiting) gated by irq_en_rx, or tx FIFO empty
+// gated by irq_en_tx.
+std::string UartVerilog() {
+  return R"(
+module hs_uart(
+  input clk, input rst,
+  input sel, input wr, input rd,
+  input [7:0] addr, input [31:0] wdata,
+  output [31:0] rdata, output irq,
+  input rx, output tx
+);
+  reg [15:0] divisor;
+  reg loopback;
+  reg irq_en_rx;
+  reg irq_en_tx;
+  reg overrun;
+
+  // ---------------- TX ----------------
+  reg [7:0] tx_fifo [0:7];
+  reg [2:0] tx_rp;
+  reg [2:0] tx_wp;
+  reg [3:0] tx_cnt;
+  reg [9:0] tx_shift;
+  reg [3:0] tx_bits;
+  reg [15:0] tx_baud;
+  reg tx_active;
+  reg tx_line;
+
+  wire tx_full = tx_cnt == 4'd8;
+  wire tx_push = sel && wr && (addr == 8'h08) && !tx_full;
+  wire tx_pop = !tx_active && (tx_cnt != 4'd0);
+
+  always @(posedge clk) begin
+    if (rst) begin
+      tx_rp <= 3'h0;
+      tx_wp <= 3'h0;
+      tx_cnt <= 4'h0;
+      tx_shift <= 10'h3ff;
+      tx_bits <= 4'h0;
+      tx_baud <= 16'h0;
+      tx_active <= 1'b0;
+      tx_line <= 1'b1;
+    end else begin
+      if (tx_push) begin
+        tx_fifo[tx_wp] <= wdata[7:0];
+        tx_wp <= tx_wp + 3'h1;
+      end
+      if (tx_pop) begin
+        // frame = stop(1), data[7:0], start(0); shifted out LSB first
+        tx_shift <= {1'b1, tx_fifo[tx_rp], 1'b0};
+        tx_rp <= tx_rp + 3'h1;
+        tx_active <= 1'b1;
+        tx_bits <= 4'd10;
+        tx_baud <= divisor;  // emit the start bit on the next cycle
+      end
+      tx_cnt <= tx_cnt + {3'h0, tx_push} - {3'h0, tx_pop};
+      if (tx_active) begin
+        if (tx_baud == divisor) begin
+          tx_baud <= 16'h0;
+          if (tx_bits == 4'd0) begin
+            tx_active <= 1'b0;
+            tx_line <= 1'b1;
+          end else begin
+            tx_line <= tx_shift[0];
+            tx_shift <= {1'b1, tx_shift[9:1]};
+            tx_bits <= tx_bits - 4'h1;
+          end
+        end else begin
+          tx_baud <= tx_baud + 16'h1;
+        end
+      end
+    end
+  end
+
+  // ---------------- RX ----------------
+  wire rx_line = loopback ? tx_line : rx;
+
+  reg [7:0] rx_fifo [0:7];
+  reg [2:0] rx_rp;
+  reg [2:0] rx_wp;
+  reg [3:0] rx_cnt;
+  reg [7:0] rx_shift;
+  reg [3:0] rx_bits;
+  reg [15:0] rx_baud;
+  reg [1:0] rx_state;   // 0 idle, 1 start confirm, 2 data, 3 stop
+
+  wire rx_sample = (rx_state == 2'd2) && (rx_baud == divisor);
+  wire rx_byte_done = rx_sample && (rx_bits == 4'd7);
+  wire [7:0] rx_byte = {rx_line, rx_shift[7:1]};
+  wire rx_full = rx_cnt == 4'd8;
+  wire rx_push = rx_byte_done && !rx_full;
+  wire rx_avail = rx_cnt != 4'd0;
+  wire rx_pop = sel && rd && (addr == 8'h0c) && rx_avail;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      rx_rp <= 3'h0;
+      rx_wp <= 3'h0;
+      rx_cnt <= 4'h0;
+      rx_shift <= 8'h0;
+      rx_bits <= 4'h0;
+      rx_baud <= 16'h0;
+      rx_state <= 2'd0;
+      overrun <= 1'b0;
+      divisor <= 16'd15;
+      loopback <= 1'b0;
+      irq_en_rx <= 1'b0;
+      irq_en_tx <= 1'b0;
+    end else begin
+      case (rx_state)
+        2'd0: begin
+          if (rx_line == 1'b0) begin
+            rx_state <= 2'd1;
+            rx_baud <= 16'h0;
+          end
+        end
+        2'd1: begin
+          if (rx_baud == {1'b0, divisor[15:1]}) begin
+            if (rx_line == 1'b0) begin
+              rx_state <= 2'd2;
+              rx_baud <= 16'h0;
+              rx_bits <= 4'h0;
+            end else begin
+              rx_state <= 2'd0;  // glitch, not a real start bit
+            end
+          end else begin
+            rx_baud <= rx_baud + 16'h1;
+          end
+        end
+        2'd2: begin
+          if (rx_baud == divisor) begin
+            rx_baud <= 16'h0;
+            rx_shift <= {rx_line, rx_shift[7:1]};
+            if (rx_bits == 4'd7) begin
+              rx_state <= 2'd3;
+            end else begin
+              rx_bits <= rx_bits + 4'h1;
+            end
+          end else begin
+            rx_baud <= rx_baud + 16'h1;
+          end
+        end
+        2'd3: begin
+          if (rx_baud == divisor) begin
+            rx_state <= 2'd0;
+            rx_baud <= 16'h0;
+          end else begin
+            rx_baud <= rx_baud + 16'h1;
+          end
+        end
+      endcase
+      if (rx_push) begin
+        rx_fifo[rx_wp] <= rx_byte;
+        rx_wp <= rx_wp + 3'h1;
+      end
+      if (rx_byte_done && rx_full) begin
+        overrun <= 1'b1;
+      end
+      if (rx_pop) begin
+        rx_rp <= rx_rp + 3'h1;
+      end
+      rx_cnt <= rx_cnt + {3'h0, rx_push} - {3'h0, rx_pop};
+
+      // bus writes
+      if (sel && wr) begin
+        case (addr)
+          8'h00: begin
+            divisor <= wdata[15:0];
+            loopback <= wdata[16];
+            irq_en_rx <= wdata[17];
+            irq_en_tx <= wdata[18];
+          end
+          8'h04: overrun <= 1'b0;
+        endcase
+      end
+    end
+  end
+
+  reg [31:0] rdata_mux;
+  always @(*) begin
+    case (addr)
+      8'h00: rdata_mux = {13'h0, irq_en_tx, irq_en_rx, loopback, divisor};
+      8'h04: rdata_mux = {20'h0, tx_cnt, rx_cnt, overrun, rx_avail,
+                          tx_cnt == 4'd0, tx_full};
+      8'h0c: rdata_mux = {24'h0, rx_fifo[rx_rp]};
+      default: rdata_mux = 32'h0;
+    endcase
+  end
+  assign rdata = rdata_mux;
+  assign irq = (irq_en_rx && rx_avail) || (irq_en_tx && (tx_cnt == 4'd0));
+  assign tx = tx_line;
+endmodule
+)";
+}
+
+PeripheralInfo UartPeripheral() {
+  return PeripheralInfo{"hs_uart", "u_uart", UartVerilog(), 1, 1};
+}
+
+}  // namespace hardsnap::periph

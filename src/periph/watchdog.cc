@@ -1,0 +1,109 @@
+#include "periph/periph.h"
+
+namespace hardsnap::periph {
+
+// Windowed watchdog timer: firmware must kick (write the magic word to
+// KICK) no earlier than the window-open threshold and no later than the
+// timeout; kicking too early or timing out raises the bark interrupt and
+// latches a reset request. A classic safety peripheral whose *statefulness
+// across inputs* is exactly what makes snapshot-free fuzzing unsound: one
+// test case's missed kick trips the dog for every later test case.
+//
+// Register map:
+//   0x00 CTRL    [0] enable [1] irq_en   (write)
+//   0x04 TIMEOUT 32-bit countdown reload  (write)
+//   0x08 WINDOW  count below which kicking is allowed (write)
+//   0x0c KICK    write 0x5afe to service; anything else = bad kick
+//   0x10 STATUS  [0] barked [1] reset_req [2] bad_kick; write clears
+//   0x14 COUNT   current countdown (read-only)
+std::string WatchdogVerilog() {
+  return R"(
+module hs_watchdog(
+  input clk, input rst,
+  input sel, input wr, input rd,
+  input [7:0] addr, input [31:0] wdata,
+  output [31:0] rdata, output irq
+);
+  reg enable;
+  reg irq_en;
+  reg barked;
+  reg reset_req;
+  reg bad_kick;
+  reg [31:0] timeout;
+  reg [31:0] count;
+  reg [31:0] window;
+
+  wire kick_write = sel && wr && (addr == 8'h0c);
+  wire kick_good = kick_write && (wdata == 32'h00005afe) && (count < window);
+  wire kick_bad = kick_write && ((wdata != 32'h00005afe) || (count >= window));
+
+  always @(posedge clk) begin
+    if (rst) begin
+      enable <= 1'b0;
+      irq_en <= 1'b0;
+      barked <= 1'b0;
+      reset_req <= 1'b0;
+      bad_kick <= 1'b0;
+      timeout <= 32'hffffffff;
+      count <= 32'hffffffff;
+      window <= 32'h0;
+    end else begin
+      if (enable) begin
+        if (count == 32'h0) begin
+          barked <= 1'b1;
+          reset_req <= 1'b1;
+          count <= timeout;
+        end else begin
+          count <= count - 32'h1;
+        end
+      end
+      if (kick_good) begin
+        count <= timeout;
+      end
+      if (kick_bad) begin
+        bad_kick <= 1'b1;
+        barked <= 1'b1;
+      end
+      if (sel && wr) begin
+        case (addr)
+          8'h00: begin
+            enable <= wdata[0];
+            irq_en <= wdata[1];
+          end
+          8'h04: begin
+            timeout <= wdata;
+            count <= wdata;
+          end
+          8'h08: window <= wdata;
+          8'h10: begin
+            barked <= 1'b0;
+            reset_req <= 1'b0;
+            bad_kick <= 1'b0;
+          end
+        endcase
+      end
+    end
+  end
+
+  reg [31:0] rdata_mux;
+  always @(*) begin
+    case (addr)
+      8'h00: rdata_mux = {30'h0, irq_en, enable};
+      8'h04: rdata_mux = timeout;
+      8'h08: rdata_mux = window;
+      8'h10: rdata_mux = {29'h0, bad_kick, reset_req, barked};
+      8'h14: rdata_mux = count;
+      default: rdata_mux = 32'h0;
+    endcase
+  end
+  assign rdata = rdata_mux;
+  assign irq = barked && irq_en;
+endmodule
+)";
+}
+
+PeripheralInfo WatchdogPeripheral() {
+  return PeripheralInfo{"hs_watchdog", "u_wdog", WatchdogVerilog(), 4, 4};
+}
+
+}  // namespace hardsnap::periph

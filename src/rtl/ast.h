@@ -1,0 +1,162 @@
+// Abstract syntax tree for the HardSnap Verilog subset.
+//
+// The AST is a faithful, unelaborated representation of the source: widths
+// are expressions (they may reference parameters), instances are not
+// flattened, and always-blocks keep their statement structure. The
+// elaborator (elaborate.h) lowers this to the flat rtl::Design IR.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hardsnap::rtl::ast {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : uint8_t {
+  kNumber,       // value, width (-1 = unsized)
+  kIdent,        // name
+  kIndex,        // base[index]       (bit-select or memory word select)
+  kRange,        // base[msb:lsb]     (constant part-select)
+  kUnary,        // op arg0
+  kBinary,       // arg0 op arg1
+  kTernary,      // arg0 ? arg1 : arg2
+  kConcat,       // {arg0, arg1, ...}
+  kReplicate,    // {count{arg0}}
+  kSigned,       // $signed(arg0) — marks operand signed for compares/shifts
+};
+
+// Operator spellings reused from the token text for diagnostics.
+enum class UnOp : uint8_t { kNot, kNeg, kRedAnd, kRedOr, kRedXor, kLogicNot, kPlus };
+enum class BinOp : uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod, kPow,
+  kAnd, kOr, kXor,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kShl, kShr, kShrA,
+  kLogicAnd, kLogicOr,
+};
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+  // kNumber
+  uint64_t value = 0;
+  int number_width = -1;
+  // kIdent / kIndex / kRange base name
+  std::string name;
+  // operators
+  UnOp un_op = UnOp::kNot;
+  BinOp bin_op = BinOp::kAdd;
+  // children: kIndex -> {index}; kRange -> {msb, lsb}; kReplicate ->
+  // {count, body}; others positional.
+  std::vector<ExprPtr> args;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : uint8_t {
+  kBlock,       // begin ... end
+  kIf,          // if (cond) then_stmt [else else_stmt]
+  kCase,        // case (subject) items... [default] endcase
+  kAssign,      // lvalue (= | <=) rhs
+};
+
+// An lvalue: identifier with optional single index or constant range.
+struct LValue {
+  std::string name;
+  ExprPtr index;       // non-null for name[index]
+  ExprPtr range_msb;   // non-null (with range_lsb) for name[msb:lsb]
+  ExprPtr range_lsb;
+  int line = 0;
+};
+
+struct CaseItem {
+  std::vector<ExprPtr> labels;  // empty = default
+  StmtPtr body;
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+  // kBlock
+  std::vector<StmtPtr> body;
+  // kIf
+  ExprPtr cond;
+  StmtPtr then_stmt;
+  StmtPtr else_stmt;
+  // kCase
+  ExprPtr subject;
+  std::vector<CaseItem> items;
+  // kAssign
+  LValue lhs;
+  ExprPtr rhs;
+  bool non_blocking = false;
+};
+
+enum class NetKind : uint8_t { kWire, kReg };
+enum class PortDir : uint8_t { kInput, kOutput };
+
+struct NetDecl {
+  NetKind net = NetKind::kWire;
+  bool is_port = false;
+  PortDir dir = PortDir::kInput;
+  std::string name;
+  ExprPtr msb, lsb;          // null = 1-bit
+  ExprPtr mem_msb, mem_lsb;  // non-null = memory (reg [..] name [msb:lsb])
+  ExprPtr init;              // optional `wire x = expr` shorthand
+  int line = 0;
+};
+
+struct ParamDecl {
+  std::string name;
+  ExprPtr value;
+  int line = 0;
+};
+
+struct ContAssign {
+  LValue lhs;
+  ExprPtr rhs;
+  int line = 0;
+};
+
+enum class SensKind : uint8_t { kPosedgeClock, kCombinational };
+
+struct AlwaysBlock {
+  SensKind sens = SensKind::kCombinational;
+  std::string clock_name;  // for kPosedgeClock
+  StmtPtr body;
+  int line = 0;
+};
+
+struct PortConn {
+  std::string port;
+  ExprPtr expr;  // null = unconnected
+};
+
+struct Instance {
+  std::string module_name;
+  std::string instance_name;
+  std::vector<ParamDecl> param_overrides;  // #(.P(expr), ...)
+  std::vector<PortConn> conns;
+  int line = 0;
+};
+
+struct Module {
+  std::string name;
+  std::vector<ParamDecl> params;     // header + body parameters
+  std::vector<NetDecl> nets;         // ports first, in declaration order
+  std::vector<ContAssign> assigns;
+  std::vector<AlwaysBlock> always;
+  std::vector<Instance> instances;
+  int line = 0;
+};
+
+struct SourceUnit {
+  std::vector<Module> modules;
+};
+
+}  // namespace hardsnap::rtl::ast

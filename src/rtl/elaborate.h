@@ -1,0 +1,49 @@
+// Elaboration: AST -> flat rtl::Design.
+//
+// Responsibilities:
+//  * resolve parameters / localparams (including instance overrides);
+//  * evaluate ranges to concrete widths and memory depths;
+//  * flatten the instance hierarchy (child signals get "inst." prefixes);
+//  * lower always@(posedge clk) blocks into per-register next-state
+//    expressions (FlipFlop) and guarded memory write ports, implementing
+//    non-blocking-assignment semantics (RHS reads pre-edge values, the
+//    last assignment to a register in a block wins, partial-bit updates
+//    merge);
+//  * lower always@* blocks with blocking assignments into combinational
+//    assignments, rejecting latch inference (every target must be assigned
+//    on every path);
+//  * identify the clock ("clk") and reset ("rst"/"reset"/"rst_n" is not
+//    supported — reset is active-high synchronous) inputs of the top.
+//
+// Width rules (simplified but consistent Verilog-style semantics, see
+// README "HDL subset" for details): values are carried zero-extended in
+// 64-bit lanes; arithmetic results take max(operand widths) and wrap;
+// unsized literals are 32 bits wide; assignment truncates or zero-extends
+// to the target width; comparisons are unsigned unless an operand is
+// wrapped in $signed(); >>> is an arithmetic shift of its left operand.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "rtl/ast.h"
+#include "rtl/ir.h"
+
+namespace hardsnap::rtl {
+
+struct ElaborateOptions {
+  std::string top;  // empty = last module in the source unit
+  std::map<std::string, uint64_t> param_overrides;
+};
+
+Result<Design> Elaborate(const ast::SourceUnit& unit,
+                         const ElaborateOptions& options = {});
+
+// Parse + elaborate in one step. `top` empty selects the last module.
+Result<Design> CompileVerilog(const std::string& source,
+                              const std::string& top = "",
+                              const std::map<std::string, uint64_t>&
+                                  param_overrides = {});
+
+}  // namespace hardsnap::rtl

@@ -1,0 +1,174 @@
+#include "rtl/lexer.h"
+
+#include <cctype>
+
+namespace hardsnap::rtl {
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$'; }
+
+Status LexError(int line, const std::string& msg) {
+  return ParseError("line " + std::to_string(line) + ": " + msg);
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& src) {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1;
+  const size_t n = src.size();
+
+  auto push = [&](Tok k) {
+    Token t;
+    t.kind = k;
+    t.line = line;
+    out.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n') { ++line; ++i; continue; }
+    if (std::isspace(static_cast<unsigned char>(c))) { ++i; continue; }
+    // comments
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) return LexError(line, "unterminated block comment");
+      i += 2;
+      continue;
+    }
+    // identifiers / keywords / system ids
+    if (IsIdentStart(c) || c == '$') {
+      size_t start = i;
+      ++i;
+      while (i < n && IsIdentChar(src[i])) ++i;
+      Token t;
+      t.kind = c == '$' ? Tok::kSystemId : Tok::kIdent;
+      t.text = src.substr(start, i - start);
+      t.line = line;
+      out.push_back(std::move(t));
+      continue;
+    }
+    // numbers: [size]'base digits  or plain decimal
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '\'') {
+      uint64_t size_part = 0;
+      bool have_size = false;
+      size_t start = i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(src[i])) || src[i] == '_')) {
+        if (src[i] != '_') {
+          size_part = size_part * 10 + static_cast<uint64_t>(src[i] - '0');
+          have_size = true;
+        }
+        ++i;
+      }
+      if (i < n && src[i] == '\'') {
+        ++i;
+        if (i >= n) return LexError(line, "truncated based literal");
+        char base = static_cast<char>(std::tolower(src[i]));
+        ++i;
+        int radix;
+        switch (base) {
+          case 'b': radix = 2; break;
+          case 'o': radix = 8; break;
+          case 'd': radix = 10; break;
+          case 'h': radix = 16; break;
+          default:
+            return LexError(line, std::string("bad number base '") + base + "'");
+        }
+        uint64_t value = 0;
+        bool any = false;
+        while (i < n) {
+          char d = src[i];
+          if (d == '_') { ++i; continue; }
+          int dv;
+          if (d >= '0' && d <= '9') dv = d - '0';
+          else if (d >= 'a' && d <= 'f') dv = d - 'a' + 10;
+          else if (d >= 'A' && d <= 'F') dv = d - 'A' + 10;
+          else break;
+          if (dv >= radix) break;
+          value = value * radix + static_cast<uint64_t>(dv);
+          any = true;
+          ++i;
+        }
+        if (!any) return LexError(line, "based literal with no digits");
+        Token t;
+        t.kind = Tok::kNumber;
+        t.value = value;
+        t.number_width = have_size ? static_cast<int>(size_part) : -1;
+        t.line = line;
+        if (have_size && (size_part < 1 || size_part > 64))
+          return LexError(line, "literal width must be 1..64");
+        out.push_back(std::move(t));
+        continue;
+      }
+      // plain decimal
+      if (!have_size) return LexError(line, "malformed number");
+      (void)start;
+      Token t;
+      t.kind = Tok::kNumber;
+      t.value = size_part;
+      t.number_width = -1;
+      t.line = line;
+      out.push_back(std::move(t));
+      continue;
+    }
+    // operators / punctuation
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < n && src[i + 1] == b;
+    };
+    if (two('<', '=')) { push(Tok::kNonBlocking); i += 2; continue; }
+    if (c == '<' && i + 1 < n && src[i + 1] == '<') { push(Tok::kShl); i += 2; continue; }
+    if (c == '>' && i + 2 < n && src[i + 1] == '>' && src[i + 2] == '>') { push(Tok::kShrA); i += 3; continue; }
+    if (two('>', '>')) { push(Tok::kShr); i += 2; continue; }
+    if (two('>', '=')) { push(Tok::kGe); i += 2; continue; }
+    if (two('=', '=')) { push(Tok::kEqEq); i += 2; continue; }
+    if (two('!', '=')) { push(Tok::kNotEq); i += 2; continue; }
+    if (two('&', '&')) { push(Tok::kAndAnd); i += 2; continue; }
+    if (two('|', '|')) { push(Tok::kOrOr); i += 2; continue; }
+    if (two('*', '*')) { push(Tok::kStar2); i += 2; continue; }
+    switch (c) {
+      case '(': push(Tok::kLParen); break;
+      case ')': push(Tok::kRParen); break;
+      case '[': push(Tok::kLBracket); break;
+      case ']': push(Tok::kRBracket); break;
+      case '{': push(Tok::kLBrace); break;
+      case '}': push(Tok::kRBrace); break;
+      case ',': push(Tok::kComma); break;
+      case ';': push(Tok::kSemicolon); break;
+      case ':': push(Tok::kColon); break;
+      case '.': push(Tok::kDot); break;
+      case '#': push(Tok::kHash); break;
+      case '@': push(Tok::kAt); break;
+      case '?': push(Tok::kQuestion); break;
+      case '=': push(Tok::kAssign); break;
+      case '+': push(Tok::kPlus); break;
+      case '-': push(Tok::kMinus); break;
+      case '*': push(Tok::kStar); break;
+      case '/': push(Tok::kSlash); break;
+      case '%': push(Tok::kPercent); break;
+      case '&': push(Tok::kAmp); break;
+      case '|': push(Tok::kPipe); break;
+      case '^': push(Tok::kCaret); break;
+      case '~': push(Tok::kTilde); break;
+      case '!': push(Tok::kBang); break;
+      case '<': push(Tok::kLt); break;
+      case '>': push(Tok::kGt); break;
+      default:
+        return LexError(line, std::string("unexpected character '") + c + "'");
+    }
+    ++i;
+  }
+  push(Tok::kEnd);
+  return out;
+}
+
+}  // namespace hardsnap::rtl

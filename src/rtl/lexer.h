@@ -1,0 +1,42 @@
+// Tokenizer for the HardSnap Verilog subset (see parser.h for the grammar).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hardsnap::rtl {
+
+enum class Tok : uint8_t {
+  kEnd,
+  kIdent,      // identifiers and keywords (parser distinguishes)
+  kNumber,     // sized or unsized literal; value + width in token
+  kSystemId,   // $signed etc.
+  // punctuation / operators
+  kLParen, kRParen, kLBracket, kRBracket, kLBrace, kRBrace,
+  kComma, kSemicolon, kColon, kDot, kHash, kAt, kQuestion,
+  kAssign,        // =
+  kNonBlocking,   // <=  (also unsigned less-equal; parser disambiguates)
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kTilde, kBang,
+  kAndAnd, kOrOr, kEqEq, kNotEq,
+  kLt, kGt, kGe,
+  kShl, kShr, kShrA,  // << >> >>>
+  kStar2,             // ** (power; only for constant expressions)
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;      // identifier text
+  uint64_t value = 0;    // number value
+  int number_width = -1; // -1 when unsized
+  int line = 0;
+};
+
+// Tokenize source. Strips // and /* */ comments. Numbers support
+// [width]'[bdh]digits with underscores, and plain decimals.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace hardsnap::rtl

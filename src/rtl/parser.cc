@@ -1,0 +1,553 @@
+#include "rtl/parser.h"
+
+#include <set>
+
+#include "rtl/lexer.h"
+
+namespace hardsnap::rtl {
+namespace {
+
+using namespace ast;
+
+const std::set<std::string> kKeywords = {
+    "module", "endmodule", "input", "output", "wire", "reg", "assign",
+    "always", "begin", "end", "if", "else", "case", "endcase", "default",
+    "posedge", "negedge", "parameter", "localparam", "or", "initial",
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Result<SourceUnit> Parse() {
+    SourceUnit unit;
+    while (!At(Tok::kEnd)) {
+      auto m = ParseModule();
+      if (!m.ok()) return m.status();
+      unit.modules.push_back(std::move(m).value());
+    }
+    if (unit.modules.empty()) return Err("no modules in source");
+    return unit;
+  }
+
+ private:
+  // --- token helpers -------------------------------------------------------
+  const Token& Cur() const { return toks_[pos_]; }
+  const Token& Peek(int k = 1) const {
+    size_t idx = pos_ + static_cast<size_t>(k);
+    return idx < toks_.size() ? toks_[idx] : toks_.back();
+  }
+  bool At(Tok k) const { return Cur().kind == k; }
+  bool AtKw(const char* kw) const {
+    return Cur().kind == Tok::kIdent && Cur().text == kw;
+  }
+  void Advance() { if (pos_ + 1 < toks_.size()) ++pos_; }
+  bool Eat(Tok k) {
+    if (!At(k)) return false;
+    Advance();
+    return true;
+  }
+  bool EatKw(const char* kw) {
+    if (!AtKw(kw)) return false;
+    Advance();
+    return true;
+  }
+
+  Status Err(const std::string& msg) const {
+    return ParseError("line " + std::to_string(Cur().line) + ": " + msg);
+  }
+  Status Expect(Tok k, const char* what) {
+    if (Eat(k)) return Status::Ok();
+    return Err(std::string("expected ") + what);
+  }
+  Result<std::string> ExpectIdent(const char* what) {
+    if (Cur().kind != Tok::kIdent || kKeywords.count(Cur().text))
+      return Err(std::string("expected ") + what);
+    std::string name = Cur().text;
+    Advance();
+    return name;
+  }
+
+  // --- module --------------------------------------------------------------
+  Result<Module> ParseModule() {
+    Module mod;
+    mod.line = Cur().line;
+    if (!EatKw("module")) return Err("expected 'module'");
+    HS_ASSIGN_OR_RETURN(mod.name, ExpectIdent("module name"));
+
+    if (Eat(Tok::kHash)) {
+      HS_RETURN_IF_ERROR(Expect(Tok::kLParen, "'(' after '#'"));
+      do {
+        // optional leading 'parameter' keyword
+        EatKw("parameter");
+        ParamDecl p;
+        p.line = Cur().line;
+        HS_ASSIGN_OR_RETURN(p.name, ExpectIdent("parameter name"));
+        HS_RETURN_IF_ERROR(Expect(Tok::kAssign, "'=' in parameter"));
+        HS_ASSIGN_OR_RETURN(p.value, ParseExpr());
+        mod.params.push_back(std::move(p));
+      } while (Eat(Tok::kComma));
+      HS_RETURN_IF_ERROR(Expect(Tok::kRParen, "')' after parameters"));
+    }
+
+    HS_RETURN_IF_ERROR(Expect(Tok::kLParen, "'(' for port list"));
+    if (!At(Tok::kRParen)) {
+      do {
+        HS_RETURN_IF_ERROR(ParseAnsiPort(&mod));
+      } while (Eat(Tok::kComma));
+    }
+    HS_RETURN_IF_ERROR(Expect(Tok::kRParen, "')' after ports"));
+    HS_RETURN_IF_ERROR(Expect(Tok::kSemicolon, "';' after module header"));
+
+    while (!EatKw("endmodule")) {
+      if (At(Tok::kEnd)) return Err("unexpected end of file inside module");
+      HS_RETURN_IF_ERROR(ParseItem(&mod));
+    }
+    return mod;
+  }
+
+  Status ParseAnsiPort(Module* mod) {
+    NetDecl d;
+    d.line = Cur().line;
+    d.is_port = true;
+    if (EatKw("input")) {
+      d.dir = PortDir::kInput;
+    } else if (EatKw("output")) {
+      d.dir = PortDir::kOutput;
+    } else {
+      return Err("expected 'input' or 'output' (ANSI port style required)");
+    }
+    if (EatKw("reg")) d.net = NetKind::kReg;
+    else { EatKw("wire"); d.net = NetKind::kWire; }
+    HS_RETURN_IF_ERROR(ParseOptionalRange(&d.msb, &d.lsb));
+    HS_ASSIGN_OR_RETURN(d.name, ExpectIdent("port name"));
+    mod->nets.push_back(std::move(d));
+    return Status::Ok();
+  }
+
+  Status ParseOptionalRange(ExprPtr* msb, ExprPtr* lsb) {
+    if (!Eat(Tok::kLBracket)) return Status::Ok();
+    HS_ASSIGN_OR_RETURN(*msb, ParseExpr());
+    HS_RETURN_IF_ERROR(Expect(Tok::kColon, "':' in range"));
+    HS_ASSIGN_OR_RETURN(*lsb, ParseExpr());
+    HS_RETURN_IF_ERROR(Expect(Tok::kRBracket, "']' after range"));
+    return Status::Ok();
+  }
+
+  // --- module items --------------------------------------------------------
+  Status ParseItem(Module* mod) {
+    if (AtKw("wire") || AtKw("reg")) return ParseNetDecl(mod);
+    if (AtKw("parameter") || AtKw("localparam")) return ParseParamDecl(mod);
+    if (AtKw("assign")) return ParseContAssign(mod);
+    if (AtKw("always")) return ParseAlways(mod);
+    if (AtKw("initial"))
+      return Err("'initial' blocks are not synthesizable in this subset");
+    if (Cur().kind == Tok::kIdent && !kKeywords.count(Cur().text))
+      return ParseInstance(mod);
+    return Err("unexpected token in module body");
+  }
+
+  Status ParseNetDecl(Module* mod) {
+    NetKind net = EatKw("reg") ? NetKind::kReg : (EatKw("wire"), NetKind::kWire);
+    ExprPtr msb, lsb;
+    HS_RETURN_IF_ERROR(ParseOptionalRange(&msb, &lsb));
+    bool first = true;
+    do {
+      NetDecl d;
+      d.line = Cur().line;
+      d.net = net;
+      if (msb) {
+        d.msb = CloneExpr(*msb);
+        d.lsb = CloneExpr(*lsb);
+      }
+      HS_ASSIGN_OR_RETURN(d.name, ExpectIdent("net name"));
+      // optional memory dimension: reg [7:0] mem [0:255];
+      if (At(Tok::kLBracket)) {
+        if (net != NetKind::kReg)
+          return Err("memory dimension only allowed on 'reg'");
+        HS_RETURN_IF_ERROR(ParseOptionalRange(&d.mem_msb, &d.mem_lsb));
+      } else if (Eat(Tok::kAssign)) {
+        if (net != NetKind::kWire)
+          return Err("initializer shorthand only allowed on 'wire'");
+        HS_ASSIGN_OR_RETURN(d.init, ParseExpr());
+      }
+      mod->nets.push_back(std::move(d));
+      first = false;
+    } while (Eat(Tok::kComma));
+    (void)first;
+    return Expect(Tok::kSemicolon, "';' after declaration");
+  }
+
+  Status ParseParamDecl(Module* mod) {
+    Advance();  // parameter | localparam
+    do {
+      ParamDecl p;
+      p.line = Cur().line;
+      HS_ASSIGN_OR_RETURN(p.name, ExpectIdent("parameter name"));
+      HS_RETURN_IF_ERROR(Expect(Tok::kAssign, "'=' in parameter"));
+      HS_ASSIGN_OR_RETURN(p.value, ParseExpr());
+      mod->params.push_back(std::move(p));
+    } while (Eat(Tok::kComma));
+    return Expect(Tok::kSemicolon, "';' after parameter");
+  }
+
+  Status ParseContAssign(Module* mod) {
+    Advance();  // assign
+    ContAssign ca;
+    ca.line = Cur().line;
+    HS_ASSIGN_OR_RETURN(ca.lhs, ParseLValue());
+    HS_RETURN_IF_ERROR(Expect(Tok::kAssign, "'=' in assign"));
+    HS_ASSIGN_OR_RETURN(ca.rhs, ParseExpr());
+    HS_RETURN_IF_ERROR(Expect(Tok::kSemicolon, "';' after assign"));
+    mod->assigns.push_back(std::move(ca));
+    return Status::Ok();
+  }
+
+  Status ParseAlways(Module* mod) {
+    AlwaysBlock ab;
+    ab.line = Cur().line;
+    Advance();  // always
+    HS_RETURN_IF_ERROR(Expect(Tok::kAt, "'@' after always"));
+    HS_RETURN_IF_ERROR(Expect(Tok::kLParen, "'(' after '@'"));
+    if (Eat(Tok::kStar)) {
+      ab.sens = SensKind::kCombinational;
+    } else if (EatKw("posedge")) {
+      ab.sens = SensKind::kPosedgeClock;
+      HS_ASSIGN_OR_RETURN(ab.clock_name, ExpectIdent("clock signal"));
+      if (AtKw("or"))
+        return Err("async resets are unsupported; use synchronous reset");
+    } else if (AtKw("negedge")) {
+      return Err("negedge sensitivity is unsupported");
+    } else {
+      return Err("sensitivity list must be '*' or 'posedge <clk>'");
+    }
+    HS_RETURN_IF_ERROR(Expect(Tok::kRParen, "')' after sensitivity"));
+    HS_ASSIGN_OR_RETURN(ab.body, ParseStmt());
+    mod->always.push_back(std::move(ab));
+    return Status::Ok();
+  }
+
+  Status ParseInstance(Module* mod) {
+    Instance inst;
+    inst.line = Cur().line;
+    HS_ASSIGN_OR_RETURN(inst.module_name, ExpectIdent("module name"));
+    if (Eat(Tok::kHash)) {
+      HS_RETURN_IF_ERROR(Expect(Tok::kLParen, "'(' after '#'"));
+      do {
+        HS_RETURN_IF_ERROR(Expect(Tok::kDot, "'.' in parameter override"));
+        ParamDecl p;
+        p.line = Cur().line;
+        HS_ASSIGN_OR_RETURN(p.name, ExpectIdent("parameter name"));
+        HS_RETURN_IF_ERROR(Expect(Tok::kLParen, "'(' in parameter override"));
+        HS_ASSIGN_OR_RETURN(p.value, ParseExpr());
+        HS_RETURN_IF_ERROR(Expect(Tok::kRParen, "')' in parameter override"));
+        inst.param_overrides.push_back(std::move(p));
+      } while (Eat(Tok::kComma));
+      HS_RETURN_IF_ERROR(Expect(Tok::kRParen, "')' after overrides"));
+    }
+    HS_ASSIGN_OR_RETURN(inst.instance_name, ExpectIdent("instance name"));
+    HS_RETURN_IF_ERROR(Expect(Tok::kLParen, "'(' for port connections"));
+    if (!At(Tok::kRParen)) {
+      do {
+        HS_RETURN_IF_ERROR(Expect(Tok::kDot, "'.' in port connection"));
+        PortConn pc;
+        HS_ASSIGN_OR_RETURN(pc.port, ExpectIdent("port name"));
+        HS_RETURN_IF_ERROR(Expect(Tok::kLParen, "'(' in port connection"));
+        if (!At(Tok::kRParen)) {
+          HS_ASSIGN_OR_RETURN(pc.expr, ParseExpr());
+        }
+        HS_RETURN_IF_ERROR(Expect(Tok::kRParen, "')' in port connection"));
+        inst.conns.push_back(std::move(pc));
+      } while (Eat(Tok::kComma));
+    }
+    HS_RETURN_IF_ERROR(Expect(Tok::kRParen, "')' after connections"));
+    HS_RETURN_IF_ERROR(Expect(Tok::kSemicolon, "';' after instance"));
+    mod->instances.push_back(std::move(inst));
+    return Status::Ok();
+  }
+
+  // --- statements ----------------------------------------------------------
+  Result<StmtPtr> ParseStmt() {
+    auto s = std::make_unique<Stmt>();
+    s->line = Cur().line;
+    if (EatKw("begin")) {
+      s->kind = StmtKind::kBlock;
+      while (!EatKw("end")) {
+        if (At(Tok::kEnd)) return Err("unexpected EOF inside begin/end");
+        HS_ASSIGN_OR_RETURN(StmtPtr sub, ParseStmt());
+        s->body.push_back(std::move(sub));
+      }
+      return s;
+    }
+    if (EatKw("if")) {
+      s->kind = StmtKind::kIf;
+      HS_RETURN_IF_ERROR(Expect(Tok::kLParen, "'(' after if"));
+      HS_ASSIGN_OR_RETURN(s->cond, ParseExpr());
+      HS_RETURN_IF_ERROR(Expect(Tok::kRParen, "')' after if condition"));
+      HS_ASSIGN_OR_RETURN(s->then_stmt, ParseStmt());
+      if (EatKw("else")) {
+        HS_ASSIGN_OR_RETURN(s->else_stmt, ParseStmt());
+      }
+      return s;
+    }
+    if (EatKw("case")) {
+      s->kind = StmtKind::kCase;
+      HS_RETURN_IF_ERROR(Expect(Tok::kLParen, "'(' after case"));
+      HS_ASSIGN_OR_RETURN(s->subject, ParseExpr());
+      HS_RETURN_IF_ERROR(Expect(Tok::kRParen, "')' after case subject"));
+      while (!EatKw("endcase")) {
+        if (At(Tok::kEnd)) return Err("unexpected EOF inside case");
+        CaseItem item;
+        if (EatKw("default")) {
+          Eat(Tok::kColon);
+        } else {
+          do {
+            HS_ASSIGN_OR_RETURN(ExprPtr label, ParseExpr());
+            item.labels.push_back(std::move(label));
+          } while (Eat(Tok::kComma));
+          HS_RETURN_IF_ERROR(Expect(Tok::kColon, "':' after case label"));
+        }
+        HS_ASSIGN_OR_RETURN(item.body, ParseStmt());
+        s->items.push_back(std::move(item));
+      }
+      return s;
+    }
+    // assignment
+    s->kind = StmtKind::kAssign;
+    HS_ASSIGN_OR_RETURN(s->lhs, ParseLValue());
+    if (Eat(Tok::kNonBlocking)) {
+      s->non_blocking = true;
+    } else if (Eat(Tok::kAssign)) {
+      s->non_blocking = false;
+    } else {
+      return Err("expected '=' or '<=' in assignment");
+    }
+    HS_ASSIGN_OR_RETURN(s->rhs, ParseExpr());
+    HS_RETURN_IF_ERROR(Expect(Tok::kSemicolon, "';' after assignment"));
+    return s;
+  }
+
+  Result<LValue> ParseLValue() {
+    LValue lv;
+    lv.line = Cur().line;
+    HS_ASSIGN_OR_RETURN(lv.name, ExpectIdent("lvalue"));
+    if (Eat(Tok::kLBracket)) {
+      HS_ASSIGN_OR_RETURN(ExprPtr first, ParseExpr());
+      if (Eat(Tok::kColon)) {
+        lv.range_msb = std::move(first);
+        HS_ASSIGN_OR_RETURN(lv.range_lsb, ParseExpr());
+      } else {
+        lv.index = std::move(first);
+      }
+      HS_RETURN_IF_ERROR(Expect(Tok::kRBracket, "']' in lvalue"));
+    }
+    return lv;
+  }
+
+  // --- expressions (precedence climbing) -----------------------------------
+  // Levels, lowest first: ?: || && | ^ & (== !=) (< <= > >=)
+  //                       (<< >> >>>) (+ -) (* / % **) unary primary
+  Result<ExprPtr> ParseExpr() { return ParseTernary(); }
+
+  Result<ExprPtr> ParseTernary() {
+    HS_ASSIGN_OR_RETURN(ExprPtr cond, ParseBin(0));
+    if (!Eat(Tok::kQuestion)) return cond;
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kTernary;
+    e->line = cond->line;
+    HS_ASSIGN_OR_RETURN(ExprPtr then_e, ParseTernary());
+    HS_RETURN_IF_ERROR(Expect(Tok::kColon, "':' in ternary"));
+    HS_ASSIGN_OR_RETURN(ExprPtr else_e, ParseTernary());
+    e->args.push_back(std::move(cond));
+    e->args.push_back(std::move(then_e));
+    e->args.push_back(std::move(else_e));
+    return e;
+  }
+
+  // Binary-operator table indexed by precedence level.
+  struct BinOpInfo { Tok tok; BinOp op; };
+  static constexpr int kNumLevels = 9;
+  const std::vector<BinOpInfo>& LevelOps(int level) {
+    static const std::vector<BinOpInfo> table[kNumLevels] = {
+        {{Tok::kOrOr, BinOp::kLogicOr}},
+        {{Tok::kAndAnd, BinOp::kLogicAnd}},
+        {{Tok::kPipe, BinOp::kOr}},
+        {{Tok::kCaret, BinOp::kXor}},
+        {{Tok::kAmp, BinOp::kAnd}},
+        {{Tok::kEqEq, BinOp::kEq}, {Tok::kNotEq, BinOp::kNe}},
+        {{Tok::kLt, BinOp::kLt}, {Tok::kNonBlocking, BinOp::kLe},
+         {Tok::kGt, BinOp::kGt}, {Tok::kGe, BinOp::kGe}},
+        {{Tok::kShl, BinOp::kShl}, {Tok::kShr, BinOp::kShr},
+         {Tok::kShrA, BinOp::kShrA}},
+        {{Tok::kPlus, BinOp::kAdd}, {Tok::kMinus, BinOp::kSub}},
+    };
+    return table[level];
+  }
+
+  Result<ExprPtr> ParseBin(int level) {
+    if (level >= kNumLevels) return ParseMulLevel();
+    HS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseBin(level + 1));
+    for (;;) {
+      bool matched = false;
+      for (const auto& info : LevelOps(level)) {
+        if (At(info.tok)) {
+          Advance();
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kBinary;
+          e->bin_op = info.op;
+          e->line = lhs->line;
+          HS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseBin(level + 1));
+          e->args.push_back(std::move(lhs));
+          e->args.push_back(std::move(rhs));
+          lhs = std::move(e);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return lhs;
+    }
+  }
+
+  Result<ExprPtr> ParseMulLevel() {
+    HS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    for (;;) {
+      BinOp op;
+      if (At(Tok::kStar)) op = BinOp::kMul;
+      else if (At(Tok::kSlash)) op = BinOp::kDiv;
+      else if (At(Tok::kPercent)) op = BinOp::kMod;
+      else if (At(Tok::kStar2)) op = BinOp::kPow;
+      else return lhs;
+      Advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kBinary;
+      e->bin_op = op;
+      e->line = lhs->line;
+      HS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      e->args.push_back(std::move(lhs));
+      e->args.push_back(std::move(rhs));
+      lhs = std::move(e);
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    UnOp op;
+    if (At(Tok::kTilde)) op = UnOp::kNot;
+    else if (At(Tok::kBang)) op = UnOp::kLogicNot;
+    else if (At(Tok::kMinus)) op = UnOp::kNeg;
+    else if (At(Tok::kPlus)) op = UnOp::kPlus;
+    else if (At(Tok::kAmp)) op = UnOp::kRedAnd;
+    else if (At(Tok::kPipe)) op = UnOp::kRedOr;
+    else if (At(Tok::kCaret)) op = UnOp::kRedXor;
+    else return ParsePrimary();
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kUnary;
+    e->un_op = op;
+    e->line = Cur().line;
+    Advance();
+    HS_ASSIGN_OR_RETURN(ExprPtr arg, ParseUnary());
+    e->args.push_back(std::move(arg));
+    return e;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    auto e = std::make_unique<Expr>();
+    e->line = Cur().line;
+    if (Cur().kind == Tok::kNumber) {
+      e->kind = ExprKind::kNumber;
+      e->value = Cur().value;
+      e->number_width = Cur().number_width;
+      Advance();
+      return e;
+    }
+    if (Cur().kind == Tok::kSystemId) {
+      if (Cur().text != "$signed")
+        return Err("unsupported system function '" + Cur().text + "'");
+      Advance();
+      e->kind = ExprKind::kSigned;
+      HS_RETURN_IF_ERROR(Expect(Tok::kLParen, "'(' after $signed"));
+      HS_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+      HS_RETURN_IF_ERROR(Expect(Tok::kRParen, "')' after $signed"));
+      e->args.push_back(std::move(arg));
+      return e;
+    }
+    if (Eat(Tok::kLParen)) {
+      HS_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      HS_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+      return inner;
+    }
+    if (Eat(Tok::kLBrace)) {
+      // concat or replication
+      HS_ASSIGN_OR_RETURN(ExprPtr first, ParseExpr());
+      if (At(Tok::kLBrace)) {
+        // {count{body}}
+        Advance();
+        e->kind = ExprKind::kReplicate;
+        HS_ASSIGN_OR_RETURN(ExprPtr body, ParseExpr());
+        HS_RETURN_IF_ERROR(Expect(Tok::kRBrace, "'}' in replication"));
+        HS_RETURN_IF_ERROR(Expect(Tok::kRBrace, "'}' closing replication"));
+        e->args.push_back(std::move(first));  // count
+        e->args.push_back(std::move(body));
+        return e;
+      }
+      e->kind = ExprKind::kConcat;
+      e->args.push_back(std::move(first));
+      while (Eat(Tok::kComma)) {
+        HS_ASSIGN_OR_RETURN(ExprPtr part, ParseExpr());
+        e->args.push_back(std::move(part));
+      }
+      HS_RETURN_IF_ERROR(Expect(Tok::kRBrace, "'}' closing concat"));
+      return e;
+    }
+    if (Cur().kind == Tok::kIdent && !kKeywords.count(Cur().text)) {
+      e->name = Cur().text;
+      Advance();
+      if (Eat(Tok::kLBracket)) {
+        HS_ASSIGN_OR_RETURN(ExprPtr first, ParseExpr());
+        if (Eat(Tok::kColon)) {
+          e->kind = ExprKind::kRange;
+          HS_ASSIGN_OR_RETURN(ExprPtr lsb, ParseExpr());
+          e->args.push_back(std::move(first));
+          e->args.push_back(std::move(lsb));
+        } else {
+          e->kind = ExprKind::kIndex;
+          e->args.push_back(std::move(first));
+        }
+        HS_RETURN_IF_ERROR(Expect(Tok::kRBracket, "']'"));
+        return e;
+      }
+      e->kind = ExprKind::kIdent;
+      return e;
+    }
+    return Err("expected expression");
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+
+ public:
+  // Deep-copy an AST expression (used when one declared range applies to
+  // several nets in a comma-separated declaration).
+  static ExprPtr CloneExpr(const Expr& src) {
+    auto e = std::make_unique<Expr>();
+    e->kind = src.kind;
+    e->line = src.line;
+    e->value = src.value;
+    e->number_width = src.number_width;
+    e->name = src.name;
+    e->un_op = src.un_op;
+    e->bin_op = src.bin_op;
+    for (const auto& a : src.args) e->args.push_back(CloneExpr(*a));
+    return e;
+  }
+};
+
+}  // namespace
+
+Result<ast::SourceUnit> ParseVerilog(const std::string& source) {
+  auto toks = Tokenize(source);
+  if (!toks.ok()) return toks.status();
+  Parser parser(std::move(toks).value());
+  return parser.Parse();
+}
+
+}  // namespace hardsnap::rtl

@@ -1,0 +1,41 @@
+// Recursive-descent parser for the HardSnap Verilog subset.
+//
+// Supported grammar (synthesizable, single clock domain, sync reset):
+//
+//   source      := module*
+//   module      := 'module' ID ['#(' param {',' param} ')']
+//                  '(' ansi_port {',' ansi_port} ')' ';' item* 'endmodule'
+//   ansi_port   := ('input'|'output') ['wire'|'reg'] [range] ID
+//   item        := net_decl | param_decl | cont_assign | always | instance
+//   net_decl    := ('wire'|'reg') [range] ID [mem_range] ['=' expr]
+//                  {',' ID [mem_range]} ';'
+//   param_decl  := ('parameter'|'localparam') ID '=' expr {',' ID '=' expr} ';'
+//   range       := '[' const_expr ':' const_expr ']'
+//   cont_assign := 'assign' lvalue '=' expr ';'
+//   always      := 'always' '@' '(' ('*' | 'posedge' ID) ')' stmt
+//   stmt        := 'begin' stmt* 'end' | 'if' '(' expr ')' stmt ['else' stmt]
+//                | 'case' '(' expr ')' case_item* 'endcase'
+//                | lvalue ('='|'<=') expr ';'
+//   case_item   := (expr {',' expr} | 'default' [':']) ':' stmt
+//   lvalue      := ID | ID '[' expr ']' | ID '[' const ':' const ']'
+//   instance    := ID ['#(' '.'ID'('expr')' {...} ')'] ID
+//                  '(' '.'ID'(' [expr] ')' {...} ')' ';'
+//   expr        := ternary over {|| && | ^ & == != < <= > >= << >> >>>
+//                  + - * / % **} with Verilog precedence; primaries are
+//                  numbers, identifiers, bit/part-selects, concatenations,
+//                  replications, parenthesized exprs, unary ~ ! & | ^ + -,
+//                  and $signed(...).
+//
+// Intentionally unsupported (rejected with a diagnostic): async resets,
+// negedge, initial blocks, tasks/functions, generate, tri-state, real,
+// strings, delays, multi-dimensional arrays beyond one memory dimension.
+#pragma once
+
+#include "common/status.h"
+#include "rtl/ast.h"
+
+namespace hardsnap::rtl {
+
+Result<ast::SourceUnit> ParseVerilog(const std::string& source);
+
+}  // namespace hardsnap::rtl

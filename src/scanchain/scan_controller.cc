@@ -1,0 +1,150 @@
+#include "scanchain/scan_controller.h"
+
+#include <vector>
+
+#include "common/bitops.h"
+
+namespace hardsnap::scanchain {
+
+using sim::HardwareState;
+
+ScanController::ScanController(sim::Simulator* sim, const ScanChainMap& map)
+    : sim_(sim), map_(&map) {
+  const auto& d = sim->design();
+  scan_enable_ = d.FindSignal("scan_enable");
+  scan_in_ = d.FindSignal("scan_in");
+  scan_out_ = d.FindSignal("scan_out");
+  scan_hold_ = d.FindSignal("scan_hold");
+  HS_CHECK_MSG(scan_enable_ != rtl::kInvalidId &&
+                   scan_in_ != rtl::kInvalidId &&
+                   scan_out_ != rtl::kInvalidId &&
+                   scan_hold_ != rtl::kInvalidId,
+               "simulator is not running an instrumented design");
+}
+
+Status ScanController::CheckShape(const HardwareState& st) const {
+  if (st.flops.size() != sim_->design().flops().size())
+    return InvalidArgument("state flop count does not match design");
+  if (st.memories.size() != sim_->design().memories().size())
+    return InvalidArgument("state memory count does not match design");
+  return Status::Ok();
+}
+
+Result<HardwareState> ScanController::SaveRestore(
+    const HardwareState& new_state) {
+  HS_RETURN_IF_ERROR(CheckShape(new_state));
+  const unsigned n = map_->total_bits;
+
+  // Chain position p holds: slot s bit j, where p = offset(s) + j.
+  // To land desired bit v_p at position p we must feed v_{n-1-t} at shift
+  // cycle t; symmetrically scan_out at cycle t emits old bit n-1-t.
+  std::vector<uint8_t> feed(n), captured(n);
+  {
+    unsigned p = 0;
+    for (const auto& slot : map_->slots) {
+      uint64_t v = new_state.flops[slot.flop_index];
+      for (unsigned j = 0; j < slot.width; ++j, ++p)
+        feed[n - 1 - p] = static_cast<uint8_t>((v >> j) & 1);
+    }
+  }
+
+  HS_RETURN_IF_ERROR(sim_->PokeInput(scan_enable_, 1));
+  for (unsigned t = 0; t < n; ++t) {
+    captured[t] = static_cast<uint8_t>(sim_->PeekId(scan_out_));
+    HS_RETURN_IF_ERROR(sim_->PokeInput(scan_in_, feed[t]));
+    sim_->Tick(1);
+  }
+  HS_RETURN_IF_ERROR(sim_->PokeInput(scan_enable_, 0));
+
+  // Decode the captured old register state.
+  HardwareState old = new_state;  // correct shape; values overwritten below
+  for (auto& f : old.flops) f = 0;
+  {
+    unsigned p = 0;
+    for (const auto& slot : map_->slots) {
+      uint64_t v = 0;
+      for (unsigned j = 0; j < slot.width; ++j, ++p)
+        if (captured[n - 1 - p]) v |= uint64_t{1} << j;
+      old.flops[slot.flop_index] = v;
+    }
+  }
+
+  // Memories: word-at-a-time through the test port (save + swap in the new
+  // contents in the same pass). scan_hold freezes the registers we just
+  // loaded while the clock ticks for the word-serial phase.
+  for (size_t m = 0; m < old.memories.size(); ++m)
+    for (auto& w : old.memories[m]) w = 0;
+  HS_RETURN_IF_ERROR(sim_->PokeInput(scan_hold_, 1));
+  for (const auto& mp : map_->mem_ports) {
+    HS_RETURN_IF_ERROR(sim_->PokeInput(mp.port_prefix + "_en", 1));
+    HS_RETURN_IF_ERROR(sim_->PokeInput(mp.port_prefix + "_wen", 1));
+    for (unsigned w = 0; w < mp.depth; ++w) {
+      HS_RETURN_IF_ERROR(sim_->PokeInput(mp.port_prefix + "_addr", w));
+      auto rd = sim_->Peek(mp.port_prefix + "_rdata");
+      if (!rd.ok()) return rd.status();
+      old.memories[mp.memory][w] = rd.value();
+      HS_RETURN_IF_ERROR(sim_->PokeInput(mp.port_prefix + "_wdata",
+                                         new_state.memories[mp.memory][w]));
+      sim_->Tick(1);
+    }
+    HS_RETURN_IF_ERROR(sim_->PokeInput(mp.port_prefix + "_wen", 0));
+    HS_RETURN_IF_ERROR(sim_->PokeInput(mp.port_prefix + "_en", 0));
+  }
+  HS_RETURN_IF_ERROR(sim_->PokeInput(scan_hold_, 0));
+  return old;
+}
+
+Result<HardwareState> ScanController::Save() {
+  const unsigned n = map_->total_bits;
+  std::vector<uint8_t> captured(n);
+
+  // Loop scan_out back into scan_in: after exactly n cycles every bit has
+  // made a full round trip and the register file is unchanged.
+  HS_RETURN_IF_ERROR(sim_->PokeInput(scan_enable_, 1));
+  for (unsigned t = 0; t < n; ++t) {
+    uint64_t bit = sim_->PeekId(scan_out_);
+    captured[t] = static_cast<uint8_t>(bit);
+    HS_RETURN_IF_ERROR(sim_->PokeInput(scan_in_, bit));
+    sim_->Tick(1);
+  }
+  HS_RETURN_IF_ERROR(sim_->PokeInput(scan_enable_, 0));
+
+  HardwareState st;
+  st.flops.assign(sim_->design().flops().size(), 0);
+  st.memories.resize(sim_->design().memories().size());
+  for (size_t m = 0; m < st.memories.size(); ++m)
+    st.memories[m].assign(sim_->design().memories()[m].depth, 0);
+
+  unsigned p = 0;
+  for (const auto& slot : map_->slots) {
+    uint64_t v = 0;
+    for (unsigned j = 0; j < slot.width; ++j, ++p)
+      if (captured[n - 1 - p]) v |= uint64_t{1} << j;
+    st.flops[slot.flop_index] = v;
+  }
+
+  // Memories: non-destructive reads through the test port (one cycle per
+  // word of fabric time; the port write strobe stays low). Registers are
+  // frozen via scan_hold while the clock ticks.
+  HS_RETURN_IF_ERROR(sim_->PokeInput(scan_hold_, 1));
+  for (const auto& mp : map_->mem_ports) {
+    HS_RETURN_IF_ERROR(sim_->PokeInput(mp.port_prefix + "_en", 1));
+    for (unsigned w = 0; w < mp.depth; ++w) {
+      HS_RETURN_IF_ERROR(sim_->PokeInput(mp.port_prefix + "_addr", w));
+      auto rd = sim_->Peek(mp.port_prefix + "_rdata");
+      if (!rd.ok()) return rd.status();
+      st.memories[mp.memory][w] = rd.value();
+      sim_->Tick(1);
+    }
+    HS_RETURN_IF_ERROR(sim_->PokeInput(mp.port_prefix + "_en", 0));
+  }
+  HS_RETURN_IF_ERROR(sim_->PokeInput(scan_hold_, 0));
+  return st;
+}
+
+Status ScanController::Restore(const HardwareState& state) {
+  auto old = SaveRestore(state);
+  return old.status();
+}
+
+}  // namespace hardsnap::scanchain

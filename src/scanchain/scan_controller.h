@@ -1,0 +1,65 @@
+// Scan-chain controller: drives the serial chain inserted by
+// InsertScanChain to save/restore hardware state.
+//
+// This is the software model of the paper's on-fabric snapshot "IP"
+// (Sec. III-C): it owns the scan_enable/scan_in/scan_out pins and the
+// per-memory test ports of an *instrumented* design and implements:
+//
+//   SaveRestore(new) -> old   one full pass: while the new state shifts in
+//                             through scan_in, the old state drains out of
+//                             scan_out. Cost: total_bits shift cycles +
+//                             total_mem_words port cycles.
+//   Save() -> state           non-destructive: scan_out is looped back into
+//                             scan_in, so after exactly total_bits cycles
+//                             the registers hold their original values.
+//   Restore(state)            one pass, discarding the outgoing state.
+//
+// The controller operates on a Simulator executing the instrumented
+// netlist. The emulated-FPGA target wraps this controller and charges the
+// fabric-clock virtual time; the cycle counts here are therefore exactly
+// the paper's scan-chain latency model (linear in state bits).
+//
+// Scoped instrumentation caveat: flip-flops outside the instrumented scope
+// keep running functionally during the shift pass (their inputs see
+// shifting garbage), just like on a real part. Only chained state is
+// captured/restored.
+#pragma once
+
+#include "common/status.h"
+#include "scanchain/scan_pass.h"
+#include "sim/simulator.h"
+
+namespace hardsnap::scanchain {
+
+class ScanController {
+ public:
+  // `sim` must execute the instrumented design the map was produced for.
+  ScanController(sim::Simulator* sim, const ScanChainMap& map);
+
+  // Cycle cost of one full save/restore pass (registers + memories).
+  uint64_t PassCycles() const {
+    return map_->total_bits + map_->total_mem_words;
+  }
+
+  // Shift `new_state` in while capturing the outgoing state.
+  // `new_state` must have the shape of the instrumented design's state.
+  Result<sim::HardwareState> SaveRestore(const sim::HardwareState& new_state);
+
+  // Capture the current state without disturbing it (loopback shifting).
+  Result<sim::HardwareState> Save();
+
+  // Load `state`, discarding whatever the hardware held.
+  Status Restore(const sim::HardwareState& state);
+
+ private:
+  Status CheckShape(const sim::HardwareState& st) const;
+
+  sim::Simulator* sim_;
+  const ScanChainMap* map_;
+  rtl::SignalId scan_enable_;
+  rtl::SignalId scan_in_;
+  rtl::SignalId scan_out_;
+  rtl::SignalId scan_hold_;
+};
+
+}  // namespace hardsnap::scanchain

@@ -1,0 +1,143 @@
+#include "scanchain/scan_pass.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+
+namespace hardsnap::scanchain {
+
+using rtl::Design;
+using rtl::ExprId;
+using rtl::FlipFlop;
+using rtl::MemWrite;
+using rtl::Op;
+using rtl::SignalId;
+using rtl::SignalKind;
+
+namespace {
+
+std::string Sanitize(const std::string& name) {
+  std::string out = name;
+  std::replace(out.begin(), out.end(), '.', '_');
+  return out;
+}
+
+}  // namespace
+
+Result<InstrumentedDesign> InsertScanChain(const Design& input,
+                                           const ScanOptions& options) {
+  HS_RETURN_IF_ERROR(input.Validate());
+  for (const char* reserved :
+       {"scan_enable", "scan_in", "scan_out", "scan_hold"}) {
+    if (input.FindSignal(reserved) != rtl::kInvalidId)
+      return FailedPrecondition(std::string("design already has a signal '") +
+                                reserved + "'");
+  }
+
+  InstrumentedDesign out{input, {}};  // start from a copy
+  Design& d = out.design;
+  ScanChainMap& map = out.map;
+  map.original_stats = input.Stats();
+
+  const SignalId scan_enable =
+      d.AddSignal("scan_enable", 1, SignalKind::kInput);
+  const SignalId scan_in = d.AddSignal("scan_in", 1, SignalKind::kInput);
+  const SignalId scan_out = d.AddSignal("scan_out", 1, SignalKind::kOutput);
+  // scan_hold freezes every chained flip-flop (clock-gating equivalent);
+  // the snapshot controller asserts it while it owns the memory test ports
+  // so that register state cannot drift during the word-serial phase.
+  const SignalId scan_hold = d.AddSignal("scan_hold", 1, SignalKind::kInput);
+
+  auto in_scope = [&](const std::string& name) {
+    return options.scope_prefix.empty() ||
+           name.rfind(options.scope_prefix, 0) == 0;
+  };
+
+  // --- thread the flip-flop chain -----------------------------------------
+  // prev = the serial bit arriving at the current chain position.
+  ExprId prev = d.Sig(scan_in);
+  ExprId se = d.Sig(scan_enable);
+  ExprId hold = d.Sig(scan_hold);
+  auto& flops = d.mutable_flops();
+  for (size_t i = 0; i < flops.size(); ++i) {
+    FlipFlop& ff = flops[i];
+    const auto& sig = d.signal(ff.q);
+    if (!in_scope(sig.name)) continue;
+
+    const unsigned w = sig.width;
+    ExprId q = d.Sig(ff.q);
+    ExprId shifted;
+    if (w == 1) {
+      shifted = prev;
+    } else {
+      // {q[W-2:0], prev}: bits move toward the MSB each shift cycle.
+      shifted = d.Concat({d.Slice(q, w - 2, 0), prev});
+    }
+    ff.next = d.Mux(hold, q, d.Mux(se, shifted, ff.next));
+    prev = w == 1 ? q : d.Slice(q, w - 1, w - 1);
+
+    map.slots.push_back(ChainSlot{sig.name, w, i});
+    map.total_bits += w;
+  }
+  d.AddComb(scan_out, prev);
+
+  // --- memory test ports ----------------------------------------------------
+  // Gate all pre-existing functional memory writes off while the chain is
+  // shifting: with scan_enable=1 the functional combinational logic sees
+  // shifting garbage and must not corrupt the arrays.
+  const size_t num_functional_writes = d.mem_writes().size();
+  for (size_t i = 0; i < num_functional_writes; ++i) {
+    auto& w = d.mutable_mem_writes()[i];
+    ExprId quiesced = d.Binary(Op::kLogicOr, se, hold);
+    w.enable = d.Binary(Op::kLogicAnd, w.enable,
+                        d.Unary(Op::kLogicNot, quiesced));
+  }
+
+  for (rtl::MemoryId m = 0;
+       m < static_cast<rtl::MemoryId>(d.memories().size()); ++m) {
+    const auto& mem = d.memory(m);
+    if (!in_scope(mem.name)) continue;
+    const std::string prefix = "scan_" + Sanitize(mem.name);
+    const unsigned abits = BitsFor(mem.depth);
+
+    SignalId en = d.AddSignal(prefix + "_en", 1, SignalKind::kInput);
+    SignalId addr = d.AddSignal(prefix + "_addr", abits, SignalKind::kInput);
+    SignalId wdata =
+        d.AddSignal(prefix + "_wdata", mem.width, SignalKind::kInput);
+    SignalId wen = d.AddSignal(prefix + "_wen", 1, SignalKind::kInput);
+    SignalId rdata =
+        d.AddSignal(prefix + "_rdata", mem.width, SignalKind::kOutput);
+
+    // Asynchronous read port for the snapshot controller.
+    d.AddComb(rdata, d.MemRead(m, d.Sig(addr)));
+
+    // Synchronous write port, active only when the test port owns the
+    // memory.
+    MemWrite mw;
+    mw.memory = m;
+    mw.enable = d.Binary(Op::kLogicAnd, d.Sig(en), d.Sig(wen));
+    mw.addr = d.Sig(addr);
+    mw.data = d.Sig(wdata);
+    d.AddMemWrite(mw);
+
+    // Functional writes to this memory are additionally disabled while the
+    // test port owns it.
+    for (size_t i = 0; i < num_functional_writes; ++i) {
+      auto& w = d.mutable_mem_writes()[i];
+      if (w.memory == m) {
+        w.enable = d.Binary(Op::kLogicAnd, w.enable,
+                            d.Unary(Op::kLogicNot, d.Sig(en)));
+      }
+    }
+
+    map.mem_ports.push_back(
+        MemPort{mem.name, prefix, mem.width, mem.depth, m});
+    map.total_mem_words += mem.depth;
+  }
+
+  HS_RETURN_IF_ERROR(d.Validate());
+  map.instrumented_stats = d.Stats();
+  return out;
+}
+
+}  // namespace hardsnap::scanchain

@@ -1,0 +1,91 @@
+// Scan-chain instrumentation pass (paper Sec. IV-A, path B.1).
+//
+// Rewrites an elaborated Design so that every flip-flop is threaded onto a
+// serial scan chain, and every memory gains a word-granular test access
+// port. The transformation is RTL-to-RTL and therefore independent of the
+// downstream target (FPGA bitstream or simulator), exactly as in the paper
+// ("the instrumentation is done directly at the RTL level, ... therefore
+// independent from the FPGA toolchain").
+//
+// Added interface on the instrumented design:
+//   input  scan_enable      1 = shift mode (functional FF updates frozen,
+//                           functional memory writes gated off)
+//   input  scan_in          serial data in
+//   output scan_out         serial data out
+//   input  scan_hold        1 = freeze all chained flip-flops (clock-gate
+//                           equivalent); asserted by the controller during
+//                           word-serial memory access so register state
+//                           cannot drift while the arrays are dumped
+// and per memory `m` (name dots flattened to '_'):
+//   input  scan_<m>_en      1 = test port owns the memory
+//   input  scan_<m>_addr    word address
+//   input  scan_<m>_wdata   write data
+//   input  scan_<m>_wen     write strobe (synchronous)
+//   output scan_<m>_rdata   asynchronous read data
+//
+// Chain topology: flip-flops are chained in their declaration order; inside
+// a W-bit register the bit path is q[0] -> q[1] -> ... -> q[W-1], and
+// q[W-1] feeds the next register (or scan_out). One full save/restore is a
+// single pass of `total_bits` shift cycles: the old state drains out of
+// scan_out while the new state enters through scan_in.
+//
+// The pass can be scoped to a sub-component (paper: "User-defined
+// parameters allow to limit the instrumentation to a sub-component"):
+// only flops/memories whose hierarchical name starts with `scope_prefix`
+// are instrumented; the rest keep functional behaviour but are not
+// snapshotable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rtl/ir.h"
+
+namespace hardsnap::scanchain {
+
+struct ScanOptions {
+  std::string scope_prefix;  // empty = instrument everything
+};
+
+// Describes one flip-flop on the chain, in shift order.
+struct ChainSlot {
+  std::string signal_name;
+  unsigned width = 0;
+  size_t flop_index = 0;  // index into Design::flops() of the instrumented
+                          // design (same order as the original)
+};
+
+// Describes one memory with a test access port.
+struct MemPort {
+  std::string memory_name;
+  std::string port_prefix;  // "scan_<sanitized>" signal name prefix
+  unsigned width = 0;
+  unsigned depth = 0;
+  rtl::MemoryId memory = rtl::kInvalidId;
+};
+
+// The instrumentation report: everything a snapshot controller needs to
+// drive the chain, plus the area-overhead numbers for experiment E3.
+struct ScanChainMap {
+  std::vector<ChainSlot> slots;     // shift order (scan_in side first)
+  std::vector<MemPort> mem_ports;
+  unsigned total_bits = 0;          // chain length in bits
+  unsigned total_mem_words = 0;
+
+  // Overhead accounting (instrumented vs original design).
+  rtl::DesignStats original_stats;
+  rtl::DesignStats instrumented_stats;
+};
+
+struct InstrumentedDesign {
+  rtl::Design design;
+  ScanChainMap map;
+};
+
+// Instrument `input` (which is not modified). Fails if the design already
+// has signals named scan_enable/scan_in/scan_out.
+Result<InstrumentedDesign> InsertScanChain(const rtl::Design& input,
+                                           const ScanOptions& options = {});
+
+}  // namespace hardsnap::scanchain

@@ -1,0 +1,79 @@
+#include "sim/vcd.h"
+
+#include <cstdio>
+
+namespace hardsnap::sim {
+
+namespace {
+
+// VCD identifier codes: printable ASCII starting at '!'.
+std::string VcdId(size_t index) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+std::string BinaryString(uint64_t v, unsigned width) {
+  std::string s;
+  s.reserve(width);
+  for (unsigned i = width; i-- > 0;) s.push_back((v >> i) & 1 ? '1' : '0');
+  return s;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(const Simulator& sim, unsigned timescale_ns)
+    : sim_(&sim), timescale_ns_(timescale_ns) {}
+
+void VcdWriter::Sample(uint64_t cycle) {
+  std::vector<uint64_t> vals;
+  const auto& signals = sim_->design().signals();
+  vals.reserve(signals.size());
+  for (size_t i = 0; i < signals.size(); ++i)
+    vals.push_back(sim_->PeekId(static_cast<rtl::SignalId>(i)));
+  samples_.emplace_back(cycle, std::move(vals));
+}
+
+std::string VcdWriter::Render() const {
+  const auto& signals = sim_->design().signals();
+  std::string out;
+  out += "$timescale " + std::to_string(timescale_ns_) + "ns $end\n";
+  out += "$scope module " + sim_->design().name() + " $end\n";
+  for (size_t i = 0; i < signals.size(); ++i) {
+    out += "$var wire " + std::to_string(signals[i].width) + " " + VcdId(i) +
+           " " + signals[i].name + " $end\n";
+  }
+  out += "$upscope $end\n$enddefinitions $end\n";
+
+  std::vector<uint64_t> last(signals.size(), ~uint64_t{0});
+  bool first = true;
+  for (const auto& [cycle, vals] : samples_) {
+    out += "#" + std::to_string(cycle * timescale_ns_) + "\n";
+    for (size_t i = 0; i < signals.size(); ++i) {
+      if (!first && vals[i] == last[i]) continue;
+      if (signals[i].width == 1) {
+        out += (vals[i] ? "1" : "0") + VcdId(i) + "\n";
+      } else {
+        out += "b" + BinaryString(vals[i], signals[i].width) + " " + VcdId(i) +
+               "\n";
+      }
+      last[i] = vals[i];
+    }
+    first = false;
+  }
+  return out;
+}
+
+Status VcdWriter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return Internal("cannot open " + path);
+  std::string text = Render();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return Status::Ok();
+}
+
+}  // namespace hardsnap::sim

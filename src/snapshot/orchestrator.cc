@@ -1,0 +1,33 @@
+#include "snapshot/orchestrator.h"
+
+namespace hardsnap::snapshot {
+
+TargetOrchestrator::TargetOrchestrator(
+    std::vector<bus::HardwareTarget*> targets)
+    : targets_(std::move(targets)) {
+  HS_CHECK_MSG(!targets_.empty(), "orchestrator needs at least one target");
+}
+
+Status TargetOrchestrator::MoveTo(size_t index) {
+  if (index >= targets_.size()) return OutOfRange("no such target");
+  if (index == active_) return Status::Ok();
+  auto state = targets_[active_]->SaveState();
+  if (!state.ok()) return state.status();
+  HS_RETURN_IF_ERROR(targets_[index]->RestoreState(state.value()));
+  active_ = index;
+  return Status::Ok();
+}
+
+Result<size_t> TargetOrchestrator::IndexOf(bus::TargetKind kind) const {
+  for (size_t i = 0; i < targets_.size(); ++i)
+    if (targets_[i]->kind() == kind) return i;
+  return NotFound("no target of requested kind");
+}
+
+Duration TargetOrchestrator::TotalTime() const {
+  Duration total;
+  for (const auto* t : targets_) total += t->clock().now();
+  return total;
+}
+
+}  // namespace hardsnap::snapshot

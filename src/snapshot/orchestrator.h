@@ -1,0 +1,46 @@
+// Target orchestration (paper Sec. III-B): one logical hardware device,
+// potentially backed by several physical targets, with live state transfer
+// between them at any point of the analysis.
+//
+// The orchestrator owns the "active target" notion: MMIO and Run() go to
+// the active target; MoveTo(other) captures the live state on the current
+// target, loads it into the destination, and switches routing. The classic
+// use (paper): fast-forward long executions on the FPGA, then move to the
+// simulator target when full traces are needed.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bus/target.h"
+#include "common/status.h"
+
+namespace hardsnap::snapshot {
+
+class TargetOrchestrator {
+ public:
+  // The orchestrator does not own the targets; they must outlive it.
+  // All targets must execute the same SoC design (interchangeable state).
+  explicit TargetOrchestrator(std::vector<bus::HardwareTarget*> targets);
+
+  bus::HardwareTarget& active() { return *targets_[active_]; }
+  const bus::HardwareTarget& active() const { return *targets_[active_]; }
+  size_t num_targets() const { return targets_.size(); }
+  bus::HardwareTarget& target(size_t i) { return *targets_[i]; }
+
+  // Live state migration. No-op if `index` is already active.
+  Status MoveTo(size_t index);
+
+  // Find a target by kind (first match).
+  Result<size_t> IndexOf(bus::TargetKind kind) const;
+
+  // Total virtual time across all targets (they represent one device; the
+  // device's timeline is the sum of whoever was executing it).
+  Duration TotalTime() const;
+
+ private:
+  std::vector<bus::HardwareTarget*> targets_;
+  size_t active_ = 0;
+};
+
+}  // namespace hardsnap::snapshot

@@ -1,0 +1,95 @@
+#include "snapshot/snapshot.h"
+
+namespace hardsnap::snapshot {
+
+uint64_t StateShapeDigest(const rtl::Design& design) {
+  // FNV-1a over the flop widths and memory geometry.
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(design.flops().size());
+  for (const auto& ff : design.flops()) mix(design.signal(ff.q).width);
+  mix(design.memories().size());
+  for (const auto& m : design.memories()) {
+    mix(m.width);
+    mix(m.depth);
+  }
+  return h;
+}
+
+std::vector<uint8_t> SerializeState(const sim::HardwareState& state) {
+  ByteWriter w;
+  w.PutU32(0x48535353);  // "HSSS"
+  w.PutU64Vector(state.flops);
+  w.PutU32(static_cast<uint32_t>(state.memories.size()));
+  for (const auto& mem : state.memories) w.PutU64Vector(mem);
+  return w.Take();
+}
+
+Result<sim::HardwareState> DeserializeState(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  auto magic = r.GetU32();
+  if (!magic.ok()) return magic.status();
+  if (magic.value() != 0x48535353)
+    return InvalidArgument("not a HardSnap state blob");
+  sim::HardwareState st;
+  auto flops = r.GetU64Vector();
+  if (!flops.ok()) return flops.status();
+  st.flops = std::move(flops).value();
+  auto nmem = r.GetU32();
+  if (!nmem.ok()) return nmem.status();
+  st.memories.reserve(nmem.value());
+  for (uint32_t i = 0; i < nmem.value(); ++i) {
+    auto mem = r.GetU64Vector();
+    if (!mem.ok()) return mem.status();
+    st.memories.push_back(std::move(mem).value());
+  }
+  if (!r.AtEnd()) return InvalidArgument("trailing bytes in state blob");
+  return st;
+}
+
+SnapshotId SnapshotStore::Put(sim::HardwareState state, std::string label) {
+  const SnapshotId id = next_id_++;
+  Snapshot snap;
+  snap.id = id;
+  snap.shape_digest = shape_;
+  snap.label = std::move(label);
+  snap.state = std::move(state);
+  snapshots_.emplace(id, std::move(snap));
+  return id;
+}
+
+Result<const Snapshot*> SnapshotStore::Get(SnapshotId id) const {
+  auto it = snapshots_.find(id);
+  if (it == snapshots_.end())
+    return NotFound("snapshot " + std::to_string(id) + " does not exist");
+  return &it->second;
+}
+
+Status SnapshotStore::Update(SnapshotId id, sim::HardwareState state) {
+  auto it = snapshots_.find(id);
+  if (it == snapshots_.end())
+    return NotFound("snapshot " + std::to_string(id) + " does not exist");
+  it->second.state = std::move(state);
+  return Status::Ok();
+}
+
+Status SnapshotStore::Drop(SnapshotId id) {
+  if (snapshots_.erase(id) == 0)
+    return NotFound("snapshot " + std::to_string(id) + " does not exist");
+  return Status::Ok();
+}
+
+size_t SnapshotStore::TotalBytes() const {
+  size_t bytes = 0;
+  for (const auto& [id, snap] : snapshots_) {
+    bytes += snap.state.flops.size() * 8;
+    for (const auto& mem : snap.state.memories) bytes += mem.size() * 8;
+  }
+  return bytes;
+}
+
+}  // namespace hardsnap::snapshot

@@ -1,0 +1,70 @@
+// Snapshot store and serialization (paper Sec. III-C, "Snapshotting
+// Controller ... in charge of saving/restoring snapshots that are
+// identified by a unique identifier").
+//
+// A Snapshot couples the hardware architectural state with bookkeeping:
+// which design it belongs to (shape digest, so restoring into the wrong
+// design fails loudly), when it was taken, and an optional label. The
+// store hands out monotonically increasing SnapshotIds; id 0 is reserved
+// as "no snapshot" (the paper's initial state has "no corresponding
+// hardware snapshot").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/serde.h"
+#include "common/status.h"
+#include "rtl/ir.h"
+#include "sim/simulator.h"
+
+namespace hardsnap::snapshot {
+
+using SnapshotId = uint64_t;
+inline constexpr SnapshotId kNoSnapshot = 0;
+
+// Stable digest of a design's state shape (flop widths + memory geometry).
+// Two designs with the same digest have interchangeable HardwareStates.
+uint64_t StateShapeDigest(const rtl::Design& design);
+
+struct Snapshot {
+  SnapshotId id = kNoSnapshot;
+  uint64_t shape_digest = 0;
+  std::string label;
+  sim::HardwareState state;
+};
+
+// Flat binary encoding (for persistence and for modeling transfer sizes).
+std::vector<uint8_t> SerializeState(const sim::HardwareState& state);
+Result<sim::HardwareState> DeserializeState(const std::vector<uint8_t>& bytes);
+
+// In-memory snapshot store with copy-on-write-free semantics: snapshots
+// are immutable once taken.
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(uint64_t shape_digest) : shape_(shape_digest) {}
+
+  SnapshotId Put(sim::HardwareState state, std::string label = "");
+
+  Result<const Snapshot*> Get(SnapshotId id) const;
+
+  // Replace the state of an existing snapshot (the paper's UpdateState
+  // overrides the snapshot associated with S_previous).
+  Status Update(SnapshotId id, sim::HardwareState state);
+
+  Status Drop(SnapshotId id);
+
+  size_t size() const { return snapshots_.size(); }
+  uint64_t shape_digest() const { return shape_; }
+
+  // Total stored architectural bytes (for capacity accounting).
+  size_t TotalBytes() const;
+
+ private:
+  uint64_t shape_;
+  SnapshotId next_id_ = 1;
+  std::map<SnapshotId, Snapshot> snapshots_;
+};
+
+}  // namespace hardsnap::snapshot

@@ -1,0 +1,70 @@
+// Bit-blasting bitvector decision procedure.
+//
+// Translates a conjunction of 1-bit terms into CNF (Tseitin encoding over
+// per-bit literals: ripple-carry adders, barrel shifters, shift-add
+// multipliers, restoring dividers) and decides it with the CDCL core.
+// Satisfiable queries return a model for every kVar term in the query.
+//
+// Each Check() builds a fresh SAT instance, but a query cache in front
+// absorbs the heavy repetition symbolic execution produces: path
+// conditions are re-checked with every fork, and branch feasibility
+// queries repeat across sibling states (KLEE's counterexample cache, in
+// minimal form). The cache is keyed on the canonicalized assertion set;
+// models are replayed for SAT hits so callers still get assignments.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "solver/sat.h"
+#include "solver/term.h"
+
+namespace hardsnap::solver {
+
+enum class BvResult { kSat, kUnsat };
+
+struct BvModel {
+  // Assignment for each kVar term reachable from the assertions.
+  std::map<TermId, uint64_t> values;
+};
+
+struct BvStats {
+  uint64_t queries = 0;
+  uint64_t sat = 0;
+  uint64_t unsat = 0;
+  uint64_t cache_hits = 0;
+  uint64_t sat_vars = 0;      // cumulative CNF variables created
+  uint64_t sat_clauses = 0;   // (approximate) cumulative clauses
+  uint64_t conflicts = 0;
+};
+
+class BvSolver {
+ public:
+  explicit BvSolver(const BvContext* ctx) : ctx_(ctx) {}
+
+  // Decide the conjunction of `assertions` (all 1-bit terms). On kSat and
+  // model != nullptr, fills the model.
+  Result<BvResult> Check(const std::vector<TermId>& assertions,
+                         BvModel* model = nullptr);
+
+  const BvStats& stats() const { return stats_; }
+
+  // Query caching (on by default). The cache keys on the sorted,
+  // deduplicated TermId set — sound because terms are hash-consed.
+  void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
+
+ private:
+  struct CacheEntry {
+    BvResult result;
+    BvModel model;  // valid for kSat entries
+  };
+
+  const BvContext* ctx_;
+  BvStats stats_;
+  bool cache_enabled_ = true;
+  std::unordered_map<uint64_t, CacheEntry> cache_;
+};
+
+}  // namespace hardsnap::solver

@@ -1,0 +1,270 @@
+#include "solver/sat.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hardsnap::solver {
+
+Var SatSolver::NewVar() {
+  const Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(-1);
+  phase_.push_back(0);
+  reason_.push_back(kUndef);
+  level_.push_back(0);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return v;
+}
+
+void SatSolver::AddClause(std::vector<Lit> lits) {
+  if (unsat_) return;
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  for (size_t i = 0; i + 1 < lits.size(); ++i) {
+    if (lits[i] == NegLit(lits[i + 1])) return;  // tautology
+  }
+  // Remove literals already false at level 0; satisfied clause -> drop.
+  std::vector<Lit> pruned;
+  for (Lit l : lits) {
+    int8_t v = LitValue(l);
+    if (v == 1 && level_[VarOf(l)] == 0) return;
+    if (v == 0 && level_[VarOf(l)] == 0) continue;
+    pruned.push_back(l);
+  }
+  if (pruned.empty()) {
+    unsat_ = true;
+    return;
+  }
+  if (pruned.size() == 1) {
+    if (LitValue(pruned[0]) == 0) {
+      unsat_ = true;
+      return;
+    }
+    if (LitValue(pruned[0]) == -1) {
+      Enqueue(pruned[0], kUndef);
+      if (Propagate() != -1) unsat_ = true;
+    }
+    return;
+  }
+  clauses_.push_back(Clause{std::move(pruned), false});
+  AttachClause(static_cast<int32_t>(clauses_.size() - 1));
+}
+
+void SatSolver::AttachClause(int32_t idx) {
+  const auto& c = clauses_[idx].lits;
+  watches_[NegLit(c[0])].push_back(Watcher{idx, c[1]});
+  watches_[NegLit(c[1])].push_back(Watcher{idx, c[0]});
+}
+
+void SatSolver::Enqueue(Lit l, int32_t reason) {
+  const Var v = VarOf(l);
+  assigns_[v] = IsNeg(l) ? 0 : 1;
+  reason_[v] = reason;
+  level_[v] = static_cast<int32_t>(trail_lim_.size());
+  trail_.push_back(l);
+}
+
+int32_t SatSolver::Propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++propagations_;
+    auto& ws = watches_[p];
+    size_t i = 0, j = 0;
+    int32_t conflict = -1;
+    while (i < ws.size()) {
+      Watcher w = ws[i];
+      if (LitValue(w.blocker) == 1) {
+        ws[j++] = ws[i++];
+        continue;
+      }
+      auto& lits = clauses_[w.clause].lits;
+      // Make sure the false literal (~p) is lits[1].
+      const Lit false_lit = NegLit(p);
+      if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
+      // lits[1] == false_lit now.
+      if (LitValue(lits[0]) == 1) {
+        ws[j++] = Watcher{w.clause, lits[0]};
+        ++i;
+        continue;
+      }
+      // Look for a new watch.
+      bool moved = false;
+      for (size_t k = 2; k < lits.size(); ++k) {
+        if (LitValue(lits[k]) != 0) {
+          std::swap(lits[1], lits[k]);
+          watches_[NegLit(lits[1])].push_back(Watcher{w.clause, lits[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) {
+        ++i;  // watcher removed from this list
+        continue;
+      }
+      // Unit or conflict.
+      if (LitValue(lits[0]) == 0) {
+        conflict = w.clause;
+        // Copy the remaining watchers and stop.
+        while (i < ws.size()) ws[j++] = ws[i++];
+        ws.resize(j);
+        qhead_ = trail_.size();
+        return conflict;
+      }
+      Enqueue(lits[0], w.clause);
+      ws[j++] = ws[i++];
+    }
+    ws.resize(j);
+  }
+  return -1;
+}
+
+void SatSolver::Analyze(int32_t conflict, std::vector<Lit>* learned,
+                        int* bt_level) {
+  learned->clear();
+  learned->push_back(0);  // slot for the asserting literal
+  int counter = 0;
+  Lit p = 0;
+  bool have_p = false;
+  size_t trail_index = trail_.size();
+  const int current_level = static_cast<int>(trail_lim_.size());
+
+  int32_t reason_clause = conflict;
+  for (;;) {
+    HS_CHECK(reason_clause != kUndef);
+    const auto& lits = clauses_[reason_clause].lits;
+    // Skip lits[0] when it is the literal we are resolving on.
+    for (size_t i = have_p ? 1 : 0; i < lits.size(); ++i) {
+      const Lit q = lits[i];
+      const Var v = VarOf(q);
+      if (seen_[v] || level_[v] == 0) continue;
+      seen_[v] = 1;
+      BumpVar(v);
+      if (level_[v] == current_level) {
+        ++counter;
+      } else {
+        learned->push_back(q);
+      }
+    }
+    // Pick the next literal on the trail to resolve.
+    do {
+      --trail_index;
+      p = trail_[trail_index];
+    } while (!seen_[VarOf(p)]);
+    seen_[VarOf(p)] = 0;
+    --counter;
+    if (counter == 0) break;
+    reason_clause = reason_[VarOf(p)];
+    have_p = true;
+    HS_CHECK_MSG(reason_clause != kUndef, "UIP resolution hit a decision");
+    // The reason clause's first literal is p itself (asserting literal);
+    // ensure that invariant before skipping it.
+    auto& rl = clauses_[reason_clause].lits;
+    if (rl[0] != p) {
+      for (size_t i = 1; i < rl.size(); ++i)
+        if (rl[i] == p) std::swap(rl[0], rl[i]);
+    }
+  }
+  (*learned)[0] = NegLit(p);
+
+  // Backtrack level = highest level among the other literals.
+  *bt_level = 0;
+  for (size_t i = 1; i < learned->size(); ++i) {
+    *bt_level = std::max(*bt_level, static_cast<int>(level_[VarOf((*learned)[i])]));
+  }
+  // Move a literal of bt_level into position 1 for watching.
+  for (size_t i = 1; i < learned->size(); ++i) {
+    if (level_[VarOf((*learned)[i])] == *bt_level) {
+      std::swap((*learned)[1], (*learned)[i]);
+      break;
+    }
+  }
+  for (Lit l : *learned) seen_[VarOf(l)] = 0;
+}
+
+void SatSolver::Backtrack(int target_level) {
+  if (static_cast<int>(trail_lim_.size()) <= target_level) return;
+  const size_t keep = trail_lim_[target_level];
+  for (size_t i = trail_.size(); i-- > keep;) {
+    const Var v = VarOf(trail_[i]);
+    phase_[v] = assigns_[v];
+    assigns_[v] = -1;
+    reason_[v] = kUndef;
+  }
+  trail_.resize(keep);
+  trail_lim_.resize(target_level);
+  qhead_ = keep;
+}
+
+Lit SatSolver::Decide() {
+  Var best = kUndef;
+  double best_act = -1.0;
+  for (Var v = 0; v < num_vars(); ++v) {
+    if (assigns_[v] == -1 && activity_[v] > best_act) {
+      best = v;
+      best_act = activity_[v];
+    }
+  }
+  if (best == kUndef) return kUndef;
+  ++decisions_;
+  return MkLit(best, phase_[best] == 0);
+}
+
+void SatSolver::BumpVar(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (auto& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+}
+
+void SatSolver::DecayActivities() { var_inc_ /= 0.95; }
+
+SatResult SatSolver::Solve() {
+  if (unsat_) return SatResult::kUnsat;
+  if (Propagate() != -1) {
+    unsat_ = true;
+    return SatResult::kUnsat;
+  }
+
+  uint64_t restart_limit = 100;
+  uint64_t conflicts_since_restart = 0;
+
+  for (;;) {
+    const int32_t conflict = Propagate();
+    if (conflict != -1) {
+      ++conflicts_;
+      ++conflicts_since_restart;
+      if (trail_lim_.empty()) {
+        unsat_ = true;
+        return SatResult::kUnsat;
+      }
+      std::vector<Lit> learned;
+      int bt_level = 0;
+      Analyze(conflict, &learned, &bt_level);
+      Backtrack(bt_level);
+      if (learned.size() == 1) {
+        Enqueue(learned[0], kUndef);
+      } else {
+        clauses_.push_back(Clause{learned, true});
+        const int32_t idx = static_cast<int32_t>(clauses_.size() - 1);
+        AttachClause(idx);
+        Enqueue(learned[0], idx);
+      }
+      DecayActivities();
+    } else {
+      if (conflicts_since_restart >= restart_limit) {
+        conflicts_since_restart = 0;
+        restart_limit = restart_limit + restart_limit / 2;
+        Backtrack(0);
+      }
+      const Lit next = Decide();
+      if (next == kUndef) return SatResult::kSat;
+      trail_lim_.push_back(static_cast<int32_t>(trail_.size()));
+      Enqueue(next, kUndef);
+    }
+  }
+}
+
+}  // namespace hardsnap::solver

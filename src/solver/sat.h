@@ -1,0 +1,103 @@
+// CDCL SAT solver — the decision core under HardSnap's bitvector solver
+// (the role STP/Z3 plays under KLEE in the paper's prototype).
+//
+// Scope: one-shot solving. The bit-blaster creates a fresh solver per
+// query, adds variables and clauses, then calls Solve() once and reads the
+// model. Implements the standard modern kernel: two-watched-literal
+// propagation, first-UIP conflict learning, activity-driven branching
+// (VSIDS-style with decay), phase saving and geometric restarts. No
+// preprocessing or clause-database reduction — HardSnap's queries are
+// 32-bit path conditions, small by SAT standards.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hardsnap::solver {
+
+using Var = int32_t;
+using Lit = int32_t;  // 2*var + (negated ? 1 : 0)
+
+inline Lit MkLit(Var v, bool negated = false) {
+  return 2 * v + (negated ? 1 : 0);
+}
+inline Lit NegLit(Lit l) { return l ^ 1; }
+inline Var VarOf(Lit l) { return l >> 1; }
+inline bool IsNeg(Lit l) { return l & 1; }
+
+enum class SatResult { kSat, kUnsat };
+
+class SatSolver {
+ public:
+  SatSolver() = default;
+
+  Var NewVar();
+  int num_vars() const { return static_cast<int>(assigns_.size()); }
+
+  // Add a clause over existing variables. Tautologies are dropped,
+  // duplicate literals removed. An empty clause makes the instance
+  // trivially unsatisfiable.
+  void AddClause(std::vector<Lit> lits);
+
+  SatResult Solve();
+
+  // Model access, valid after Solve() returned kSat.
+  bool ValueOf(Var v) const { return assigns_[v] == 1; }
+
+  // Statistics (exposed for the solver benchmarks).
+  uint64_t num_conflicts() const { return conflicts_; }
+  uint64_t num_decisions() const { return decisions_; }
+  uint64_t num_propagations() const { return propagations_; }
+
+ private:
+  static constexpr int kUndef = -1;
+
+  struct Clause {
+    std::vector<Lit> lits;
+    bool learned = false;
+  };
+
+  struct Watcher {
+    int32_t clause = -1;
+    Lit blocker = 0;
+  };
+
+  // lbool encoding: -1 unassigned, 0 false, 1 true.
+  int8_t LitValue(Lit l) const {
+    int8_t v = assigns_[VarOf(l)];
+    if (v < 0) return -1;
+    return IsNeg(l) ? static_cast<int8_t>(1 - v) : v;
+  }
+
+  void Enqueue(Lit l, int32_t reason);
+  int32_t Propagate();  // returns conflicting clause index or -1
+  void Analyze(int32_t conflict, std::vector<Lit>* learned, int* bt_level);
+  void Backtrack(int level);
+  Lit Decide();
+  void BumpVar(Var v);
+  void DecayActivities();
+  void AttachClause(int32_t idx);
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by literal
+  std::vector<int8_t> assigns_;                // per var
+  std::vector<int8_t> phase_;                  // saved polarity per var
+  std::vector<int32_t> reason_;                // per var, clause index
+  std::vector<int32_t> level_;                 // per var
+  std::vector<double> activity_;               // per var
+  std::vector<Lit> trail_;
+  std::vector<int32_t> trail_lim_;
+  size_t qhead_ = 0;
+  double var_inc_ = 1.0;
+  bool unsat_ = false;
+
+  uint64_t conflicts_ = 0;
+  uint64_t decisions_ = 0;
+  uint64_t propagations_ = 0;
+
+  std::vector<uint8_t> seen_;  // scratch for Analyze
+};
+
+}  // namespace hardsnap::solver

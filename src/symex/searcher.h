@@ -1,0 +1,37 @@
+// State-selection heuristics (KLEE "searchers").
+//
+// SelectNextState implements the paper's scheduler contract: it must keep
+// returning the previous state while that state is inside an interrupt
+// handler (Inception makes interrupts atomic "to reduce timing
+// violations"), and otherwise picks per strategy. Minimizing gratuitous
+// state switches also minimizes hardware context switches, which is why
+// the executor reports switch counts per strategy (ablation bench).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "symex/state.h"
+
+namespace hardsnap::symex {
+
+enum class SearchStrategy : uint8_t { kDfs, kBfs, kRandom, kCoverage };
+
+const char* SearchStrategyName(SearchStrategy s);
+
+class Searcher {
+ public:
+  virtual ~Searcher() = default;
+
+  virtual void Add(State* state) = 0;
+  virtual void Remove(State* state) = 0;
+  virtual bool Empty() const = 0;
+  // `previous` may be null (first pick) or an already-terminated state.
+  virtual State* SelectNext(const State* previous) = 0;
+};
+
+std::unique_ptr<Searcher> MakeSearcher(SearchStrategy strategy, uint64_t seed);
+
+}  // namespace hardsnap::symex

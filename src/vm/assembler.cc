@@ -1,0 +1,479 @@
+#include "vm/assembler.h"
+
+#include <cctype>
+#include <optional>
+
+#include "vm/isa.h"
+
+namespace hardsnap::vm {
+
+namespace {
+
+struct Operand {
+  enum Kind { kReg, kImm, kSymbol, kMem } kind;
+  uint8_t reg = 0;       // kReg / kMem base
+  int64_t imm = 0;       // kImm / kMem offset
+  std::string symbol;    // kSymbol
+};
+
+struct ParsedLine {
+  int number = 0;
+  std::string label;     // without ':'
+  std::string mnemonic;  // lower-case, may be a directive (".word")
+  std::vector<Operand> operands;
+};
+
+Status ErrAt(int line, const std::string& msg) {
+  return ParseError("asm line " + std::to_string(line) + ": " + msg);
+}
+
+std::optional<uint8_t> ParseReg(const std::string& tok) {
+  static const std::map<std::string, uint8_t> abi = [] {
+    std::map<std::string, uint8_t> m;
+    for (unsigned i = 0; i < 32; ++i) {
+      m[RegName(i)] = static_cast<uint8_t>(i);
+      m["x" + std::to_string(i)] = static_cast<uint8_t>(i);
+    }
+    m["fp"] = 8;
+    return m;
+  }();
+  auto it = abi.find(tok);
+  if (it == abi.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<int64_t> ParseNumber(const std::string& tok) {
+  if (tok.empty()) return std::nullopt;
+  size_t i = 0;
+  bool neg = false;
+  if (tok[0] == '-') { neg = true; i = 1; }
+  if (i >= tok.size()) return std::nullopt;
+  int64_t value = 0;
+  if (tok.size() > i + 1 && tok[i] == '0' &&
+      (tok[i + 1] == 'x' || tok[i + 1] == 'X')) {
+    for (size_t j = i + 2; j < tok.size(); ++j) {
+      char c = static_cast<char>(std::tolower(tok[j]));
+      int d;
+      if (c >= '0' && c <= '9') d = c - '0';
+      else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+      else if (c == '_') continue;
+      else return std::nullopt;
+      value = value * 16 + d;
+    }
+  } else {
+    for (size_t j = i; j < tok.size(); ++j) {
+      if (tok[j] == '_') continue;
+      if (!std::isdigit(static_cast<unsigned char>(tok[j]))) return std::nullopt;
+      value = value * 10 + (tok[j] - '0');
+    }
+  }
+  return neg ? -value : value;
+}
+
+// Split "lw a0, 8(sp)" operands on commas (parens kept together).
+std::vector<std::string> SplitOperands(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  for (auto& tok : out) {
+    size_t b = tok.find_first_not_of(" \t");
+    size_t e = tok.find_last_not_of(" \t");
+    tok = b == std::string::npos ? "" : tok.substr(b, e - b + 1);
+  }
+  return out;
+}
+
+Result<Operand> ParseOperand(const std::string& tok, int line) {
+  Operand op;
+  // mem form: imm(reg)
+  size_t lp = tok.find('(');
+  if (lp != std::string::npos && tok.back() == ')') {
+    const std::string off = tok.substr(0, lp);
+    const std::string base = tok.substr(lp + 1, tok.size() - lp - 2);
+    auto reg = ParseReg(base);
+    if (!reg) return ErrAt(line, "bad base register '" + base + "'");
+    auto imm = off.empty() ? std::optional<int64_t>(0) : ParseNumber(off);
+    if (!imm) return ErrAt(line, "bad memory offset '" + off + "'");
+    op.kind = Operand::kMem;
+    op.reg = *reg;
+    op.imm = *imm;
+    return op;
+  }
+  if (auto reg = ParseReg(tok)) {
+    op.kind = Operand::kReg;
+    op.reg = *reg;
+    return op;
+  }
+  if (auto imm = ParseNumber(tok)) {
+    op.kind = Operand::kImm;
+    op.imm = *imm;
+    return op;
+  }
+  // symbol (label or CSR name)
+  op.kind = Operand::kSymbol;
+  op.symbol = tok;
+  return op;
+}
+
+std::optional<uint32_t> CsrByName(const std::string& name) {
+  if (name == "mstatus") return kCsrMstatus;
+  if (name == "mtvec") return kCsrMtvec;
+  if (name == "mepc") return kCsrMepc;
+  if (name == "mcause") return kCsrMcause;
+  return std::nullopt;
+}
+
+class Assembler {
+ public:
+  explicit Assembler(uint32_t base) : base_(base) {}
+
+  Result<FirmwareImage> Run(const std::string& source) {
+    HS_RETURN_IF_ERROR(ParseLines(source));
+    HS_RETURN_IF_ERROR(Layout());   // pass 1: sizes + symbols
+    HS_RETURN_IF_ERROR(EmitAll());  // pass 2: encode
+    FirmwareImage img;
+    img.base = base_;
+    img.bytes = std::move(image_);
+    img.symbols = std::move(symbols_);
+    return img;
+  }
+
+ private:
+  // Size in bytes each mnemonic occupies (pseudo-expansion aware).
+  Result<uint32_t> SizeOf(const ParsedLine& l) {
+    const std::string& m = l.mnemonic;
+    if (m == ".org" || m.empty()) return 0u;
+    if (m == ".word") return static_cast<uint32_t>(4 * l.operands.size());
+    if (m == ".space") {
+      if (l.operands.size() != 1 || l.operands[0].kind != Operand::kImm)
+        return ErrAt(l.number, ".space needs a byte count");
+      return static_cast<uint32_t>(l.operands[0].imm);
+    }
+    if (m == "li" || m == "la") return 8;  // worst case lui+addi
+    return 4;
+  }
+
+  Status ParseLines(const std::string& source) {
+    std::string line;
+    int number = 0;
+    size_t pos = 0;
+    while (pos <= source.size()) {
+      size_t nl = source.find('\n', pos);
+      if (nl == std::string::npos) nl = source.size();
+      line = source.substr(pos, nl - pos);
+      pos = nl + 1;
+      ++number;
+
+      // strip comments
+      for (const char* marker : {"#", "//"}) {
+        size_t c = line.find(marker);
+        if (c != std::string::npos) line = line.substr(0, c);
+      }
+      // trim
+      size_t b = line.find_first_not_of(" \t\r");
+      if (b == std::string::npos) continue;
+      size_t e = line.find_last_not_of(" \t\r");
+      line = line.substr(b, e - b + 1);
+
+      ParsedLine pl;
+      pl.number = number;
+      // label?
+      size_t colon = line.find(':');
+      if (colon != std::string::npos &&
+          line.find_first_of(" \t\"") > colon) {
+        pl.label = line.substr(0, colon);
+        line = line.substr(colon + 1);
+        size_t b2 = line.find_first_not_of(" \t");
+        line = b2 == std::string::npos ? "" : line.substr(b2);
+      }
+      if (!line.empty()) {
+        size_t sp = line.find_first_of(" \t");
+        pl.mnemonic = line.substr(0, sp);
+        for (auto& c : pl.mnemonic) c = static_cast<char>(std::tolower(c));
+        if (sp != std::string::npos) {
+          for (const std::string& tok : SplitOperands(line.substr(sp + 1))) {
+            if (tok.empty()) return ErrAt(number, "empty operand");
+            auto op = ParseOperand(tok, number);
+            if (!op.ok()) return op.status();
+            pl.operands.push_back(std::move(op).value());
+          }
+        }
+      }
+      lines_.push_back(std::move(pl));
+    }
+    return Status::Ok();
+  }
+
+  Status Layout() {
+    uint32_t pc = base_;
+    for (const auto& l : lines_) {
+      if (!l.label.empty()) {
+        if (symbols_.count(l.label))
+          return ErrAt(l.number, "duplicate label '" + l.label + "'");
+        symbols_[l.label] = pc;
+      }
+      if (l.mnemonic == ".org") {
+        if (l.operands.size() != 1 || l.operands[0].kind != Operand::kImm)
+          return ErrAt(l.number, ".org needs an address");
+        const uint32_t target = static_cast<uint32_t>(l.operands[0].imm);
+        if (target < pc) return ErrAt(l.number, ".org cannot move backward");
+        pc = target;
+        if (!l.label.empty()) symbols_[l.label] = pc;
+        continue;
+      }
+      auto size = SizeOf(l);
+      if (!size.ok()) return size.status();
+      pc += size.value();
+    }
+    return Status::Ok();
+  }
+
+  Result<int64_t> ImmOrSymbol(const Operand& op, int line) {
+    if (op.kind == Operand::kImm) return op.imm;
+    if (op.kind == Operand::kSymbol) {
+      auto it = symbols_.find(op.symbol);
+      if (it == symbols_.end())
+        return ErrAt(line, "unknown symbol '" + op.symbol + "'");
+      return static_cast<int64_t>(it->second);
+    }
+    return ErrAt(line, "expected immediate or symbol");
+  }
+
+  Status EmitWord(uint32_t word) {
+    const uint32_t off = pc_ - base_;
+    if (image_.size() < off + 4) image_.resize(off + 4, 0);
+    for (int i = 0; i < 4; ++i)
+      image_[off + i] = static_cast<uint8_t>(word >> (8 * i));
+    pc_ += 4;
+    return Status::Ok();
+  }
+
+  Status EmitInstr(const Instruction& in, int line) {
+    auto word = Encode(in);
+    if (!word.ok())
+      return ErrAt(line, "encode failed: " + word.status().ToString());
+    return EmitWord(word.value());
+  }
+
+  // Branch/jump displacement to a target operand.
+  Result<int32_t> Displacement(const Operand& op, int line) {
+    auto target = ImmOrSymbol(op, line);
+    if (!target.ok()) return target.status();
+    return static_cast<int32_t>(target.value() - static_cast<int64_t>(pc_));
+  }
+
+  Status EmitLi(uint8_t rd, int64_t value, int line) {
+    const int32_t v = static_cast<int32_t>(value);
+    if (v >= -2048 && v < 2048) {
+      HS_RETURN_IF_ERROR(
+          EmitInstr({Opcode::kAddi, rd, 0, 0, v, 0}, line));
+      return EmitInstr({Opcode::kAddi, rd, rd, 0, 0, 0}, line);  // pad (nop-like)
+    }
+    const uint32_t uv = static_cast<uint32_t>(v);
+    const uint32_t hi = (uv + 0x800) & 0xfffff000u;
+    const int32_t lo = static_cast<int32_t>(uv - hi);
+    HS_RETURN_IF_ERROR(EmitInstr(
+        {Opcode::kLui, rd, 0, 0, static_cast<int32_t>(hi), 0}, line));
+    return EmitInstr({Opcode::kAddi, rd, rd, 0, lo, 0}, line);
+  }
+
+  Status EmitAll() {
+    pc_ = base_;
+    for (const auto& l : lines_) {
+      if (l.mnemonic == ".org") {
+        pc_ = static_cast<uint32_t>(l.operands[0].imm);
+        const uint32_t off = pc_ - base_;
+        if (image_.size() < off) image_.resize(off, 0);
+        continue;
+      }
+      if (l.mnemonic.empty()) continue;
+      HS_RETURN_IF_ERROR(EmitOne(l));
+    }
+    return Status::Ok();
+  }
+
+  Status EmitOne(const ParsedLine& l) {
+    const std::string& m = l.mnemonic;
+    const int line = l.number;
+    const auto& ops = l.operands;
+    auto need = [&](size_t n) -> Status {
+      if (ops.size() != n)
+        return ErrAt(line, m + " expects " + std::to_string(n) + " operands");
+      return Status::Ok();
+    };
+    auto reg = [&](size_t i) { return ops[i].reg; };
+
+    // --- directives ---------------------------------------------------
+    if (m == ".word") {
+      for (const auto& op : ops) {
+        auto v = ImmOrSymbol(op, line);
+        if (!v.ok()) return v.status();
+        HS_RETURN_IF_ERROR(EmitWord(static_cast<uint32_t>(v.value())));
+      }
+      return Status::Ok();
+    }
+    if (m == ".space") {
+      const uint32_t n = static_cast<uint32_t>(ops[0].imm);
+      const uint32_t off = pc_ - base_;
+      if (image_.size() < off + n) image_.resize(off + n, 0);
+      pc_ += n;
+      return Status::Ok();
+    }
+
+    // --- pseudo-instructions -------------------------------------------
+    if (m == "nop") return EmitInstr({Opcode::kAddi, 0, 0, 0, 0, 0}, line);
+    if (m == "mv") {
+      HS_RETURN_IF_ERROR(need(2));
+      return EmitInstr({Opcode::kAddi, reg(0), reg(1), 0, 0, 0}, line);
+    }
+    if (m == "li" || m == "la") {
+      HS_RETURN_IF_ERROR(need(2));
+      auto v = ImmOrSymbol(ops[1], line);
+      if (!v.ok()) return v.status();
+      return EmitLi(reg(0), v.value(), line);
+    }
+    if (m == "j") {
+      HS_RETURN_IF_ERROR(need(1));
+      auto d = Displacement(ops[0], line);
+      if (!d.ok()) return d.status();
+      return EmitInstr({Opcode::kJal, 0, 0, 0, d.value(), 0}, line);
+    }
+    if (m == "call") {
+      HS_RETURN_IF_ERROR(need(1));
+      auto d = Displacement(ops[0], line);
+      if (!d.ok()) return d.status();
+      return EmitInstr({Opcode::kJal, 1, 0, 0, d.value(), 0}, line);
+    }
+    if (m == "jr") {
+      HS_RETURN_IF_ERROR(need(1));
+      return EmitInstr({Opcode::kJalr, 0, reg(0), 0, 0, 0}, line);
+    }
+    if (m == "ret") return EmitInstr({Opcode::kJalr, 0, 1, 0, 0, 0}, line);
+    if (m == "beqz" || m == "bnez") {
+      HS_RETURN_IF_ERROR(need(2));
+      auto d = Displacement(ops[1], line);
+      if (!d.ok()) return d.status();
+      return EmitInstr({m == "beqz" ? Opcode::kBeq : Opcode::kBne, 0, reg(0),
+                        0, d.value(), 0},
+                       line);
+    }
+    if (m == "csrr") {  // csrr rd, csr
+      HS_RETURN_IF_ERROR(need(2));
+      auto csr = CsrByName(ops[1].symbol);
+      if (!csr) return ErrAt(line, "unknown CSR");
+      Instruction in{Opcode::kCsrrs, reg(0), 0, 0, 0, *csr};
+      return EmitInstr(in, line);
+    }
+    if (m == "csrw") {  // csrw csr, rs
+      HS_RETURN_IF_ERROR(need(2));
+      auto csr = CsrByName(ops[0].symbol);
+      if (!csr) return ErrAt(line, "unknown CSR");
+      Instruction in{Opcode::kCsrrw, 0, reg(1), 0, 0, *csr};
+      return EmitInstr(in, line);
+    }
+
+    // --- simple no-operand instructions -------------------------------
+    if (m == "ecall") return EmitInstr({Opcode::kEcall, 0, 0, 0, 0, 0}, line);
+    if (m == "ebreak") return EmitInstr({Opcode::kEbreak, 0, 0, 0, 0, 0}, line);
+    if (m == "mret") return EmitInstr({Opcode::kMret, 0, 0, 0, 0, 0}, line);
+    if (m == "wfi") return EmitInstr({Opcode::kWfi, 0, 0, 0, 0, 0}, line);
+
+    // --- real instructions by operand pattern ---------------------------
+    static const std::map<std::string, Opcode> r_type = {
+        {"add", Opcode::kAdd}, {"sub", Opcode::kSub}, {"sll", Opcode::kSll},
+        {"slt", Opcode::kSlt}, {"sltu", Opcode::kSltu}, {"xor", Opcode::kXor},
+        {"srl", Opcode::kSrl}, {"sra", Opcode::kSra}, {"or", Opcode::kOr},
+        {"and", Opcode::kAnd}, {"mul", Opcode::kMul}, {"mulh", Opcode::kMulh},
+        {"mulhsu", Opcode::kMulhsu}, {"mulhu", Opcode::kMulhu},
+        {"div", Opcode::kDiv}, {"divu", Opcode::kDivu},
+        {"rem", Opcode::kRem}, {"remu", Opcode::kRemu}};
+    static const std::map<std::string, Opcode> i_type = {
+        {"addi", Opcode::kAddi}, {"slti", Opcode::kSlti},
+        {"sltiu", Opcode::kSltiu}, {"xori", Opcode::kXori},
+        {"ori", Opcode::kOri}, {"andi", Opcode::kAndi},
+        {"slli", Opcode::kSlli}, {"srli", Opcode::kSrli},
+        {"srai", Opcode::kSrai}};
+    static const std::map<std::string, Opcode> load_type = {
+        {"lb", Opcode::kLb}, {"lh", Opcode::kLh}, {"lw", Opcode::kLw},
+        {"lbu", Opcode::kLbu}, {"lhu", Opcode::kLhu}};
+    static const std::map<std::string, Opcode> store_type = {
+        {"sb", Opcode::kSb}, {"sh", Opcode::kSh}, {"sw", Opcode::kSw}};
+    static const std::map<std::string, Opcode> branch_type = {
+        {"beq", Opcode::kBeq}, {"bne", Opcode::kBne}, {"blt", Opcode::kBlt},
+        {"bge", Opcode::kBge}, {"bltu", Opcode::kBltu},
+        {"bgeu", Opcode::kBgeu}};
+
+    if (auto it = r_type.find(m); it != r_type.end()) {
+      HS_RETURN_IF_ERROR(need(3));
+      return EmitInstr({it->second, reg(0), reg(1), reg(2), 0, 0}, line);
+    }
+    if (auto it = i_type.find(m); it != i_type.end()) {
+      HS_RETURN_IF_ERROR(need(3));
+      auto v = ImmOrSymbol(ops[2], line);
+      if (!v.ok()) return v.status();
+      return EmitInstr(
+          {it->second, reg(0), reg(1), 0, static_cast<int32_t>(v.value()), 0},
+          line);
+    }
+    if (auto it = load_type.find(m); it != load_type.end()) {
+      HS_RETURN_IF_ERROR(need(2));
+      if (ops[1].kind != Operand::kMem)
+        return ErrAt(line, "load needs offset(base) operand");
+      return EmitInstr({it->second, reg(0), ops[1].reg, 0,
+                        static_cast<int32_t>(ops[1].imm), 0},
+                       line);
+    }
+    if (auto it = store_type.find(m); it != store_type.end()) {
+      HS_RETURN_IF_ERROR(need(2));
+      if (ops[1].kind != Operand::kMem)
+        return ErrAt(line, "store needs offset(base) operand");
+      return EmitInstr({it->second, 0, ops[1].reg, reg(0),
+                        static_cast<int32_t>(ops[1].imm), 0},
+                       line);
+    }
+    if (auto it = branch_type.find(m); it != branch_type.end()) {
+      HS_RETURN_IF_ERROR(need(3));
+      auto d = Displacement(ops[2], line);
+      if (!d.ok()) return d.status();
+      return EmitInstr({it->second, 0, reg(0), reg(1), d.value(), 0}, line);
+    }
+    if (m == "jal") {  // jal rd, target
+      HS_RETURN_IF_ERROR(need(2));
+      auto d = Displacement(ops[1], line);
+      if (!d.ok()) return d.status();
+      return EmitInstr({Opcode::kJal, reg(0), 0, 0, d.value(), 0}, line);
+    }
+    if (m == "jalr") {  // jalr rd, offset(rs1)
+      HS_RETURN_IF_ERROR(need(2));
+      if (ops[1].kind != Operand::kMem)
+        return ErrAt(line, "jalr needs offset(base) operand");
+      return EmitInstr({Opcode::kJalr, reg(0), ops[1].reg, 0,
+                        static_cast<int32_t>(ops[1].imm), 0},
+                       line);
+    }
+    return ErrAt(line, "unknown mnemonic '" + m + "'");
+  }
+
+  uint32_t base_;
+  uint32_t pc_ = 0;
+  std::vector<ParsedLine> lines_;
+  std::map<std::string, uint32_t> symbols_;
+  std::vector<uint8_t> image_;
+};
+
+}  // namespace
+
+Result<FirmwareImage> Assemble(const std::string& source, uint32_t base) {
+  Assembler as(base);
+  return as.Run(source);
+}
+
+}  // namespace hardsnap::vm

@@ -1,0 +1,39 @@
+// Two-pass assembler for the firmware corpus.
+//
+// Accepts a practical subset of RISC-V assembly:
+//   * all RV32IM mnemonics from isa.h with standard operand forms
+//     ("addi a0, a1, -4", "lw a0, 8(sp)", "beq a0, a1, label");
+//   * labels ("loop:") and label operands in branches/jumps/li/la/.word;
+//   * pseudo-instructions: nop, mv, li (32-bit, expands to lui+addi),
+//     la, j, jr, call, ret, beqz, bnez, csrr, csrw;
+//   * directives: .org <addr> (forward only), .word <v>{,<v>},
+//     .space <bytes>;
+//   * comments: '#' or '//' to end of line.
+//
+// The output image is a flat byte vector based at `base` (default 0,
+// i.e. ROM) with a symbol table for tests and loaders.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hardsnap::vm {
+
+struct FirmwareImage {
+  uint32_t base = 0;
+  std::vector<uint8_t> bytes;
+  std::map<std::string, uint32_t> symbols;
+
+  uint32_t SymbolOr(const std::string& name, uint32_t fallback) const {
+    auto it = symbols.find(name);
+    return it == symbols.end() ? fallback : it->second;
+  }
+};
+
+Result<FirmwareImage> Assemble(const std::string& source, uint32_t base = 0);
+
+}  // namespace hardsnap::vm

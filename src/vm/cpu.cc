@@ -1,0 +1,330 @@
+#include "vm/cpu.h"
+
+#include <cstdio>
+
+namespace hardsnap::vm {
+
+namespace {
+
+int32_t AsSigned(uint32_t v) { return static_cast<int32_t>(v); }
+
+}  // namespace
+
+Cpu::Cpu(bus::HardwareTarget* target, unsigned cycles_per_instruction)
+    : target_(target), cycles_per_instruction_(cycles_per_instruction) {
+  state_.ram.assign(kRamSize, 0);
+  state_.regs[2] = kStackTop - 16;
+}
+
+Status Cpu::LoadFirmware(const FirmwareImage& image) {
+  if (image.base != kRomBase)
+    return InvalidArgument("firmware must be based at ROM");
+  if (image.bytes.size() > kRomSize)
+    return InvalidArgument("firmware larger than ROM");
+  image_ = image;
+  state_.pc = image.SymbolOr("_start", kRomBase);
+  return Status::Ok();
+}
+
+Status Cpu::WriteRam(uint32_t addr, const std::vector<uint8_t>& bytes) {
+  if (!InRam(addr) || !InRam(addr + static_cast<uint32_t>(bytes.size()) - 1))
+    return OutOfRange("WriteRam outside RAM");
+  for (size_t i = 0; i < bytes.size(); ++i)
+    state_.ram[addr - kRamBase + i] = bytes[i];
+  return Status::Ok();
+}
+
+Result<uint8_t> Cpu::ReadRam(uint32_t addr) const {
+  if (!InRam(addr)) return OutOfRange("ReadRam outside RAM");
+  return state_.ram[addr - kRamBase];
+}
+
+Result<uint32_t> Cpu::Load(uint32_t addr, unsigned bytes) {
+  uint32_t v = 0;
+  for (unsigned i = 0; i < bytes; ++i) {
+    uint8_t byte;
+    const uint32_t a = addr + i;
+    if (InRam(a)) {
+      byte = state_.ram[a - kRamBase];
+    } else if (InRom(a)) {
+      const uint32_t off = a - image_.base;
+      byte = off < image_.bytes.size() ? image_.bytes[off] : 0;
+    } else {
+      return OutOfRange("load outside mapped memory");
+    }
+    v |= uint32_t{byte} << (8 * i);
+  }
+  return v;
+}
+
+Status Cpu::Store(uint32_t addr, uint32_t value, unsigned bytes,
+                  RunOutcome* outcome) {
+  (void)outcome;
+  for (unsigned i = 0; i < bytes; ++i) {
+    const uint32_t a = addr + i;
+    if (!InRam(a)) return OutOfRange("store outside RAM");
+    state_.ram[a - kRamBase] = static_cast<uint8_t>(value >> (8 * i));
+  }
+  return Status::Ok();
+}
+
+void Cpu::ServeInterrupt() {
+  if (state_.in_interrupt || (state_.mstatus & kMstatusMie) == 0) return;
+  if (!target_) return;
+  const uint32_t pending = target_->IrqVector();
+  if (pending == 0) return;
+  unsigned line = 0;
+  while (((pending >> line) & 1) == 0) ++line;
+  state_.mepc = state_.pc;
+  state_.mcause = 0x80000000u | line;
+  state_.pc = state_.mtvec;
+  state_.mstatus |= kMstatusMpie;
+  state_.mstatus &= ~kMstatusMie;
+  state_.in_interrupt = true;
+  NoteEdge(state_.pc);
+}
+
+RunOutcome Cpu::Step() {
+  RunOutcome out;
+  ServeInterrupt();
+
+  if (!InRom(state_.pc) || (state_.pc & 3) != 0) {
+    out.status = RunStatus::kBug;
+    out.fault_pc = state_.pc;
+    out.reason = "instruction fetch outside ROM";
+    return out;
+  }
+  auto word = Load(state_.pc, 4);
+  HS_CHECK(word.ok());
+  auto decoded = Decode(word.value());
+  if (!decoded.ok()) {
+    out.status = RunStatus::kBug;
+    out.fault_pc = state_.pc;
+    out.reason = "illegal instruction";
+    return out;
+  }
+  const Instruction& in = decoded.value();
+  const uint32_t next_pc = state_.pc + 4;
+  ++state_.icount;
+
+  auto& regs = state_.regs;
+  auto rs1 = regs[in.rs1];
+  auto rs2 = regs[in.rs2];
+  auto set_rd = [&](uint32_t v) {
+    if (in.rd != 0) regs[in.rd] = v;
+  };
+  const uint32_t imm = static_cast<uint32_t>(in.imm);
+
+  auto bug = [&](const char* why, uint32_t at) {
+    out.status = RunStatus::kBug;
+    out.fault_pc = at;
+    out.reason = why;
+  };
+
+  switch (in.op) {
+    case Opcode::kLui: set_rd(imm); state_.pc = next_pc; break;
+    case Opcode::kAuipc: set_rd(state_.pc + imm); state_.pc = next_pc; break;
+    case Opcode::kJal:
+      set_rd(next_pc);
+      state_.pc = state_.pc + imm;
+      NoteEdge(state_.pc);
+      break;
+    case Opcode::kJalr: {
+      const uint32_t t = (rs1 + imm) & ~1u;
+      set_rd(next_pc);
+      state_.pc = t;
+      NoteEdge(state_.pc);
+      break;
+    }
+    case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt:
+    case Opcode::kBge: case Opcode::kBltu: case Opcode::kBgeu: {
+      bool taken = false;
+      switch (in.op) {
+        case Opcode::kBeq: taken = rs1 == rs2; break;
+        case Opcode::kBne: taken = rs1 != rs2; break;
+        case Opcode::kBlt: taken = AsSigned(rs1) < AsSigned(rs2); break;
+        case Opcode::kBge: taken = AsSigned(rs1) >= AsSigned(rs2); break;
+        case Opcode::kBltu: taken = rs1 < rs2; break;
+        default: taken = rs1 >= rs2; break;
+      }
+      state_.pc = taken ? state_.pc + imm : next_pc;
+      if (taken) NoteEdge(state_.pc);
+      break;
+    }
+    case Opcode::kLb: case Opcode::kLh: case Opcode::kLw:
+    case Opcode::kLbu: case Opcode::kLhu: {
+      const uint32_t addr = rs1 + imm;
+      unsigned bytes = in.op == Opcode::kLw ? 4
+                       : (in.op == Opcode::kLh || in.op == Opcode::kLhu) ? 2
+                                                                         : 1;
+      uint32_t v;
+      if (InMmio(addr)) {
+        if (!target_) { bug("MMIO access without hardware", state_.pc); return out; }
+        auto r = target_->Read32(addr & 0xffff);
+        if (!r.ok()) { bug("MMIO read failed", state_.pc); return out; }
+        v = r.value();
+      } else {
+        auto r = Load(addr, bytes);
+        if (!r.ok()) { bug("out-of-bounds load", state_.pc); return out; }
+        v = r.value();
+      }
+      switch (in.op) {
+        case Opcode::kLb: v = static_cast<uint32_t>(static_cast<int8_t>(v)); break;
+        case Opcode::kLh: v = static_cast<uint32_t>(static_cast<int16_t>(v)); break;
+        case Opcode::kLbu: v &= 0xff; break;
+        case Opcode::kLhu: v &= 0xffff; break;
+        default: break;
+      }
+      set_rd(v);
+      state_.pc = next_pc;
+      break;
+    }
+    case Opcode::kSb: case Opcode::kSh: case Opcode::kSw: {
+      const uint32_t addr = rs1 + imm;
+      unsigned bytes = in.op == Opcode::kSw ? 4
+                       : in.op == Opcode::kSh ? 2 : 1;
+      if (addr == kHostPutchar) {
+        console_.push_back(static_cast<char>(rs2 & 0xff));
+        state_.pc = next_pc;
+        break;
+      }
+      if (addr == kHostExit) {
+        out.status = RunStatus::kExited;
+        out.exit_code = rs2;
+        return out;
+      }
+      if (InMmio(addr)) {
+        if (!target_) { bug("MMIO access without hardware", state_.pc); return out; }
+        if (!target_->Write32(addr & 0xffff, rs2).ok()) {
+          bug("MMIO write failed", state_.pc);
+          return out;
+        }
+      } else if (!Store(addr, rs2, bytes, &out).ok()) {
+        bug("out-of-bounds store", state_.pc);
+        return out;
+      }
+      state_.pc = next_pc;
+      break;
+    }
+    case Opcode::kAddi: set_rd(rs1 + imm); state_.pc = next_pc; break;
+    case Opcode::kSlti: set_rd(AsSigned(rs1) < AsSigned(imm) ? 1 : 0); state_.pc = next_pc; break;
+    case Opcode::kSltiu: set_rd(rs1 < imm ? 1 : 0); state_.pc = next_pc; break;
+    case Opcode::kXori: set_rd(rs1 ^ imm); state_.pc = next_pc; break;
+    case Opcode::kOri: set_rd(rs1 | imm); state_.pc = next_pc; break;
+    case Opcode::kAndi: set_rd(rs1 & imm); state_.pc = next_pc; break;
+    case Opcode::kSlli: set_rd(rs1 << (imm & 31)); state_.pc = next_pc; break;
+    case Opcode::kSrli: set_rd(rs1 >> (imm & 31)); state_.pc = next_pc; break;
+    case Opcode::kSrai: set_rd(static_cast<uint32_t>(AsSigned(rs1) >> (imm & 31))); state_.pc = next_pc; break;
+    case Opcode::kAdd: set_rd(rs1 + rs2); state_.pc = next_pc; break;
+    case Opcode::kSub: set_rd(rs1 - rs2); state_.pc = next_pc; break;
+    case Opcode::kSll: set_rd(rs1 << (rs2 & 31)); state_.pc = next_pc; break;
+    case Opcode::kSlt: set_rd(AsSigned(rs1) < AsSigned(rs2) ? 1 : 0); state_.pc = next_pc; break;
+    case Opcode::kSltu: set_rd(rs1 < rs2 ? 1 : 0); state_.pc = next_pc; break;
+    case Opcode::kXor: set_rd(rs1 ^ rs2); state_.pc = next_pc; break;
+    case Opcode::kSrl: set_rd(rs1 >> (rs2 & 31)); state_.pc = next_pc; break;
+    case Opcode::kSra: set_rd(static_cast<uint32_t>(AsSigned(rs1) >> (rs2 & 31))); state_.pc = next_pc; break;
+    case Opcode::kOr: set_rd(rs1 | rs2); state_.pc = next_pc; break;
+    case Opcode::kAnd: set_rd(rs1 & rs2); state_.pc = next_pc; break;
+    case Opcode::kMul: set_rd(rs1 * rs2); state_.pc = next_pc; break;
+    case Opcode::kMulh:
+      set_rd(static_cast<uint32_t>(
+          (static_cast<int64_t>(AsSigned(rs1)) *
+           static_cast<int64_t>(AsSigned(rs2))) >> 32));
+      state_.pc = next_pc;
+      break;
+    case Opcode::kMulhu:
+      set_rd(static_cast<uint32_t>(
+          (static_cast<uint64_t>(rs1) * static_cast<uint64_t>(rs2)) >> 32));
+      state_.pc = next_pc;
+      break;
+    case Opcode::kMulhsu:
+      set_rd(static_cast<uint32_t>(
+          (static_cast<int64_t>(AsSigned(rs1)) *
+           static_cast<int64_t>(static_cast<uint64_t>(rs2))) >> 32));
+      state_.pc = next_pc;
+      break;
+    case Opcode::kDiv:
+      if (rs2 == 0) set_rd(~0u);
+      else if (rs1 == 0x80000000u && rs2 == ~0u) set_rd(0x80000000u);
+      else set_rd(static_cast<uint32_t>(AsSigned(rs1) / AsSigned(rs2)));
+      state_.pc = next_pc;
+      break;
+    case Opcode::kDivu:
+      set_rd(rs2 == 0 ? ~0u : rs1 / rs2);
+      state_.pc = next_pc;
+      break;
+    case Opcode::kRem:
+      if (rs2 == 0) set_rd(rs1);
+      else if (rs1 == 0x80000000u && rs2 == ~0u) set_rd(0);
+      else set_rd(static_cast<uint32_t>(AsSigned(rs1) % AsSigned(rs2)));
+      state_.pc = next_pc;
+      break;
+    case Opcode::kRemu:
+      set_rd(rs2 == 0 ? rs1 : rs1 % rs2);
+      state_.pc = next_pc;
+      break;
+    case Opcode::kCsrrw: case Opcode::kCsrrs: case Opcode::kCsrrc: {
+      uint32_t* csr = nullptr;
+      switch (in.csr) {
+        case kCsrMstatus: csr = &state_.mstatus; break;
+        case kCsrMtvec: csr = &state_.mtvec; break;
+        case kCsrMepc: csr = &state_.mepc; break;
+        case kCsrMcause: csr = &state_.mcause; break;
+        default:
+          bug("unknown CSR", state_.pc);
+          return out;
+      }
+      const uint32_t old = *csr;
+      switch (in.op) {
+        case Opcode::kCsrrw: *csr = rs1; break;
+        case Opcode::kCsrrs: if (in.rs1 != 0) *csr = old | rs1; break;
+        default: if (in.rs1 != 0) *csr = old & ~rs1; break;
+      }
+      set_rd(old);
+      state_.pc = next_pc;
+      break;
+    }
+    case Opcode::kEcall: state_.pc = next_pc; break;
+    case Opcode::kEbreak:
+      bug("ebreak", state_.pc);
+      return out;
+    case Opcode::kMret:
+      state_.pc = state_.mepc;
+      if (state_.mstatus & kMstatusMpie) state_.mstatus |= kMstatusMie;
+      state_.in_interrupt = false;
+      NoteEdge(state_.pc);
+      break;
+    case Opcode::kWfi:
+      if (target_ && target_->IrqVector() == 0) {
+        HS_CHECK(target_->Run(16).ok());
+        if (target_->IrqVector() == 0) {
+          if ((state_.mstatus & kMstatusMie) == 0) {
+            out.status = RunStatus::kWaiting;
+            out.reason = "wfi with interrupts masked";
+            return out;
+          }
+          return out;  // keep waiting at the same pc
+        }
+      }
+      state_.pc = next_pc;
+      break;
+    case Opcode::kFence:
+      state_.pc = next_pc;
+      break;
+  }
+
+  if (target_) HS_CHECK(target_->Run(cycles_per_instruction_).ok());
+  return out;
+}
+
+RunOutcome Cpu::Run(uint64_t max_instructions) {
+  RunOutcome out;
+  for (uint64_t i = 0; i < max_instructions; ++i) {
+    out = Step();
+    if (out.status != RunStatus::kRunning) return out;
+  }
+  out.status = RunStatus::kRunning;
+  return out;
+}
+
+}  // namespace hardsnap::vm

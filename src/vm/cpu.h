@@ -1,0 +1,100 @@
+// Concrete RV32IM CPU model.
+//
+// The fast path for concrete workloads (fuzzing, firmware bring-up,
+// differential testing of the symbolic executor). Shares the decoder and
+// memory map with the symbolic VM but executes over plain uint32_t.
+//
+// Like the symbolic executor, MMIO-window accesses are forwarded to a
+// HardwareTarget and the hardware advances `cycles_per_instruction` per
+// retired instruction. CpuState is a plain value: copy it out for a
+// software snapshot, assign it back to restore — pair it with
+// HardwareTarget::SaveState() for a full HardSnap-style SW+HW snapshot.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bus/target.h"
+#include "common/status.h"
+#include "vm/assembler.h"
+#include "vm/isa.h"
+#include "vm/memmap.h"
+
+namespace hardsnap::vm {
+
+struct CpuState {
+  std::array<uint32_t, 32> regs{};
+  uint32_t pc = 0;
+  uint32_t mstatus = 0, mtvec = 0, mepc = 0, mcause = 0;
+  bool in_interrupt = false;
+  std::vector<uint8_t> ram;  // kRamSize bytes
+  uint64_t icount = 0;
+};
+
+enum class RunStatus : uint8_t {
+  kRunning,     // budget exhausted, resumable
+  kExited,      // firmware wrote kHostExit
+  kBug,         // memory violation / ebreak / illegal instruction
+  kWaiting,     // wfi with interrupts disabled: cannot make progress
+};
+
+struct RunOutcome {
+  RunStatus status = RunStatus::kRunning;
+  uint32_t exit_code = 0;
+  uint32_t fault_pc = 0;
+  std::string reason;
+};
+
+class Cpu {
+ public:
+  // `target` may be null for hardware-free firmware (MMIO then faults).
+  Cpu(bus::HardwareTarget* target, unsigned cycles_per_instruction = 1);
+
+  Status LoadFirmware(const FirmwareImage& image);
+
+  // Execute up to `max_instructions`; returns early on exit/bug/wait.
+  RunOutcome Run(uint64_t max_instructions);
+
+  // Single step (exposed for tracing tools and tests).
+  RunOutcome Step();
+
+  // --- snapshotting -----------------------------------------------------
+  const CpuState& state() const { return state_; }
+  CpuState SnapshotSoftware() const { return state_; }
+  void RestoreSoftware(const CpuState& snapshot) { state_ = snapshot; }
+
+  // --- direct access ---------------------------------------------------
+  uint32_t reg(unsigned i) const { return state_.regs[i]; }
+  void set_reg(unsigned i, uint32_t v) {
+    if (i != 0) state_.regs[i] = v;
+  }
+  uint32_t pc() const { return state_.pc; }
+  void set_pc(uint32_t pc) { state_.pc = pc; }
+  Status WriteRam(uint32_t addr, const std::vector<uint8_t>& bytes);
+  Result<uint8_t> ReadRam(uint32_t addr) const;
+  const std::string& console() const { return console_; }
+  void ClearConsole() { console_.clear(); }
+
+  // Basic-block-entry coverage observed since construction (for the
+  // coverage-guided fuzzer): PCs that were targets of taken control flow.
+  const std::vector<uint32_t>& coverage_log() const { return coverage_log_; }
+  void ClearCoverageLog() { coverage_log_.clear(); }
+
+ private:
+  Result<uint32_t> Load(uint32_t addr, unsigned bytes);
+  Status Store(uint32_t addr, uint32_t value, unsigned bytes,
+               RunOutcome* outcome);
+  void ServeInterrupt();
+  void NoteEdge(uint32_t target_pc) { coverage_log_.push_back(target_pc); }
+
+  bus::HardwareTarget* target_;
+  unsigned cycles_per_instruction_;
+  FirmwareImage image_;
+  CpuState state_;
+  std::string console_;
+  std::vector<uint32_t> coverage_log_;
+};
+
+}  // namespace hardsnap::vm

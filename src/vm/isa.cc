@@ -1,0 +1,398 @@
+#include "vm/isa.h"
+
+#include <cstdio>
+
+namespace hardsnap::vm {
+
+namespace {
+
+uint32_t Bits(uint32_t w, int hi, int lo) {
+  return (w >> lo) & ((1u << (hi - lo + 1)) - 1);
+}
+
+int32_t SignExt(uint32_t v, int bits) {
+  const uint32_t sign = 1u << (bits - 1);
+  return static_cast<int32_t>((v ^ sign) - sign);
+}
+
+}  // namespace
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kLui: return "lui";
+    case Opcode::kAuipc: return "auipc";
+    case Opcode::kJal: return "jal";
+    case Opcode::kJalr: return "jalr";
+    case Opcode::kBeq: return "beq";
+    case Opcode::kBne: return "bne";
+    case Opcode::kBlt: return "blt";
+    case Opcode::kBge: return "bge";
+    case Opcode::kBltu: return "bltu";
+    case Opcode::kBgeu: return "bgeu";
+    case Opcode::kLb: return "lb";
+    case Opcode::kLh: return "lh";
+    case Opcode::kLw: return "lw";
+    case Opcode::kLbu: return "lbu";
+    case Opcode::kLhu: return "lhu";
+    case Opcode::kSb: return "sb";
+    case Opcode::kSh: return "sh";
+    case Opcode::kSw: return "sw";
+    case Opcode::kAddi: return "addi";
+    case Opcode::kSlti: return "slti";
+    case Opcode::kSltiu: return "sltiu";
+    case Opcode::kXori: return "xori";
+    case Opcode::kOri: return "ori";
+    case Opcode::kAndi: return "andi";
+    case Opcode::kSlli: return "slli";
+    case Opcode::kSrli: return "srli";
+    case Opcode::kSrai: return "srai";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kSll: return "sll";
+    case Opcode::kSlt: return "slt";
+    case Opcode::kSltu: return "sltu";
+    case Opcode::kXor: return "xor";
+    case Opcode::kSrl: return "srl";
+    case Opcode::kSra: return "sra";
+    case Opcode::kOr: return "or";
+    case Opcode::kAnd: return "and";
+    case Opcode::kMul: return "mul";
+    case Opcode::kMulh: return "mulh";
+    case Opcode::kMulhsu: return "mulhsu";
+    case Opcode::kMulhu: return "mulhu";
+    case Opcode::kDiv: return "div";
+    case Opcode::kDivu: return "divu";
+    case Opcode::kRem: return "rem";
+    case Opcode::kRemu: return "remu";
+    case Opcode::kCsrrw: return "csrrw";
+    case Opcode::kCsrrs: return "csrrs";
+    case Opcode::kCsrrc: return "csrrc";
+    case Opcode::kEcall: return "ecall";
+    case Opcode::kEbreak: return "ebreak";
+    case Opcode::kMret: return "mret";
+    case Opcode::kWfi: return "wfi";
+    case Opcode::kFence: return "fence";
+  }
+  return "?";
+}
+
+const char* RegName(unsigned reg) {
+  static const char* names[32] = {
+      "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+      "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+      "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+  return reg < 32 ? names[reg] : "??";
+}
+
+Result<Instruction> Decode(uint32_t w) {
+  Instruction in;
+  const uint32_t opcode = Bits(w, 6, 0);
+  const uint32_t rd = Bits(w, 11, 7);
+  const uint32_t funct3 = Bits(w, 14, 12);
+  const uint32_t rs1 = Bits(w, 19, 15);
+  const uint32_t rs2 = Bits(w, 24, 20);
+  const uint32_t funct7 = Bits(w, 31, 25);
+  in.rd = static_cast<uint8_t>(rd);
+  in.rs1 = static_cast<uint8_t>(rs1);
+  in.rs2 = static_cast<uint8_t>(rs2);
+
+  auto bad = [&]() -> Result<Instruction> {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "cannot decode instruction word 0x%08x", w);
+    return InvalidArgument(buf);
+  };
+
+  switch (opcode) {
+    case 0x37:
+      in.op = Opcode::kLui;
+      in.imm = static_cast<int32_t>(w & 0xfffff000u);
+      return in;
+    case 0x17:
+      in.op = Opcode::kAuipc;
+      in.imm = static_cast<int32_t>(w & 0xfffff000u);
+      return in;
+    case 0x6f: {
+      in.op = Opcode::kJal;
+      const uint32_t imm = (Bits(w, 31, 31) << 20) | (Bits(w, 19, 12) << 12) |
+                           (Bits(w, 20, 20) << 11) | (Bits(w, 30, 21) << 1);
+      in.imm = SignExt(imm, 21);
+      return in;
+    }
+    case 0x67:
+      if (funct3 != 0) return bad();
+      in.op = Opcode::kJalr;
+      in.imm = SignExt(Bits(w, 31, 20), 12);
+      return in;
+    case 0x63: {
+      const uint32_t imm = (Bits(w, 31, 31) << 12) | (Bits(w, 7, 7) << 11) |
+                           (Bits(w, 30, 25) << 5) | (Bits(w, 11, 8) << 1);
+      in.imm = SignExt(imm, 13);
+      switch (funct3) {
+        case 0: in.op = Opcode::kBeq; return in;
+        case 1: in.op = Opcode::kBne; return in;
+        case 4: in.op = Opcode::kBlt; return in;
+        case 5: in.op = Opcode::kBge; return in;
+        case 6: in.op = Opcode::kBltu; return in;
+        case 7: in.op = Opcode::kBgeu; return in;
+        default: return bad();
+      }
+    }
+    case 0x03:
+      in.imm = SignExt(Bits(w, 31, 20), 12);
+      switch (funct3) {
+        case 0: in.op = Opcode::kLb; return in;
+        case 1: in.op = Opcode::kLh; return in;
+        case 2: in.op = Opcode::kLw; return in;
+        case 4: in.op = Opcode::kLbu; return in;
+        case 5: in.op = Opcode::kLhu; return in;
+        default: return bad();
+      }
+    case 0x23: {
+      const uint32_t imm = (Bits(w, 31, 25) << 5) | Bits(w, 11, 7);
+      in.imm = SignExt(imm, 12);
+      switch (funct3) {
+        case 0: in.op = Opcode::kSb; return in;
+        case 1: in.op = Opcode::kSh; return in;
+        case 2: in.op = Opcode::kSw; return in;
+        default: return bad();
+      }
+    }
+    case 0x13:
+      in.imm = SignExt(Bits(w, 31, 20), 12);
+      switch (funct3) {
+        case 0: in.op = Opcode::kAddi; return in;
+        case 2: in.op = Opcode::kSlti; return in;
+        case 3: in.op = Opcode::kSltiu; return in;
+        case 4: in.op = Opcode::kXori; return in;
+        case 6: in.op = Opcode::kOri; return in;
+        case 7: in.op = Opcode::kAndi; return in;
+        case 1:
+          if (funct7 != 0) return bad();
+          in.op = Opcode::kSlli;
+          in.imm = static_cast<int32_t>(rs2);
+          return in;
+        case 5:
+          in.imm = static_cast<int32_t>(rs2);
+          if (funct7 == 0x00) { in.op = Opcode::kSrli; return in; }
+          if (funct7 == 0x20) { in.op = Opcode::kSrai; return in; }
+          return bad();
+        default: return bad();
+      }
+    case 0x33:
+      if (funct7 == 0x01) {
+        switch (funct3) {
+          case 0: in.op = Opcode::kMul; return in;
+          case 1: in.op = Opcode::kMulh; return in;
+          case 2: in.op = Opcode::kMulhsu; return in;
+          case 3: in.op = Opcode::kMulhu; return in;
+          case 4: in.op = Opcode::kDiv; return in;
+          case 5: in.op = Opcode::kDivu; return in;
+          case 6: in.op = Opcode::kRem; return in;
+          case 7: in.op = Opcode::kRemu; return in;
+        }
+        return bad();
+      }
+      switch (funct3) {
+        case 0:
+          if (funct7 == 0x00) { in.op = Opcode::kAdd; return in; }
+          if (funct7 == 0x20) { in.op = Opcode::kSub; return in; }
+          return bad();
+        case 1: if (funct7) return bad(); in.op = Opcode::kSll; return in;
+        case 2: if (funct7) return bad(); in.op = Opcode::kSlt; return in;
+        case 3: if (funct7) return bad(); in.op = Opcode::kSltu; return in;
+        case 4: if (funct7) return bad(); in.op = Opcode::kXor; return in;
+        case 5:
+          if (funct7 == 0x00) { in.op = Opcode::kSrl; return in; }
+          if (funct7 == 0x20) { in.op = Opcode::kSra; return in; }
+          return bad();
+        case 6: if (funct7) return bad(); in.op = Opcode::kOr; return in;
+        case 7: if (funct7) return bad(); in.op = Opcode::kAnd; return in;
+      }
+      return bad();
+    case 0x73:
+      if (funct3 == 0) {
+        if (w == 0x00000073) { in.op = Opcode::kEcall; return in; }
+        if (w == 0x00100073) { in.op = Opcode::kEbreak; return in; }
+        if (w == 0x30200073) { in.op = Opcode::kMret; return in; }
+        if (w == 0x10500073) { in.op = Opcode::kWfi; return in; }
+        return bad();
+      }
+      in.csr = Bits(w, 31, 20);
+      switch (funct3) {
+        case 1: in.op = Opcode::kCsrrw; return in;
+        case 2: in.op = Opcode::kCsrrs; return in;
+        case 3: in.op = Opcode::kCsrrc; return in;
+        default: return bad();
+      }
+    case 0x0f:
+      in.op = Opcode::kFence;
+      return in;
+    default:
+      return bad();
+  }
+}
+
+namespace {
+
+uint32_t EncodeR(uint32_t funct7, uint8_t rs2, uint8_t rs1, uint32_t funct3,
+                 uint8_t rd, uint32_t opcode) {
+  return (funct7 << 25) | (uint32_t{rs2} << 20) | (uint32_t{rs1} << 15) |
+         (funct3 << 12) | (uint32_t{rd} << 7) | opcode;
+}
+
+uint32_t EncodeI(int32_t imm, uint8_t rs1, uint32_t funct3, uint8_t rd,
+                 uint32_t opcode) {
+  return (static_cast<uint32_t>(imm & 0xfff) << 20) | (uint32_t{rs1} << 15) |
+         (funct3 << 12) | (uint32_t{rd} << 7) | opcode;
+}
+
+uint32_t EncodeS(int32_t imm, uint8_t rs2, uint8_t rs1, uint32_t funct3,
+                 uint32_t opcode) {
+  const uint32_t i = static_cast<uint32_t>(imm);
+  return (((i >> 5) & 0x7f) << 25) | (uint32_t{rs2} << 20) |
+         (uint32_t{rs1} << 15) | (funct3 << 12) | ((i & 0x1f) << 7) | opcode;
+}
+
+uint32_t EncodeB(int32_t imm, uint8_t rs2, uint8_t rs1, uint32_t funct3) {
+  const uint32_t i = static_cast<uint32_t>(imm);
+  return (((i >> 12) & 1) << 31) | (((i >> 5) & 0x3f) << 25) |
+         (uint32_t{rs2} << 20) | (uint32_t{rs1} << 15) | (funct3 << 12) |
+         (((i >> 1) & 0xf) << 8) | (((i >> 11) & 1) << 7) | 0x63;
+}
+
+uint32_t EncodeJ(int32_t imm, uint8_t rd) {
+  const uint32_t i = static_cast<uint32_t>(imm);
+  return (((i >> 20) & 1) << 31) | (((i >> 1) & 0x3ff) << 21) |
+         (((i >> 11) & 1) << 20) | (((i >> 12) & 0xff) << 12) |
+         (uint32_t{rd} << 7) | 0x6f;
+}
+
+}  // namespace
+
+Result<uint32_t> Encode(const Instruction& in) {
+  switch (in.op) {
+    case Opcode::kLui:
+      return (static_cast<uint32_t>(in.imm) & 0xfffff000u) |
+             (uint32_t{in.rd} << 7) | 0x37;
+    case Opcode::kAuipc:
+      return (static_cast<uint32_t>(in.imm) & 0xfffff000u) |
+             (uint32_t{in.rd} << 7) | 0x17;
+    case Opcode::kJal: return EncodeJ(in.imm, in.rd);
+    case Opcode::kJalr: return EncodeI(in.imm, in.rs1, 0, in.rd, 0x67);
+    case Opcode::kBeq: return EncodeB(in.imm, in.rs2, in.rs1, 0);
+    case Opcode::kBne: return EncodeB(in.imm, in.rs2, in.rs1, 1);
+    case Opcode::kBlt: return EncodeB(in.imm, in.rs2, in.rs1, 4);
+    case Opcode::kBge: return EncodeB(in.imm, in.rs2, in.rs1, 5);
+    case Opcode::kBltu: return EncodeB(in.imm, in.rs2, in.rs1, 6);
+    case Opcode::kBgeu: return EncodeB(in.imm, in.rs2, in.rs1, 7);
+    case Opcode::kLb: return EncodeI(in.imm, in.rs1, 0, in.rd, 0x03);
+    case Opcode::kLh: return EncodeI(in.imm, in.rs1, 1, in.rd, 0x03);
+    case Opcode::kLw: return EncodeI(in.imm, in.rs1, 2, in.rd, 0x03);
+    case Opcode::kLbu: return EncodeI(in.imm, in.rs1, 4, in.rd, 0x03);
+    case Opcode::kLhu: return EncodeI(in.imm, in.rs1, 5, in.rd, 0x03);
+    case Opcode::kSb: return EncodeS(in.imm, in.rs2, in.rs1, 0, 0x23);
+    case Opcode::kSh: return EncodeS(in.imm, in.rs2, in.rs1, 1, 0x23);
+    case Opcode::kSw: return EncodeS(in.imm, in.rs2, in.rs1, 2, 0x23);
+    case Opcode::kAddi: return EncodeI(in.imm, in.rs1, 0, in.rd, 0x13);
+    case Opcode::kSlti: return EncodeI(in.imm, in.rs1, 2, in.rd, 0x13);
+    case Opcode::kSltiu: return EncodeI(in.imm, in.rs1, 3, in.rd, 0x13);
+    case Opcode::kXori: return EncodeI(in.imm, in.rs1, 4, in.rd, 0x13);
+    case Opcode::kOri: return EncodeI(in.imm, in.rs1, 6, in.rd, 0x13);
+    case Opcode::kAndi: return EncodeI(in.imm, in.rs1, 7, in.rd, 0x13);
+    case Opcode::kSlli:
+      return EncodeR(0x00, static_cast<uint8_t>(in.imm & 31), in.rs1, 1,
+                     in.rd, 0x13);
+    case Opcode::kSrli:
+      return EncodeR(0x00, static_cast<uint8_t>(in.imm & 31), in.rs1, 5,
+                     in.rd, 0x13);
+    case Opcode::kSrai:
+      return EncodeR(0x20, static_cast<uint8_t>(in.imm & 31), in.rs1, 5,
+                     in.rd, 0x13);
+    case Opcode::kAdd: return EncodeR(0x00, in.rs2, in.rs1, 0, in.rd, 0x33);
+    case Opcode::kSub: return EncodeR(0x20, in.rs2, in.rs1, 0, in.rd, 0x33);
+    case Opcode::kSll: return EncodeR(0x00, in.rs2, in.rs1, 1, in.rd, 0x33);
+    case Opcode::kSlt: return EncodeR(0x00, in.rs2, in.rs1, 2, in.rd, 0x33);
+    case Opcode::kSltu: return EncodeR(0x00, in.rs2, in.rs1, 3, in.rd, 0x33);
+    case Opcode::kXor: return EncodeR(0x00, in.rs2, in.rs1, 4, in.rd, 0x33);
+    case Opcode::kSrl: return EncodeR(0x00, in.rs2, in.rs1, 5, in.rd, 0x33);
+    case Opcode::kSra: return EncodeR(0x20, in.rs2, in.rs1, 5, in.rd, 0x33);
+    case Opcode::kOr: return EncodeR(0x00, in.rs2, in.rs1, 6, in.rd, 0x33);
+    case Opcode::kAnd: return EncodeR(0x00, in.rs2, in.rs1, 7, in.rd, 0x33);
+    case Opcode::kMul: return EncodeR(0x01, in.rs2, in.rs1, 0, in.rd, 0x33);
+    case Opcode::kMulh: return EncodeR(0x01, in.rs2, in.rs1, 1, in.rd, 0x33);
+    case Opcode::kMulhsu: return EncodeR(0x01, in.rs2, in.rs1, 2, in.rd, 0x33);
+    case Opcode::kMulhu: return EncodeR(0x01, in.rs2, in.rs1, 3, in.rd, 0x33);
+    case Opcode::kDiv: return EncodeR(0x01, in.rs2, in.rs1, 4, in.rd, 0x33);
+    case Opcode::kDivu: return EncodeR(0x01, in.rs2, in.rs1, 5, in.rd, 0x33);
+    case Opcode::kRem: return EncodeR(0x01, in.rs2, in.rs1, 6, in.rd, 0x33);
+    case Opcode::kRemu: return EncodeR(0x01, in.rs2, in.rs1, 7, in.rd, 0x33);
+    case Opcode::kCsrrw:
+      return (in.csr << 20) | (uint32_t{in.rs1} << 15) | (1u << 12) |
+             (uint32_t{in.rd} << 7) | 0x73;
+    case Opcode::kCsrrs:
+      return (in.csr << 20) | (uint32_t{in.rs1} << 15) | (2u << 12) |
+             (uint32_t{in.rd} << 7) | 0x73;
+    case Opcode::kCsrrc:
+      return (in.csr << 20) | (uint32_t{in.rs1} << 15) | (3u << 12) |
+             (uint32_t{in.rd} << 7) | 0x73;
+    case Opcode::kEcall: return 0x00000073u;
+    case Opcode::kEbreak: return 0x00100073u;
+    case Opcode::kMret: return 0x30200073u;
+    case Opcode::kWfi: return 0x10500073u;
+    case Opcode::kFence: return 0x0000000fu;
+  }
+  return InvalidArgument("cannot encode instruction");
+}
+
+std::string Disassemble(const Instruction& in) {
+  char buf[96];
+  switch (in.op) {
+    case Opcode::kLui:
+    case Opcode::kAuipc:
+      std::snprintf(buf, sizeof buf, "%s %s, 0x%x", OpcodeName(in.op),
+                    RegName(in.rd), static_cast<uint32_t>(in.imm) >> 12);
+      break;
+    case Opcode::kJal:
+      std::snprintf(buf, sizeof buf, "jal %s, %d", RegName(in.rd), in.imm);
+      break;
+    case Opcode::kJalr:
+      std::snprintf(buf, sizeof buf, "jalr %s, %d(%s)", RegName(in.rd),
+                    in.imm, RegName(in.rs1));
+      break;
+    case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt:
+    case Opcode::kBge: case Opcode::kBltu: case Opcode::kBgeu:
+      std::snprintf(buf, sizeof buf, "%s %s, %s, %d", OpcodeName(in.op),
+                    RegName(in.rs1), RegName(in.rs2), in.imm);
+      break;
+    case Opcode::kLb: case Opcode::kLh: case Opcode::kLw:
+    case Opcode::kLbu: case Opcode::kLhu:
+      std::snprintf(buf, sizeof buf, "%s %s, %d(%s)", OpcodeName(in.op),
+                    RegName(in.rd), in.imm, RegName(in.rs1));
+      break;
+    case Opcode::kSb: case Opcode::kSh: case Opcode::kSw:
+      std::snprintf(buf, sizeof buf, "%s %s, %d(%s)", OpcodeName(in.op),
+                    RegName(in.rs2), in.imm, RegName(in.rs1));
+      break;
+    case Opcode::kEcall: case Opcode::kEbreak: case Opcode::kMret:
+    case Opcode::kWfi: case Opcode::kFence:
+      std::snprintf(buf, sizeof buf, "%s", OpcodeName(in.op));
+      break;
+    case Opcode::kCsrrw: case Opcode::kCsrrs: case Opcode::kCsrrc:
+      std::snprintf(buf, sizeof buf, "%s %s, 0x%x, %s", OpcodeName(in.op),
+                    RegName(in.rd), in.csr, RegName(in.rs1));
+      break;
+    case Opcode::kAddi: case Opcode::kSlti: case Opcode::kSltiu:
+    case Opcode::kXori: case Opcode::kOri: case Opcode::kAndi:
+    case Opcode::kSlli: case Opcode::kSrli: case Opcode::kSrai:
+      std::snprintf(buf, sizeof buf, "%s %s, %s, %d", OpcodeName(in.op),
+                    RegName(in.rd), RegName(in.rs1), in.imm);
+      break;
+    default:
+      std::snprintf(buf, sizeof buf, "%s %s, %s, %s", OpcodeName(in.op),
+                    RegName(in.rd), RegName(in.rs1), RegName(in.rs2));
+      break;
+  }
+  return buf;
+}
+
+}  // namespace hardsnap::vm

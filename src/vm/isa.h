@@ -1,0 +1,66 @@
+// RV32IM instruction set: decoding and encoding.
+//
+// The paper's VM executes ARM firmware through Inception/KLEE; this repo
+// uses RV32IM as the firmware ISA (open, compact, and sufficient for the
+// synthetic firmware corpus). The decoder is shared by the symbolic
+// executor (which interprets instructions over solver terms) and the
+// assembler's round-trip tests.
+//
+// Supported: the full RV32I base (minus FENCE, which decodes to a no-op)
+// plus the M extension, the CSR instructions needed for machine-mode
+// interrupt handling (csrrw/csrrs on mstatus/mtvec/mepc/mcause), mret,
+// ecall and ebreak.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace hardsnap::vm {
+
+enum class Opcode : uint8_t {
+  kLui, kAuipc, kJal, kJalr,
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kLb, kLh, kLw, kLbu, kLhu,
+  kSb, kSh, kSw,
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+  kMul, kMulh, kMulhsu, kMulhu, kDiv, kDivu, kRem, kRemu,
+  kCsrrw, kCsrrs, kCsrrc,
+  kEcall, kEbreak, kMret, kWfi, kFence,
+};
+
+const char* OpcodeName(Opcode op);
+
+// CSR addresses (machine mode subset).
+inline constexpr uint32_t kCsrMstatus = 0x300;
+inline constexpr uint32_t kCsrMtvec = 0x305;
+inline constexpr uint32_t kCsrMepc = 0x341;
+inline constexpr uint32_t kCsrMcause = 0x342;
+inline constexpr uint32_t kMstatusMie = 1u << 3;
+inline constexpr uint32_t kMstatusMpie = 1u << 7;
+
+struct Instruction {
+  Opcode op = Opcode::kAddi;
+  uint8_t rd = 0;
+  uint8_t rs1 = 0;
+  uint8_t rs2 = 0;
+  int32_t imm = 0;     // sign-extended immediate (B/J offsets included)
+  uint32_t csr = 0;    // CSR address for csr ops
+};
+
+// Decode a 32-bit instruction word. Unknown encodings are an error with
+// the offending word in the message.
+Result<Instruction> Decode(uint32_t word);
+
+// Encode an instruction back to its 32-bit word (assembler back-end).
+Result<uint32_t> Encode(const Instruction& instr);
+
+// Disassemble for diagnostics ("addi a0, a0, 1").
+std::string Disassemble(const Instruction& instr);
+
+// ABI register names x0..x31 -> "zero", "ra", "sp", ...
+const char* RegName(unsigned reg);
+
+}  // namespace hardsnap::vm

@@ -1,0 +1,47 @@
+// Physical memory map of the HardSnap virtual machine.
+//
+//   0x0000_0000 .. 0x0000_ffff   ROM   (firmware image, read-only)
+//   0x1000_0000 .. 0x1003_ffff   RAM   (data, stack)
+//   0x4000_0000 .. 0x4000_ffff   MMIO  -> forwarded to the hardware target
+//                                (low 16 bits form the SoC bus address:
+//                                 addr[15:8] selects the peripheral region)
+//   0x5000_0000                  host console: SW writes a character
+//   0x5000_0004                  host exit:    SW writes the exit code
+//
+// The MMIO window is the virtual machine boundary of the paper: every
+// access that lands in it leaves the symbolic domain and is forwarded to
+// the active hardware target (after concretization if the address or data
+// is symbolic).
+#pragma once
+
+#include <cstdint>
+
+namespace hardsnap::vm {
+
+inline constexpr uint32_t kRomBase = 0x00000000;
+inline constexpr uint32_t kRomSize = 0x00010000;
+inline constexpr uint32_t kRamBase = 0x10000000;
+inline constexpr uint32_t kRamSize = 0x00040000;
+inline constexpr uint32_t kMmioBase = 0x40000000;
+inline constexpr uint32_t kMmioSize = 0x00010000;
+inline constexpr uint32_t kHostPutchar = 0x50000000;
+inline constexpr uint32_t kHostExit = 0x50000004;
+
+inline constexpr uint32_t kStackTop = kRamBase + kRamSize;  // grows down
+
+inline bool InRom(uint32_t addr) {
+  return addr >= kRomBase && addr < kRomBase + kRomSize;
+}
+inline bool InRam(uint32_t addr) {
+  return addr >= kRamBase && addr < kRamBase + kRamSize;
+}
+inline bool InMmio(uint32_t addr) {
+  return addr >= kMmioBase && addr < kMmioBase + kMmioSize;
+}
+
+// SoC peripheral addressing helpers (region index = SoC addr bits 15:8).
+inline constexpr uint32_t PeripheralAddr(uint32_t region, uint32_t reg) {
+  return kMmioBase | (region << 8) | reg;
+}
+
+}  // namespace hardsnap::vm

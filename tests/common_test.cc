@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "common/serde.h"
+#include "common/status.h"
+#include "common/virtual_clock.h"
+
+namespace hardsnap {
+namespace {
+
+TEST(BitopsTest, LowMask) {
+  EXPECT_EQ(LowMask(0), 0u);
+  EXPECT_EQ(LowMask(1), 1u);
+  EXPECT_EQ(LowMask(8), 0xffu);
+  EXPECT_EQ(LowMask(32), 0xffffffffu);
+  EXPECT_EQ(LowMask(64), ~uint64_t{0});
+}
+
+TEST(BitopsTest, TruncBits) {
+  EXPECT_EQ(TruncBits(0x1ff, 8), 0xffu);
+  EXPECT_EQ(TruncBits(0x100, 8), 0u);
+  EXPECT_EQ(TruncBits(~uint64_t{0}, 64), ~uint64_t{0});
+}
+
+TEST(BitopsTest, SignExtend) {
+  EXPECT_EQ(SignExtend(0xff, 8), -1);
+  EXPECT_EQ(SignExtend(0x7f, 8), 127);
+  EXPECT_EQ(SignExtend(0x80, 8), -128);
+  EXPECT_EQ(SignExtend(1, 1), -1);
+  EXPECT_EQ(SignExtend(0, 1), 0);
+}
+
+TEST(BitopsTest, ExtractBits) {
+  EXPECT_EQ(ExtractBits(0xabcd, 15, 8), 0xabu);
+  EXPECT_EQ(ExtractBits(0xabcd, 7, 0), 0xcdu);
+  EXPECT_EQ(ExtractBits(0xabcd, 3, 0), 0xdu);
+  EXPECT_EQ(ExtractBits(0x8, 3, 3), 1u);
+}
+
+TEST(BitopsTest, BitsFor) {
+  EXPECT_EQ(BitsFor(1), 1u);
+  EXPECT_EQ(BitsFor(2), 1u);
+  EXPECT_EQ(BitsFor(3), 2u);
+  EXPECT_EQ(BitsFor(256), 8u);
+  EXPECT_EQ(BitsFor(257), 9u);
+}
+
+TEST(BitopsTest, XorReduce) {
+  EXPECT_EQ(XorReduce(0b1011, 4), 1u);
+  EXPECT_EQ(XorReduce(0b1010, 4), 0u);
+  EXPECT_EQ(XorReduce(0xff00, 8), 0u);  // only low 8 bits considered
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFound("missing widget");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing widget");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = InvalidArgument("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.Next() == b.Next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BitsStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(rng.Bits(8), 0xffu);
+    EXPECT_LE(rng.Bits(1), 1u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = rng.Range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(DurationTest, Conversions) {
+  EXPECT_EQ(Duration::Nanos(5).picos(), 5000);
+  EXPECT_EQ(Duration::Micros(1).nanos(), 1000.0);
+  EXPECT_EQ(Duration::Millis(2).micros(), 2000.0);
+  EXPECT_DOUBLE_EQ(Duration::Seconds(1.5).millis(), 1500.0);
+}
+
+TEST(DurationTest, Arithmetic) {
+  Duration d = Duration::Nanos(10) + Duration::Nanos(5);
+  EXPECT_EQ(d.picos(), 15000);
+  d += Duration::Nanos(1);
+  EXPECT_EQ(d.picos(), 16000);
+  EXPECT_EQ((Duration::Nanos(10) * 3).picos(), 30000);
+  EXPECT_LT(Duration::Nanos(1), Duration::Micros(1));
+}
+
+TEST(DurationTest, ToStringPicksUnit) {
+  EXPECT_EQ(Duration::Picos(500).ToString(), "500 ps");
+  EXPECT_EQ(Duration::Nanos(12).ToString(), "12.00 ns");
+  EXPECT_EQ(Duration::Micros(3).ToString(), "3.00 us");
+  EXPECT_EQ(Duration::Millis(7).ToString(), "7.00 ms");
+}
+
+TEST(VirtualClockTest, Accumulates) {
+  VirtualClock clk;
+  EXPECT_EQ(clk.now().picos(), 0);
+  clk.Advance(Duration::Nanos(10));
+  clk.Advance(Duration::Nanos(5));
+  EXPECT_EQ(clk.now().picos(), 15000);
+  clk.Reset();
+  EXPECT_EQ(clk.now().picos(), 0);
+}
+
+TEST(VirtualClockTest, PeriodOfHz) {
+  EXPECT_EQ(PeriodOfHz(100e6).picos(), 10000);   // 100 MHz -> 10 ns
+  EXPECT_EQ(PeriodOfHz(1e9).picos(), 1000);      // 1 GHz -> 1 ns
+}
+
+TEST(SerdeTest, RoundTripScalars) {
+  ByteWriter w;
+  w.PutU8(0xab);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefull);
+  w.PutString("hello");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.GetU8().value(), 0xab);
+  EXPECT_EQ(r.GetU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64().value(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.GetString().value(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, RoundTripVector) {
+  ByteWriter w;
+  std::vector<uint64_t> v = {1, 2, 3, ~uint64_t{0}};
+  w.PutU64Vector(v);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.GetU64Vector().value(), v);
+}
+
+TEST(SerdeTest, TruncatedReadFails) {
+  ByteWriter w;
+  w.PutU8(1);
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(r.GetU32().status().code() == StatusCode::kOutOfRange);
+}
+
+TEST(SerdeTest, TruncatedStringBodyFails) {
+  ByteWriter w;
+  w.PutU32(100);  // claims 100 bytes, none present
+  ByteReader r(w.bytes());
+  EXPECT_FALSE(r.GetString().ok());
+}
+
+}  // namespace
+}  // namespace hardsnap

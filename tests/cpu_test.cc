@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "bus/sim_target.h"
+#include "common/rng.h"
+#include "firmware/corpus.h"
+#include "periph/periph.h"
+#include "rtl/elaborate.h"
+#include "symex/executor.h"
+#include "vm/cpu.h"
+
+namespace hardsnap::vm {
+namespace {
+
+rtl::Design& Soc() {
+  static rtl::Design* d = [] {
+    auto r = rtl::CompileVerilog(periph::BuildSoc(periph::DefaultCorpus()),
+                                 "soc");
+    HS_CHECK_MSG(r.ok(), r.status().ToString());
+    return new rtl::Design(std::move(r).value());
+  }();
+  return *d;
+}
+
+std::unique_ptr<bus::SimulatorTarget> MakeTarget() {
+  auto t = bus::SimulatorTarget::Create(Soc());
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+FirmwareImage Asm(const std::string& src) {
+  auto img = Assemble(src);
+  EXPECT_TRUE(img.ok()) << img.status().ToString();
+  return img.value_or(FirmwareImage{});
+}
+
+TEST(CpuTest, ArithmeticAndExit) {
+  auto target = MakeTarget();
+  Cpu cpu(target.get());
+  ASSERT_TRUE(cpu.LoadFirmware(Asm(R"(
+    _start:
+      li a0, 100
+      li a1, 58
+      sub a0, a0, a1
+      li t0, 0x50000004
+      sw a0, 0(t0)
+  )")).ok());
+  auto out = cpu.Run(100);
+  EXPECT_EQ(out.status, RunStatus::kExited);
+  EXPECT_EQ(out.exit_code, 42u);
+}
+
+TEST(CpuTest, ConsoleAndRam) {
+  auto target = MakeTarget();
+  Cpu cpu(target.get());
+  ASSERT_TRUE(cpu.LoadFirmware(Asm(R"(
+    _start:
+      li t0, 0x50000000
+      li t1, 65
+      sw t1, 0(t0)
+      li t2, 0x10000010
+      li t3, 0xbeef
+      sw t3, 0(t2)
+      lhu a0, 0(t2)
+      li t0, 0x50000004
+      sw a0, 0(t0)
+  )")).ok());
+  auto out = cpu.Run(100);
+  EXPECT_EQ(out.status, RunStatus::kExited);
+  EXPECT_EQ(out.exit_code, 0xbeefu);
+  EXPECT_EQ(cpu.console(), "A");
+}
+
+TEST(CpuTest, MmioDrivesPeripherals) {
+  auto target = MakeTarget();
+  Cpu cpu(target.get());
+  ASSERT_TRUE(cpu.LoadFirmware(Asm(firmware::AesSelfTestFirmware())).ok());
+  auto out = cpu.Run(100000);
+  EXPECT_EQ(out.status, RunStatus::kExited) << out.reason;
+  EXPECT_EQ(out.exit_code, 0u);
+}
+
+TEST(CpuTest, InterruptsServed) {
+  auto target = MakeTarget();
+  Cpu cpu(target.get());
+  ASSERT_TRUE(
+      cpu.LoadFirmware(Asm(firmware::TimerInterruptFirmware(2))).ok());
+  auto out = cpu.Run(50000);
+  EXPECT_EQ(out.status, RunStatus::kExited) << out.reason;
+}
+
+TEST(CpuTest, FaultsAreReported) {
+  auto target = MakeTarget();
+  Cpu cpu(target.get());
+  ASSERT_TRUE(cpu.LoadFirmware(Asm(R"(
+    _start:
+      li t0, 0x30000000
+      sw zero, 0(t0)
+  )")).ok());
+  auto out = cpu.Run(100);
+  EXPECT_EQ(out.status, RunStatus::kBug);
+  EXPECT_EQ(out.reason, "out-of-bounds store");
+}
+
+TEST(CpuTest, SnapshotRestoreReplays) {
+  auto target = MakeTarget();
+  Cpu cpu(target.get());
+  ASSERT_TRUE(cpu.LoadFirmware(Asm(R"(
+    _start:
+      li t0, 0x40000000
+      li t1, 50
+      sw t1, 4(t0)       # timer LOAD
+      li t1, 1
+      sw t1, 0(t0)       # enable
+    spin:
+      lw t2, 0x10(t0)
+      bnez t2, spin
+      li t0, 0x50000004
+      sw zero, 0(t0)
+  )")).ok());
+  // Run a while, snapshot SW+HW, run to completion, restore, re-run.
+  auto out = cpu.Run(40);
+  ASSERT_EQ(out.status, RunStatus::kRunning);
+  auto sw = cpu.SnapshotSoftware();
+  auto hw = target->SaveState();
+  ASSERT_TRUE(hw.ok());
+
+  auto out1 = cpu.Run(100000);
+  EXPECT_EQ(out1.status, RunStatus::kExited);
+  const uint64_t icount1 = cpu.state().icount;
+
+  cpu.RestoreSoftware(sw);
+  ASSERT_TRUE(target->RestoreState(hw.value()).ok());
+  auto out2 = cpu.Run(100000);
+  EXPECT_EQ(out2.status, RunStatus::kExited);
+  EXPECT_EQ(cpu.state().icount, icount1);  // identical replay length
+}
+
+TEST(CpuTest, CoverageLogRecordsEdges) {
+  auto target = MakeTarget();
+  Cpu cpu(target.get());
+  ASSERT_TRUE(cpu.LoadFirmware(Asm(R"(
+    _start:
+      li t0, 3
+    loop:
+      addi t0, t0, -1
+      bnez t0, loop
+      li t0, 0x50000004
+      sw zero, 0(t0)
+  )")).ok());
+  auto out = cpu.Run(100);
+  EXPECT_EQ(out.status, RunStatus::kExited);
+  EXPECT_EQ(cpu.coverage_log().size(), 2u);  // two taken back-edges
+}
+
+// Differential test: concrete CPU vs symbolic executor with no symbolic
+// inputs must agree on exit codes and console output.
+class DifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialTest, CpuAgreesWithSymbolicExecutor) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 9176 + 5);
+  // Random straight-line arithmetic program over a few registers, ending
+  // by exiting with a hash of the register file.
+  std::string src = "_start:\n";
+  const char* regs[] = {"s0", "s1", "s2", "s3"};
+  for (const char* r : regs)
+    src += std::string("  li ") + r + ", " +
+           std::to_string(rng.Bits(16)) + "\n";
+  const char* ops[] = {"add", "sub", "xor", "and", "or", "mul", "sll",
+                       "srl", "sltu"};
+  for (int i = 0; i < 30; ++i) {
+    const char* op = ops[rng.Below(9)];
+    const char* rd = regs[rng.Below(4)];
+    const char* ra = regs[rng.Below(4)];
+    const char* rb = regs[rng.Below(4)];
+    if (std::string(op) == "sll" || std::string(op) == "srl") {
+      src += std::string("  andi t0, ") + rb + ", 31\n";
+      src += std::string("  ") + op + " " + rd + ", " + ra + ", t0\n";
+    } else {
+      src += std::string("  ") + op + " " + rd + ", " + ra + ", " + rb + "\n";
+    }
+  }
+  src += "  xor a0, s0, s1\n  add a0, a0, s2\n  xor a0, a0, s3\n";
+  src += "  li t0, 0x50000004\n  sw a0, 0(t0)\n";
+
+  auto img = Asm(src);
+
+  auto t1 = MakeTarget();
+  Cpu cpu(t1.get());
+  ASSERT_TRUE(cpu.LoadFirmware(img).ok());
+  auto concrete = cpu.Run(10000);
+  ASSERT_EQ(concrete.status, RunStatus::kExited);
+
+  auto t2 = MakeTarget();
+  symex::Executor ex(t2.get(), {});
+  ASSERT_TRUE(ex.LoadFirmware(img).ok());
+  auto report = ex.Run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.value().exit_codes.size(), 1u);
+  EXPECT_EQ(report.value().exit_codes[0], concrete.exit_code);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace hardsnap::vm

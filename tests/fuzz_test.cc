@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "bus/sim_target.h"
+#include "fpga/fpga_target.h"
+#include "firmware/corpus.h"
+#include "fuzz/fuzzer.h"
+#include "periph/periph.h"
+#include "rtl/elaborate.h"
+#include "vm/assembler.h"
+
+namespace hardsnap::fuzz {
+namespace {
+
+rtl::Design& Soc() {
+  static rtl::Design* d = [] {
+    auto r = rtl::CompileVerilog(periph::BuildSoc(periph::DefaultCorpus()),
+                                 "soc");
+    HS_CHECK_MSG(r.ok(), r.status().ToString());
+    return new rtl::Design(std::move(r).value());
+  }();
+  return *d;
+}
+
+std::unique_ptr<bus::SimulatorTarget> MakeTarget() {
+  auto t = bus::SimulatorTarget::Create(Soc());
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+vm::FirmwareImage ParserImage() {
+  auto img = vm::Assemble(firmware::VulnerableParserFirmware());
+  EXPECT_TRUE(img.ok());
+  return img.value_or(vm::FirmwareImage{});
+}
+
+TEST(FuzzerTest, FindsTheOverflowBySnapshotFuzzing) {
+  auto target = MakeTarget();
+  FuzzOptions opts;
+  opts.reset = ResetStrategy::kSnapshotReset;
+  opts.input_size = 2;
+  opts.seed = 7;
+  Fuzzer fuzzer(target.get(), ParserImage(), opts);
+  auto stats = fuzzer.Run(400);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_GE(fuzzer.crashes().size(), 1u);
+  EXPECT_EQ(fuzzer.crashes()[0].reason, "out-of-bounds store");
+  // The crashing input's length byte overflows the 16-byte buffer.
+  EXPECT_GE(fuzzer.crashes()[0].input[0], 16u);
+}
+
+TEST(FuzzerTest, RebootStrategyFindsItTooButPaysReboots) {
+  auto target = MakeTarget();
+  FuzzOptions opts;
+  opts.reset = ResetStrategy::kRebootReset;
+  opts.input_size = 2;
+  opts.seed = 7;
+  Fuzzer fuzzer(target.get(), ParserImage(), opts);
+  auto stats = fuzzer.Run(200);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().reboots, 200u);
+  EXPECT_EQ(stats.value().snapshot_restores, 0u);
+  EXPECT_GT(stats.value().reset_overhead.millis(), 200 * 200.0);
+}
+
+TEST(FuzzerTest, SnapshotResetOverheadIsFarSmaller) {
+  FuzzOptions base;
+  base.input_size = 2;
+  base.seed = 3;
+
+  auto t1 = MakeTarget();
+  FuzzOptions snap = base;
+  snap.reset = ResetStrategy::kSnapshotReset;
+  Fuzzer f1(t1.get(), ParserImage(), snap);
+  auto s1 = f1.Run(100);
+  ASSERT_TRUE(s1.ok());
+
+  auto t2 = MakeTarget();
+  FuzzOptions reboot = base;
+  reboot.reset = ResetStrategy::kRebootReset;
+  Fuzzer f2(t2.get(), ParserImage(), reboot);
+  auto s2 = f2.Run(100);
+  ASSERT_TRUE(s2.ok());
+
+  // Both strategies run the same number of test cases, but the reboot
+  // baseline pays ~250 ms per exec (the paper's motivation).
+  EXPECT_GT(s2.value().reset_overhead.picos(),
+            s1.value().reset_overhead.picos());
+}
+
+TEST(FuzzerTest, CoverageGrowsCorpus) {
+  auto target = MakeTarget();
+  FuzzOptions opts;
+  opts.input_size = 2;
+  opts.seed = 11;
+  Fuzzer fuzzer(target.get(), ParserImage(), opts);
+  auto stats = fuzzer.Run(300);
+  ASSERT_TRUE(stats.ok());
+  // The copy loop yields a new edge count per length value: corpus and
+  // edge set must both grow beyond the seed.
+  EXPECT_GT(stats.value().corpus_size, 1u);
+  EXPECT_GT(stats.value().edges_covered, 2u);
+}
+
+TEST(FuzzerTest, CrashesDeduplicatedByPc) {
+  auto target = MakeTarget();
+  FuzzOptions opts;
+  opts.input_size = 2;
+  opts.seed = 5;
+  Fuzzer fuzzer(target.get(), ParserImage(), opts);
+  ASSERT_TRUE(fuzzer.Run(500).ok());
+  // Many crashing inputs exist (any len >= 16) but one unique crash pc.
+  EXPECT_EQ(fuzzer.crashes().size(), 1u);
+}
+
+TEST(FuzzerTest, InitInstructionsRunBeforeHarness) {
+  // Firmware: an init phase writes a marker, then reads input and loops.
+  auto img = vm::Assemble(R"(
+    _start:
+      li t0, 0x10000100
+      li t1, 0x77
+      sb t1, 0(t0)        # init marker
+    harness:
+      li t2, 0x10000000
+      lbu t3, 0(t2)       # input byte
+      li t4, 0xfe
+      bne t3, t4, fine
+      ebreak              # crash on magic byte
+    fine:
+      li t0, 0x50000004
+      sw zero, 0(t0)
+  )");
+  ASSERT_TRUE(img.ok());
+  auto target = MakeTarget();
+  FuzzOptions opts;
+  opts.input_size = 1;
+  opts.init_instructions = 4;  // the init phase: li(2) + li(2)... sb lands at 4
+  opts.seed = 2;
+  Fuzzer fuzzer(target.get(), img.value(), opts);
+  auto stats = fuzzer.Run(600);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(fuzzer.crashes().size(), 1u);
+  EXPECT_EQ(fuzzer.crashes()[0].input[0], 0xfe);
+}
+
+TEST(FuzzerTest, RunsOnFpgaTargetWithScanResets) {
+  auto soc = rtl::CompileVerilog(periph::BuildSoc(periph::DefaultCorpus()),
+                                 "soc");
+  ASSERT_TRUE(soc.ok());
+  auto target = fpga::FpgaTarget::Create(soc.value());
+  ASSERT_TRUE(target.ok());
+  FuzzOptions opts;
+  opts.reset = ResetStrategy::kSnapshotReset;
+  opts.input_size = 2;
+  opts.seed = 13;
+  Fuzzer fuzzer(target.value().get(), ParserImage(), opts);
+  auto stats = fuzzer.Run(150);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_GE(fuzzer.crashes().size(), 1u);
+  // Scan-chain resets on the FPGA are microseconds each; 150 execs cost
+  // far less than a single reboot would.
+  EXPECT_LT(stats.value().reset_overhead.millis(), 250.0);
+}
+
+}  // namespace
+}  // namespace hardsnap::fuzz

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "core/property.h"
+#include "core/session.h"
+#include "periph/periph.h"
+#include "rtl/elaborate.h"
+
+namespace hardsnap::core {
+namespace {
+
+rtl::Design& Soc() {
+  static rtl::Design* d = [] {
+    auto r = rtl::CompileVerilog(periph::BuildSoc(periph::DefaultCorpus()),
+                                 "soc");
+    HS_CHECK_MSG(r.ok(), r.status().ToString());
+    return new rtl::Design(std::move(r).value());
+  }();
+  return *d;
+}
+
+sim::Simulator MakeSim() {
+  auto s = sim::Simulator::Create(Soc());
+  EXPECT_TRUE(s.ok());
+  auto sim = std::move(s).value();
+  EXPECT_TRUE(sim.PokeInput("uart_rx", 1).ok());
+  EXPECT_TRUE(sim.Reset().ok());
+  return sim;
+}
+
+SignalProperty MustCompile(const std::string& src) {
+  auto p = SignalProperty::Compile(src, Soc());
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  HS_CHECK(p.ok());
+  return std::move(p).value();
+}
+
+TEST(PropertyTest, ConstantsAndOperators) {
+  auto sim = MakeSim();
+  EXPECT_TRUE(MustCompile("1").Holds(sim));
+  EXPECT_FALSE(MustCompile("0").Holds(sim));
+  EXPECT_TRUE(MustCompile("1 + 1 == 2").Holds(sim));
+  EXPECT_TRUE(MustCompile("0x10 == 16").Holds(sim));
+  EXPECT_TRUE(MustCompile("3 < 5 && 5 <= 5").Holds(sim));
+  EXPECT_TRUE(MustCompile("!(1 && 0)").Holds(sim));
+  EXPECT_TRUE(MustCompile("(5 & 3) == 1").Holds(sim));
+  EXPECT_TRUE(MustCompile("(5 ^ 3) == 6").Holds(sim));
+  EXPECT_TRUE(MustCompile("0 -> 0").Holds(sim));   // vacuous implication
+  EXPECT_TRUE(MustCompile("1 -> 1").Holds(sim));
+  EXPECT_FALSE(MustCompile("1 -> 0").Holds(sim));
+}
+
+TEST(PropertyTest, HierarchicalSignalsResolve) {
+  auto sim = MakeSim();
+  auto prop = MustCompile("u_timer.enable == 0");
+  EXPECT_TRUE(prop.Holds(sim));
+}
+
+TEST(PropertyTest, UnknownSignalIsCompileError) {
+  auto p = SignalProperty::Compile("u_timer.bogus == 0", Soc());
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("u_timer.bogus"), std::string::npos);
+}
+
+TEST(PropertyTest, SyntaxErrorsReported) {
+  EXPECT_FALSE(SignalProperty::Compile("1 +", Soc()).ok());
+  EXPECT_FALSE(SignalProperty::Compile("(1", Soc()).ok());
+  EXPECT_FALSE(SignalProperty::Compile("1 1", Soc()).ok());
+}
+
+TEST(PropertyTest, TracksLiveHardware) {
+  auto sim = MakeSim();
+  auto busy_done = MustCompile("!(u_aes.busy && u_aes.done)");
+  EXPECT_TRUE(busy_done.Holds(sim));
+
+  auto enabled = MustCompile("u_timer.enable == 1");
+  EXPECT_FALSE(enabled.Holds(sim));
+  // Enable the timer through the bus pins.
+  ASSERT_TRUE(sim.PokeInput("sel", 1).ok());
+  ASSERT_TRUE(sim.PokeInput("wr", 1).ok());
+  ASSERT_TRUE(sim.PokeInput("addr", 0x0000).ok());
+  ASSERT_TRUE(sim.PokeInput("wdata", 1).ok());
+  sim.Tick(1);
+  EXPECT_TRUE(enabled.Holds(sim));
+}
+
+TEST(PropertyTest, SessionInvariantCatchesViolation) {
+  // Plant a violation: an assertion that the timer's counter never goes
+  // below 95 — firmware programs 100 and lets it tick past.
+  SessionConfig cfg;
+  auto session = Session::Create(cfg);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->LoadFirmwareAsm(R"(
+    _start:
+      li t0, 0x40000000
+      li t1, 100
+      sw t1, 4(t0)
+      li t1, 1
+      sw t1, 0(t0)
+      li t2, 30
+    spin:
+      addi t2, t2, -1
+      bnez t2, spin
+      li t0, 0x50000004
+      sw zero, 0(t0)
+  )").ok());
+  ASSERT_TRUE(
+      session.value()->AddHardwareInvariant("u_timer.value >= 95 || u_timer.enable == 0").ok());
+  auto report = session.value()->Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_GE(report.value().bugs.size(), 1u);
+  EXPECT_EQ(report.value().bugs[0].kind, "assertion");
+  EXPECT_NE(report.value().bugs[0].detail.find("u_timer.value"),
+            std::string::npos);
+}
+
+TEST(PropertyTest, SessionInvariantHoldsQuietly) {
+  SessionConfig cfg;
+  auto session = Session::Create(cfg);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->LoadFirmwareAsm(R"(
+    _start:
+      li t0, 0x50000004
+      sw zero, 0(t0)
+  )").ok());
+  ASSERT_TRUE(
+      session.value()->AddHardwareInvariant("!(u_aes.busy && u_aes.done)").ok());
+  auto report = session.value()->Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().bugs.empty());
+}
+
+TEST(PropertyTest, FpgaOnlySessionRejectsInvariants) {
+  SessionConfig cfg;
+  cfg.target = SessionConfig::Target::kFpga;
+  auto session = Session::Create(std::move(cfg));
+  ASSERT_TRUE(session.ok());
+  auto status = session.value()->AddHardwareInvariant("1");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace hardsnap::core

@@ -1,0 +1,274 @@
+// Edge cases of the Verilog front-end and simulator semantics.
+#include <gtest/gtest.h>
+
+#include "rtl/elaborate.h"
+#include "sim/simulator.h"
+
+namespace hardsnap::rtl {
+namespace {
+
+sim::Simulator CompileSim(const std::string& src, const std::string& top = "") {
+  auto d = CompileVerilog(src, top);
+  EXPECT_TRUE(d.ok()) << d.status().ToString();
+  auto s = sim::Simulator::Create(d.value());
+  EXPECT_TRUE(s.ok()) << s.status().ToString();
+  return std::move(s).value();
+}
+
+TEST(RtlEdgeTest, AssignmentTruncatesWideExpression) {
+  auto sim = CompileSim(R"(
+    module m(input clk, input [7:0] a, input [7:0] b, output [3:0] y);
+      assign y = a + b;    // 8-bit sum truncated to 4 bits
+    endmodule
+  )");
+  ASSERT_TRUE(sim.PokeInput("a", 0x0f).ok());
+  ASSERT_TRUE(sim.PokeInput("b", 0x01).ok());
+  EXPECT_EQ(sim.Peek("y").value(), 0u);  // 0x10 -> low nibble 0
+}
+
+TEST(RtlEdgeTest, UnsizedConstantsAre32Bit) {
+  auto sim = CompileSim(R"(
+    module m(input clk, output [31:0] y);
+      assign y = 1 << 20;
+    endmodule
+  )");
+  EXPECT_EQ(sim.Peek("y").value(), 1u << 20);
+}
+
+TEST(RtlEdgeTest, ParameterPowerOperator) {
+  auto d = CompileVerilog(R"(
+    module m #(parameter N = 3)(input clk, output [2**N-1:0] y);
+      assign y = {2**N{1'b1}};
+    endmodule
+  )");
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d.value().signal(d.value().FindSignal("y")).width, 8u);
+}
+
+TEST(RtlEdgeTest, SequentialCaseWithoutDefaultHolds) {
+  auto sim = CompileSim(R"(
+    module m(input clk, input rst, input [1:0] sel, output [7:0] y);
+      reg [7:0] r;
+      always @(posedge clk) begin
+        if (rst) r <= 8'h55;
+        else begin
+          case (sel)
+            2'd0: r <= 8'h10;
+            2'd1: r <= 8'h20;
+          endcase
+        end
+      end
+      assign y = r;
+    endmodule
+  )");
+  ASSERT_TRUE(sim.Reset().ok());
+  EXPECT_EQ(sim.Peek("y").value(), 0x55u);
+  ASSERT_TRUE(sim.PokeInput("sel", 3).ok());
+  sim.Tick(5);
+  EXPECT_EQ(sim.Peek("y").value(), 0x55u);  // no case arm: holds
+  ASSERT_TRUE(sim.PokeInput("sel", 1).ok());
+  sim.Tick(1);
+  EXPECT_EQ(sim.Peek("y").value(), 0x20u);
+}
+
+TEST(RtlEdgeTest, ThreeLevelHierarchy) {
+  auto sim = CompileSim(R"(
+    module bit_reg(input clk, input d, output q);
+      reg r;
+      always @(posedge clk) r <= d;
+      assign q = r;
+    endmodule
+    module byte_reg(input clk, input [1:0] d, output [1:0] q);
+      bit_reg u_b0 (.clk(clk), .d(d[0]), .q(q0));
+      bit_reg u_b1 (.clk(clk), .d(d[1]), .q(q1));
+      wire q0, q1;
+      assign q = {q1, q0};
+    endmodule
+    module top(input clk, input [1:0] in, output [1:0] out);
+      byte_reg u_stage (.clk(clk), .d(in), .q(out));
+    endmodule
+  )", "top");
+  ASSERT_TRUE(sim.PokeInput("in", 0b10).ok());
+  sim.Tick(1);
+  EXPECT_EQ(sim.Peek("out").value(), 0b10u);
+  EXPECT_NE(sim.design().FindSignal("u_stage.u_b1.r"), kInvalidId);
+}
+
+TEST(RtlEdgeTest, DynamicBitWriteTarget) {
+  auto sim = CompileSim(R"(
+    module m(input clk, input rst, input [2:0] idx, input bit_in,
+             output [7:0] y);
+      reg [7:0] r;
+      always @(posedge clk) begin
+        if (rst) r <= 8'h00;
+        else r[idx] <= bit_in;
+      end
+      assign y = r;
+    endmodule
+  )");
+  ASSERT_TRUE(sim.Reset().ok());
+  ASSERT_TRUE(sim.PokeInput("bit_in", 1).ok());
+  for (unsigned i : {1u, 4u, 7u}) {
+    ASSERT_TRUE(sim.PokeInput("idx", i).ok());
+    sim.Tick(1);
+  }
+  EXPECT_EQ(sim.Peek("y").value(), 0b10010010u);
+}
+
+TEST(RtlEdgeTest, PartSelectWriteKeepsOtherBits) {
+  auto sim = CompileSim(R"(
+    module m(input clk, input rst, input [3:0] nib, output [7:0] y);
+      reg [7:0] r;
+      always @(posedge clk) begin
+        if (rst) r <= 8'hff;
+        else r[5:2] <= nib;
+      end
+      assign y = r;
+    endmodule
+  )");
+  ASSERT_TRUE(sim.Reset().ok());
+  ASSERT_TRUE(sim.PokeInput("nib", 0b0000).ok());
+  sim.Tick(1);
+  EXPECT_EQ(sim.Peek("y").value(), 0b11000011u);
+}
+
+TEST(RtlEdgeTest, MultipleNbaLastWins) {
+  auto sim = CompileSim(R"(
+    module m(input clk, input rst, output [7:0] y);
+      reg [7:0] r;
+      always @(posedge clk) begin
+        r <= 8'h11;
+        if (!rst) r <= 8'h22;   // later NBA takes priority
+      end
+      assign y = r;
+    endmodule
+  )");
+  ASSERT_TRUE(sim.Reset().ok());
+  EXPECT_EQ(sim.Peek("y").value(), 0x11u);
+  sim.Tick(1);
+  EXPECT_EQ(sim.Peek("y").value(), 0x22u);
+}
+
+TEST(RtlEdgeTest, BlockingReadsSeePriorWritesInCombBlock) {
+  auto sim = CompileSim(R"(
+    module m(input clk, input [7:0] a, output reg [7:0] y);
+      reg [7:0] tmp;
+      always @(*) begin
+        tmp = a + 8'h01;
+        y = tmp * 8'h02;
+      end
+    endmodule
+  )");
+  ASSERT_TRUE(sim.PokeInput("a", 5).ok());
+  EXPECT_EQ(sim.Peek("y").value(), 12u);
+}
+
+TEST(RtlEdgeTest, MemoryOutOfBoundsReadsZeroWritesDropped) {
+  auto sim = CompileSim(R"(
+    module m(input clk, input we, input [3:0] addr, input [7:0] wd,
+             output [7:0] rd);
+      reg [7:0] mem [0:9];    // depth 10, addr can reach 15
+      always @(posedge clk) begin
+        if (we) mem[addr] <= wd;
+      end
+      assign rd = mem[addr];
+    endmodule
+  )");
+  ASSERT_TRUE(sim.PokeInput("addr", 12).ok());
+  EXPECT_EQ(sim.Peek("rd").value(), 0u);  // OOB read -> 0
+  ASSERT_TRUE(sim.PokeInput("we", 1).ok());
+  ASSERT_TRUE(sim.PokeInput("wd", 0x77).ok());
+  sim.Tick(1);  // OOB write dropped, no crash
+  ASSERT_TRUE(sim.PokeInput("addr", 3).ok());
+  EXPECT_EQ(sim.Peek("rd").value(), 0u);
+}
+
+TEST(RtlEdgeTest, ShiftAmountsBeyondWidth) {
+  auto sim = CompileSim(R"(
+    module m(input clk, input [7:0] a, input [7:0] sh,
+             output [7:0] l, output [7:0] r, output [7:0] ar);
+      assign l = a << sh;
+      assign r = a >> sh;
+      assign ar = $signed(a) >>> sh;
+    endmodule
+  )");
+  ASSERT_TRUE(sim.PokeInput("a", 0x80).ok());
+  ASSERT_TRUE(sim.PokeInput("sh", 20).ok());
+  EXPECT_EQ(sim.Peek("l").value(), 0u);
+  EXPECT_EQ(sim.Peek("r").value(), 0u);
+  EXPECT_EQ(sim.Peek("ar").value(), 0xffu);  // sign fill
+}
+
+TEST(RtlEdgeTest, SixtyFourBitSignals) {
+  auto sim = CompileSim(R"(
+    module m(input clk, input rst, output [63:0] y);
+      reg [63:0] acc;
+      always @(posedge clk) begin
+        if (rst) acc <= 64'hffff_ffff_ffff_fff0;
+        else acc <= acc + 64'h1;
+      end
+      assign y = acc;
+    endmodule
+  )");
+  ASSERT_TRUE(sim.Reset().ok());
+  sim.Tick(0x20);
+  EXPECT_EQ(sim.Peek("y").value(), 0x10u);  // wrapped through 2^64
+}
+
+TEST(RtlEdgeTest, SignalsWiderThan64Rejected) {
+  EXPECT_FALSE(CompileVerilog(R"(
+    module m(input clk, output [64:0] y);
+      assign y = 0;
+    endmodule
+  )").ok());
+}
+
+TEST(RtlEdgeTest, ReductionOperators) {
+  auto sim = CompileSim(R"(
+    module m(input clk, input [7:0] a,
+             output and_r, output or_r, output xor_r);
+      assign and_r = &a;
+      assign or_r = |a;
+      assign xor_r = ^a;
+    endmodule
+  )");
+  ASSERT_TRUE(sim.PokeInput("a", 0xff).ok());
+  EXPECT_EQ(sim.Peek("and_r").value(), 1u);
+  EXPECT_EQ(sim.Peek("xor_r").value(), 0u);
+  ASSERT_TRUE(sim.PokeInput("a", 0x01).ok());
+  EXPECT_EQ(sim.Peek("and_r").value(), 0u);
+  EXPECT_EQ(sim.Peek("or_r").value(), 1u);
+  EXPECT_EQ(sim.Peek("xor_r").value(), 1u);
+}
+
+TEST(RtlEdgeTest, LogicalVsBitwiseOperators) {
+  auto sim = CompileSim(R"(
+    module m(input clk, input [3:0] a, input [3:0] b,
+             output land, output [3:0] band);
+      assign land = a && b;
+      assign band = a & b;
+    endmodule
+  )");
+  ASSERT_TRUE(sim.PokeInput("a", 0b1100).ok());
+  ASSERT_TRUE(sim.PokeInput("b", 0b0011).ok());
+  EXPECT_EQ(sim.Peek("land").value(), 1u);  // both non-zero
+  EXPECT_EQ(sim.Peek("band").value(), 0u);  // no common bits
+}
+
+TEST(RtlEdgeTest, InstancePortWidthAdaptation) {
+  auto sim = CompileSim(R"(
+    module narrow(input clk, input [3:0] d, output [3:0] q);
+      assign q = d;
+    endmodule
+    module top(input clk, input [7:0] in, output [7:0] out);
+      wire [7:0] w;
+      narrow u_n (.clk(clk), .d(in), .q(w));   // 8 -> 4 truncate, 4 -> 8 zext
+      assign out = w;
+    endmodule
+  )", "top");
+  ASSERT_TRUE(sim.PokeInput("in", 0xab).ok());
+  EXPECT_EQ(sim.Peek("out").value(), 0x0bu);
+}
+
+}  // namespace
+}  // namespace hardsnap::rtl

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "rtl/lexer.h"
+
+namespace hardsnap::rtl {
+namespace {
+
+std::vector<Token> MustLex(const std::string& src) {
+  auto r = Tokenize(src);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? r.value() : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto toks = MustLex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, Tok::kEnd);
+}
+
+TEST(LexerTest, Identifiers) {
+  auto toks = MustLex("module foo_bar _x x1");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0].text, "module");
+  EXPECT_EQ(toks[1].text, "foo_bar");
+  EXPECT_EQ(toks[2].text, "_x");
+  EXPECT_EQ(toks[3].text, "x1");
+}
+
+TEST(LexerTest, SizedLiterals) {
+  auto toks = MustLex("8'hff 4'b1010 16'd1234 32'hdead_beef");
+  EXPECT_EQ(toks[0].value, 0xffu);
+  EXPECT_EQ(toks[0].number_width, 8);
+  EXPECT_EQ(toks[1].value, 0b1010u);
+  EXPECT_EQ(toks[1].number_width, 4);
+  EXPECT_EQ(toks[2].value, 1234u);
+  EXPECT_EQ(toks[3].value, 0xdeadbeefu);
+}
+
+TEST(LexerTest, UnsizedDecimal) {
+  auto toks = MustLex("42");
+  EXPECT_EQ(toks[0].kind, Tok::kNumber);
+  EXPECT_EQ(toks[0].value, 42u);
+  EXPECT_EQ(toks[0].number_width, -1);
+}
+
+TEST(LexerTest, BadBaseRejected) {
+  EXPECT_FALSE(Tokenize("8'q12").ok());
+}
+
+TEST(LexerTest, ZeroWidthLiteralRejected) {
+  EXPECT_FALSE(Tokenize("0'h0").ok());
+}
+
+TEST(LexerTest, OverwideLiteralRejected) {
+  EXPECT_FALSE(Tokenize("65'h0").ok());
+}
+
+TEST(LexerTest, OperatorsMultiChar) {
+  auto toks = MustLex("<= << >> >>> == != && || >= **");
+  EXPECT_EQ(toks[0].kind, Tok::kNonBlocking);
+  EXPECT_EQ(toks[1].kind, Tok::kShl);
+  EXPECT_EQ(toks[2].kind, Tok::kShr);
+  EXPECT_EQ(toks[3].kind, Tok::kShrA);
+  EXPECT_EQ(toks[4].kind, Tok::kEqEq);
+  EXPECT_EQ(toks[5].kind, Tok::kNotEq);
+  EXPECT_EQ(toks[6].kind, Tok::kAndAnd);
+  EXPECT_EQ(toks[7].kind, Tok::kOrOr);
+  EXPECT_EQ(toks[8].kind, Tok::kGe);
+  EXPECT_EQ(toks[9].kind, Tok::kStar2);
+}
+
+TEST(LexerTest, LineComments) {
+  auto toks = MustLex("a // comment with stuff ; [ ]\nb");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[1].line, 2);
+}
+
+TEST(LexerTest, BlockComments) {
+  auto toks = MustLex("a /* multi\nline\ncomment */ b");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[1].line, 3);
+}
+
+TEST(LexerTest, UnterminatedBlockCommentRejected) {
+  EXPECT_FALSE(Tokenize("a /* never closed").ok());
+}
+
+TEST(LexerTest, SystemIdentifiers) {
+  auto toks = MustLex("$signed(x)");
+  EXPECT_EQ(toks[0].kind, Tok::kSystemId);
+  EXPECT_EQ(toks[0].text, "$signed");
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+  auto toks = MustLex("a\nb\n\nc");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 4);
+}
+
+TEST(LexerTest, UnexpectedCharacterRejected) {
+  EXPECT_FALSE(Tokenize("a ` b").ok());
+}
+
+TEST(LexerTest, UnderscoresInAllBases) {
+  auto toks = MustLex("16'b1010_1010_1111_0000 8'd2_55");
+  EXPECT_EQ(toks[0].value, 0b1010101011110000u);
+  EXPECT_EQ(toks[1].value, 255u);
+}
+
+}  // namespace
+}  // namespace hardsnap::rtl

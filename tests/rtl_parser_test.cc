@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "rtl/parser.h"
+
+namespace hardsnap::rtl {
+namespace {
+
+using ast::SourceUnit;
+
+SourceUnit MustParse(const std::string& src) {
+  auto r = ParseVerilog(src);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(r).value() : SourceUnit{};
+}
+
+TEST(ParserTest, MinimalModule) {
+  auto unit = MustParse("module m(input clk); endmodule");
+  ASSERT_EQ(unit.modules.size(), 1u);
+  EXPECT_EQ(unit.modules[0].name, "m");
+  ASSERT_EQ(unit.modules[0].nets.size(), 1u);
+  EXPECT_EQ(unit.modules[0].nets[0].name, "clk");
+  EXPECT_TRUE(unit.modules[0].nets[0].is_port);
+}
+
+TEST(ParserTest, AnsiPortsWithRanges) {
+  auto unit = MustParse(R"(
+    module m(input clk, input [7:0] data, output reg [31:0] result);
+    endmodule
+  )");
+  const auto& nets = unit.modules[0].nets;
+  ASSERT_EQ(nets.size(), 3u);
+  EXPECT_EQ(nets[1].name, "data");
+  ASSERT_NE(nets[1].msb, nullptr);
+  EXPECT_EQ(nets[2].net, ast::NetKind::kReg);
+  EXPECT_EQ(nets[2].dir, ast::PortDir::kOutput);
+}
+
+TEST(ParserTest, NetDeclarations) {
+  auto unit = MustParse(R"(
+    module m(input clk);
+      wire [3:0] a, b;
+      reg [7:0] state;
+      reg [7:0] fifo [0:15];
+    endmodule
+  )");
+  const auto& nets = unit.modules[0].nets;
+  ASSERT_EQ(nets.size(), 5u);
+  EXPECT_EQ(nets[1].name, "a");
+  EXPECT_EQ(nets[2].name, "b");
+  ASSERT_NE(nets[2].msb, nullptr);  // shared range cloned onto b
+  EXPECT_EQ(nets[4].name, "fifo");
+  EXPECT_NE(nets[4].mem_msb, nullptr);
+}
+
+TEST(ParserTest, Parameters) {
+  auto unit = MustParse(R"(
+    module m #(parameter WIDTH = 8, DEPTH = 16)(input clk);
+      localparam HALF = WIDTH / 2;
+    endmodule
+  )");
+  ASSERT_EQ(unit.modules[0].params.size(), 3u);
+  EXPECT_EQ(unit.modules[0].params[0].name, "WIDTH");
+  EXPECT_EQ(unit.modules[0].params[2].name, "HALF");
+}
+
+TEST(ParserTest, ContinuousAssign) {
+  auto unit = MustParse(R"(
+    module m(input clk, input [7:0] a, output [7:0] y);
+      assign y = a + 8'h01;
+    endmodule
+  )");
+  ASSERT_EQ(unit.modules[0].assigns.size(), 1u);
+  EXPECT_EQ(unit.modules[0].assigns[0].lhs.name, "y");
+}
+
+TEST(ParserTest, AlwaysPosedge) {
+  auto unit = MustParse(R"(
+    module m(input clk, input rst);
+      reg [7:0] count;
+      always @(posedge clk) begin
+        if (rst) count <= 8'h00;
+        else count <= count + 8'h01;
+      end
+    endmodule
+  )");
+  ASSERT_EQ(unit.modules[0].always.size(), 1u);
+  EXPECT_EQ(unit.modules[0].always[0].sens, ast::SensKind::kPosedgeClock);
+  EXPECT_EQ(unit.modules[0].always[0].clock_name, "clk");
+}
+
+TEST(ParserTest, AlwaysCombinational) {
+  auto unit = MustParse(R"(
+    module m(input clk, input [1:0] sel, input [7:0] a, output reg [7:0] y);
+      always @(*) begin
+        case (sel)
+          2'd0: y = a;
+          2'd1: y = ~a;
+          default: y = 8'h00;
+        endcase
+      end
+    endmodule
+  )");
+  const auto& ab = unit.modules[0].always[0];
+  EXPECT_EQ(ab.sens, ast::SensKind::kCombinational);
+  ASSERT_EQ(ab.body->kind, ast::StmtKind::kBlock);
+  ASSERT_EQ(ab.body->body[0]->kind, ast::StmtKind::kCase);
+  EXPECT_EQ(ab.body->body[0]->items.size(), 3u);
+  EXPECT_TRUE(ab.body->body[0]->items[2].labels.empty());  // default
+}
+
+TEST(ParserTest, AsyncResetRejected) {
+  auto r = ParseVerilog(R"(
+    module m(input clk, input rst);
+      reg q;
+      always @(posedge clk or posedge rst) q <= 1'b0;
+    endmodule
+  )");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("async"), std::string::npos);
+}
+
+TEST(ParserTest, NegedgeRejected) {
+  EXPECT_FALSE(ParseVerilog(R"(
+    module m(input clk);
+      reg q;
+      always @(negedge clk) q <= 1'b0;
+    endmodule
+  )").ok());
+}
+
+TEST(ParserTest, InitialBlockRejected) {
+  EXPECT_FALSE(ParseVerilog(R"(
+    module m(input clk);
+      reg q;
+      initial q = 0;
+    endmodule
+  )").ok());
+}
+
+TEST(ParserTest, InstanceWithParamsAndConnections) {
+  auto unit = MustParse(R"(
+    module child #(parameter W = 4)(input clk, input [3:0] d, output [3:0] q);
+    endmodule
+    module top(input clk);
+      wire [3:0] q;
+      child #(.W(8)) u_child (.clk(clk), .d(4'hf), .q(q));
+    endmodule
+  )");
+  ASSERT_EQ(unit.modules.size(), 2u);
+  const auto& inst = unit.modules[1].instances[0];
+  EXPECT_EQ(inst.module_name, "child");
+  EXPECT_EQ(inst.instance_name, "u_child");
+  ASSERT_EQ(inst.param_overrides.size(), 1u);
+  EXPECT_EQ(inst.param_overrides[0].name, "W");
+  ASSERT_EQ(inst.conns.size(), 3u);
+  EXPECT_EQ(inst.conns[1].port, "d");
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  // a | b & c must parse as a | (b & c)
+  auto unit = MustParse(R"(
+    module m(input clk, input a, input b, input c, output y);
+      assign y = a | b & c;
+    endmodule
+  )");
+  const auto& rhs = *unit.modules[0].assigns[0].rhs;
+  ASSERT_EQ(rhs.kind, ast::ExprKind::kBinary);
+  EXPECT_EQ(rhs.bin_op, ast::BinOp::kOr);
+  EXPECT_EQ(rhs.args[1]->bin_op, ast::BinOp::kAnd);
+}
+
+TEST(ParserTest, TernaryAndConcat) {
+  auto unit = MustParse(R"(
+    module m(input clk, input s, input [3:0] a, output [7:0] y);
+      assign y = s ? {a, a} : {2{a}};
+    endmodule
+  )");
+  const auto& rhs = *unit.modules[0].assigns[0].rhs;
+  ASSERT_EQ(rhs.kind, ast::ExprKind::kTernary);
+  EXPECT_EQ(rhs.args[1]->kind, ast::ExprKind::kConcat);
+  EXPECT_EQ(rhs.args[2]->kind, ast::ExprKind::kReplicate);
+}
+
+TEST(ParserTest, BitAndPartSelects) {
+  auto unit = MustParse(R"(
+    module m(input clk, input [7:0] a, input [2:0] i, output y, output [3:0] z);
+      assign y = a[i];
+      assign z = a[7:4];
+    endmodule
+  )");
+  EXPECT_EQ(unit.modules[0].assigns[0].rhs->kind, ast::ExprKind::kIndex);
+  EXPECT_EQ(unit.modules[0].assigns[1].rhs->kind, ast::ExprKind::kRange);
+}
+
+TEST(ParserTest, LessEqualInExpressionContext) {
+  // `<=` must parse as comparison inside an if condition.
+  auto unit = MustParse(R"(
+    module m(input clk, input [7:0] a);
+      reg flag;
+      always @(posedge clk) begin
+        if (a <= 8'd10) flag <= 1'b1;
+      end
+    endmodule
+  )");
+  const auto& ifs = *unit.modules[0].always[0].body->body[0];
+  ASSERT_EQ(ifs.kind, ast::StmtKind::kIf);
+  EXPECT_EQ(ifs.cond->bin_op, ast::BinOp::kLe);
+}
+
+TEST(ParserTest, SignedFunction) {
+  auto unit = MustParse(R"(
+    module m(input clk, input [7:0] a, input [7:0] b, output y);
+      assign y = $signed(a) < $signed(b);
+    endmodule
+  )");
+  const auto& rhs = *unit.modules[0].assigns[0].rhs;
+  EXPECT_EQ(rhs.args[0]->kind, ast::ExprKind::kSigned);
+}
+
+TEST(ParserTest, MissingSemicolonRejected) {
+  EXPECT_FALSE(ParseVerilog("module m(input clk) endmodule").ok());
+}
+
+TEST(ParserTest, UnbalancedBeginEndRejected) {
+  EXPECT_FALSE(ParseVerilog(R"(
+    module m(input clk);
+      reg q;
+      always @(posedge clk) begin q <= 1'b0;
+    endmodule
+  )").ok());
+}
+
+TEST(ParserTest, ErrorsIncludeLineNumbers) {
+  auto r = ParseVerilog("module m(input clk);\n\n  bogus!\nendmodule");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(ParserTest, MultipleModules) {
+  auto unit = MustParse(R"(
+    module a(input clk); endmodule
+    module b(input clk); endmodule
+    module c(input clk); endmodule
+  )");
+  EXPECT_EQ(unit.modules.size(), 3u);
+}
+
+}  // namespace
+}  // namespace hardsnap::rtl

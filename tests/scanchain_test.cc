@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rtl/elaborate.h"
+#include "scanchain/scan_controller.h"
+#include "scanchain/scan_pass.h"
+#include "sim/simulator.h"
+
+namespace hardsnap::scanchain {
+namespace {
+
+rtl::Design Compile(const std::string& src) {
+  auto r = rtl::CompileVerilog(src);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+sim::Simulator MustSim(const rtl::Design& d) {
+  auto r = sim::Simulator::Create(d);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+constexpr const char* kMixedDesign = R"(
+  module mixed(input clk, input rst, input [7:0] in, input we,
+               input [3:0] waddr, output [15:0] out);
+    reg [15:0] lfsr;
+    reg [7:0] acc;
+    reg flag;
+    reg [7:0] mem [0:15];
+    always @(posedge clk) begin
+      if (rst) begin
+        lfsr <= 16'hace1;
+        acc <= 8'h00;
+        flag <= 1'b0;
+      end else begin
+        lfsr <= {lfsr[14:0], lfsr[15] ^ lfsr[13] ^ lfsr[12] ^ lfsr[10]};
+        acc <= acc + in;
+        flag <= ~flag;
+      end
+      if (we) mem[waddr] <= in;
+    end
+    assign out = lfsr ^ {acc, 7'h00, flag};
+  endmodule
+)";
+
+InstrumentedDesign MustInstrument(const rtl::Design& d,
+                                  const ScanOptions& opts = {}) {
+  auto r = InsertScanChain(d, opts);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(ScanPassTest, AddsScanPins) {
+  auto d = Compile(kMixedDesign);
+  auto inst = MustInstrument(d);
+  EXPECT_NE(inst.design.FindSignal("scan_enable"), rtl::kInvalidId);
+  EXPECT_NE(inst.design.FindSignal("scan_in"), rtl::kInvalidId);
+  EXPECT_NE(inst.design.FindSignal("scan_out"), rtl::kInvalidId);
+}
+
+TEST(ScanPassTest, ChainCoversAllRegisterBits) {
+  auto d = Compile(kMixedDesign);
+  auto inst = MustInstrument(d);
+  EXPECT_EQ(inst.map.total_bits, 16u + 8u + 1u);
+  EXPECT_EQ(inst.map.slots.size(), 3u);
+  EXPECT_EQ(inst.map.total_mem_words, 16u);
+  ASSERT_EQ(inst.map.mem_ports.size(), 1u);
+  EXPECT_EQ(inst.map.mem_ports[0].memory_name, "mem");
+}
+
+TEST(ScanPassTest, MemoryPortsAdded) {
+  auto d = Compile(kMixedDesign);
+  auto inst = MustInstrument(d);
+  EXPECT_NE(inst.design.FindSignal("scan_mem_en"), rtl::kInvalidId);
+  EXPECT_NE(inst.design.FindSignal("scan_mem_addr"), rtl::kInvalidId);
+  EXPECT_NE(inst.design.FindSignal("scan_mem_wdata"), rtl::kInvalidId);
+  EXPECT_NE(inst.design.FindSignal("scan_mem_rdata"), rtl::kInvalidId);
+}
+
+TEST(ScanPassTest, OverheadReported) {
+  auto d = Compile(kMixedDesign);
+  auto inst = MustInstrument(d);
+  // Same number of flops, more expression nodes and signals.
+  EXPECT_EQ(inst.map.instrumented_stats.num_flops,
+            inst.map.original_stats.num_flops);
+  EXPECT_GT(inst.map.instrumented_stats.num_expr_nodes,
+            inst.map.original_stats.num_expr_nodes);
+  EXPECT_GT(inst.map.instrumented_stats.num_signals,
+            inst.map.original_stats.num_signals);
+}
+
+TEST(ScanPassTest, ReservedNameCollisionRejected) {
+  auto d = Compile(R"(
+    module m(input clk, input scan_enable, output y);
+      assign y = scan_enable;
+    endmodule
+  )");
+  EXPECT_FALSE(InsertScanChain(d).ok());
+}
+
+TEST(ScanPassTest, InstrumentedDesignValidates) {
+  auto d = Compile(kMixedDesign);
+  auto inst = MustInstrument(d);
+  EXPECT_TRUE(inst.design.Validate().ok());
+}
+
+// Property: with scan_enable=0 the instrumented design is cycle-for-cycle
+// equivalent to the original (the paper's non-interference requirement).
+class ScanEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScanEquivalenceTest, FunctionalBehaviourUnchanged) {
+  auto d = Compile(kMixedDesign);
+  auto inst = MustInstrument(d);
+
+  auto ref = MustSim(d);
+  auto dut = MustSim(inst.design);
+  ASSERT_TRUE(ref.Reset().ok());
+  ASSERT_TRUE(dut.Reset().ok());
+  ASSERT_TRUE(dut.PokeInput("scan_enable", 0).ok());
+
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    uint64_t in = rng.Bits(8), we = rng.Bits(1), waddr = rng.Bits(4);
+    for (auto* s : {&ref, &dut}) {
+      ASSERT_TRUE(s->PokeInput("in", in).ok());
+      ASSERT_TRUE(s->PokeInput("we", we).ok());
+      ASSERT_TRUE(s->PokeInput("waddr", waddr).ok());
+      s->Tick(1);
+    }
+    ASSERT_EQ(dut.Peek("out").value(), ref.Peek("out").value())
+        << "diverged at cycle " << cycle;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScanEquivalenceTest, ::testing::Range(0, 8));
+
+TEST(ScanControllerTest, SaveMatchesSimulatorDump) {
+  auto d = Compile(kMixedDesign);
+  auto inst = MustInstrument(d);
+  auto sim = MustSim(inst.design);
+  ASSERT_TRUE(sim.Reset().ok());
+  ASSERT_TRUE(sim.PokeInput("in", 0x5a).ok());
+  ASSERT_TRUE(sim.PokeInput("we", 1).ok());
+  ASSERT_TRUE(sim.PokeInput("waddr", 3).ok());
+  sim.Tick(17);
+
+  // Ground truth via the simulator's privileged access.
+  auto truth = sim.DumpState();
+
+  ScanController ctrl(&sim, inst.map);
+  auto saved = ctrl.Save();
+  ASSERT_TRUE(saved.ok()) << saved.status().ToString();
+  EXPECT_EQ(saved.value().flops, truth.flops);
+  EXPECT_EQ(saved.value().memories, truth.memories);
+}
+
+TEST(ScanControllerTest, SaveIsNonDestructive) {
+  auto d = Compile(kMixedDesign);
+  auto inst = MustInstrument(d);
+  auto sim = MustSim(inst.design);
+  ASSERT_TRUE(sim.Reset().ok());
+  ASSERT_TRUE(sim.PokeInput("in", 0x11).ok());
+  sim.Tick(9);
+  auto before = sim.DumpState();
+
+  ScanController ctrl(&sim, inst.map);
+  ASSERT_TRUE(ctrl.Save().ok());
+  auto after = sim.DumpState();
+  EXPECT_EQ(before.flops, after.flops);
+  EXPECT_EQ(before.memories, after.memories);
+}
+
+TEST(ScanControllerTest, RestoreLoadsState) {
+  auto d = Compile(kMixedDesign);
+  auto inst = MustInstrument(d);
+  auto sim = MustSim(inst.design);
+  ASSERT_TRUE(sim.Reset().ok());
+  ASSERT_TRUE(sim.PokeInput("in", 0x77).ok());
+  ASSERT_TRUE(sim.PokeInput("we", 1).ok());
+  ASSERT_TRUE(sim.PokeInput("waddr", 9).ok());
+  sim.Tick(31);
+  auto golden = sim.DumpState();
+
+  sim.Tick(50);  // drift away
+  ASSERT_NE(sim.DumpState().flops, golden.flops);
+
+  ScanController ctrl(&sim, inst.map);
+  ASSERT_TRUE(ctrl.Restore(golden).ok());
+  auto now = sim.DumpState();
+  EXPECT_EQ(now.flops, golden.flops);
+  EXPECT_EQ(now.memories, golden.memories);
+}
+
+TEST(ScanControllerTest, SaveRestoreSwapsStates) {
+  auto d = Compile(kMixedDesign);
+  auto inst = MustInstrument(d);
+  auto sim = MustSim(inst.design);
+  ASSERT_TRUE(sim.Reset().ok());
+  sim.Tick(5);
+  auto state_a = sim.DumpState();
+  sim.Tick(23);
+  auto state_b = sim.DumpState();
+
+  // Hardware currently holds B; swap in A, should get B back out.
+  ScanController ctrl(&sim, inst.map);
+  auto out = ctrl.SaveRestore(state_a);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().flops, state_b.flops);
+  EXPECT_EQ(sim.DumpState().flops, state_a.flops);
+}
+
+TEST(ScanControllerTest, RestoredStateResumesIdentically) {
+  // After a scan-chain restore, execution must continue exactly as it
+  // would have from the original state (the consistency property the
+  // whole paper rests on).
+  auto d = Compile(kMixedDesign);
+  auto inst = MustInstrument(d);
+  auto sim = MustSim(inst.design);
+  ASSERT_TRUE(sim.Reset().ok());
+  ASSERT_TRUE(sim.PokeInput("in", 0x2d).ok());
+  sim.Tick(11);
+  auto snap = sim.DumpState();
+
+  std::vector<uint64_t> expected;
+  for (int i = 0; i < 30; ++i) {
+    sim.Tick(1);
+    expected.push_back(sim.Peek("out").value());
+  }
+
+  ScanController ctrl(&sim, inst.map);
+  ASSERT_TRUE(ctrl.Restore(snap).ok());
+  std::vector<uint64_t> replay;
+  for (int i = 0; i < 30; ++i) {
+    sim.Tick(1);
+    replay.push_back(sim.Peek("out").value());
+  }
+  EXPECT_EQ(replay, expected);
+}
+
+TEST(ScanControllerTest, PassCyclesLinearInStateBits) {
+  auto d = Compile(kMixedDesign);
+  auto inst = MustInstrument(d);
+  auto sim = MustSim(inst.design);
+  ScanController ctrl(&sim, inst.map);
+  EXPECT_EQ(ctrl.PassCycles(), 25u + 16u);  // 25 FF bits + 16 memory words
+}
+
+TEST(ScanControllerTest, ScanShiftCostMeasuredInCycles) {
+  auto d = Compile(kMixedDesign);
+  auto inst = MustInstrument(d);
+  auto sim = MustSim(inst.design);
+  ASSERT_TRUE(sim.Reset().ok());
+  uint64_t before = sim.cycle_count();
+  ScanController ctrl(&sim, inst.map);
+  ASSERT_TRUE(ctrl.Save().ok());
+  EXPECT_EQ(sim.cycle_count() - before, ctrl.PassCycles());
+}
+
+TEST(ScanScopeTest, ScopedInstrumentationOnlyChainsPrefix) {
+  auto d = Compile(R"(
+    module leaf(input clk, input [7:0] d, output [7:0] q);
+      reg [7:0] state;
+      always @(posedge clk) state <= d;
+      assign q = state;
+    endmodule
+    module top(input clk, input [7:0] in, output [7:0] out);
+      wire [7:0] mid;
+      leaf u_a (.clk(clk), .d(in), .q(mid));
+      leaf u_b (.clk(clk), .d(mid), .q(out));
+    endmodule
+  )");
+  ScanOptions opts;
+  opts.scope_prefix = "u_a.";
+  auto inst = MustInstrument(d, opts);
+  EXPECT_EQ(inst.map.total_bits, 8u);
+  ASSERT_EQ(inst.map.slots.size(), 1u);
+  EXPECT_EQ(inst.map.slots[0].signal_name, "u_a.state");
+}
+
+// Property test: random states shift in and out intact.
+class ScanRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScanRoundTripTest, RandomStateRoundTrips) {
+  auto d = Compile(kMixedDesign);
+  auto inst = MustInstrument(d);
+  auto sim = MustSim(inst.design);
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 7);
+
+  sim::HardwareState target;
+  target.flops.resize(inst.design.flops().size());
+  for (size_t i = 0; i < target.flops.size(); ++i) {
+    unsigned w = inst.design.signal(inst.design.flops()[i].q).width;
+    target.flops[i] = rng.Bits(w);
+  }
+  target.memories.resize(inst.design.memories().size());
+  for (size_t m = 0; m < target.memories.size(); ++m) {
+    const auto& mem = inst.design.memories()[m];
+    target.memories[m].resize(mem.depth);
+    for (auto& word : target.memories[m]) word = rng.Bits(mem.width);
+  }
+
+  ScanController ctrl(&sim, inst.map);
+  ASSERT_TRUE(ctrl.Restore(target).ok());
+  auto back = ctrl.Save();
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().flops, target.flops);
+  EXPECT_EQ(back.value().memories, target.memories);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScanRoundTripTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace hardsnap::scanchain

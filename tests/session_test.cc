@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "periph/ref_models.h"
+#include "firmware/corpus.h"
+#include "vm/memmap.h"
+
+namespace hardsnap::core {
+namespace {
+
+std::unique_ptr<Session> MustCreate(SessionConfig cfg = {}) {
+  auto s = Session::Create(std::move(cfg));
+  EXPECT_TRUE(s.ok()) << s.status().ToString();
+  return std::move(s).value();
+}
+
+TEST(SessionTest, CreateWithDefaults) {
+  auto session = MustCreate();
+  EXPECT_EQ(session->hardware().kind(), bus::TargetKind::kSimulator);
+  auto info = session->hardware_info();
+  EXPECT_GT(info.soc_stats.state_bits(), 1000u);  // full corpus SoC
+  EXPECT_EQ(info.scan_chain_bits, 0u);            // no FPGA target
+}
+
+TEST(SessionTest, FpgaTargetExposesScanChain) {
+  SessionConfig cfg;
+  cfg.target = SessionConfig::Target::kFpga;
+  auto session = MustCreate(std::move(cfg));
+  EXPECT_EQ(session->hardware().kind(), bus::TargetKind::kFpga);
+  auto info = session->hardware_info();
+  EXPECT_EQ(info.scan_chain_bits, info.soc_stats.num_flop_bits);
+  EXPECT_GT(info.scan_mem_words, 0u);
+}
+
+TEST(SessionTest, EndToEndSymbolicAnalysis) {
+  auto session = MustCreate();
+  ASSERT_TRUE(session->LoadFirmwareAsm(
+      firmware::VulnerableParserFirmware()).ok());
+  ASSERT_TRUE(session->MakeSymbolicRegion(vm::kRamBase, 2, "packet").ok());
+  auto report = session->Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_GE(report.value().bugs.size(), 1u);
+  EXPECT_EQ(report.value().bugs[0].kind, "out-of-bounds store");
+}
+
+TEST(SessionTest, SoftwareTestbenchDrivesHardwareDirectly) {
+  // No firmware at all: use the session as a hardware testbench with
+  // snapshot/restore around a destructive experiment.
+  auto session = MustCreate();
+  auto& hw = session->hardware();
+  ASSERT_TRUE(hw.Write32(0x0004, 123).ok());  // timer LOAD
+  auto before = hw.SaveState();
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(hw.Write32(0x0004, 999).ok());
+  EXPECT_EQ(hw.Read32(0x0004).value(), 999u);
+  ASSERT_TRUE(hw.RestoreState(before.value()).ok());
+  EXPECT_EQ(hw.Read32(0x0004).value(), 123u);
+}
+
+TEST(SessionTest, BothTargetsWithLiveMigration) {
+  SessionConfig cfg;
+  cfg.target = SessionConfig::Target::kBoth;
+  auto session = MustCreate(std::move(cfg));
+  // Starts on the FPGA (fast target).
+  EXPECT_EQ(session->hardware().kind(), bus::TargetKind::kFpga);
+  ASSERT_TRUE(session->hardware().Write32(0x0004, 456).ok());
+  // Migrate to the simulator for full visibility; state must follow.
+  ASSERT_TRUE(session->MoveToTarget(bus::TargetKind::kSimulator).ok());
+  EXPECT_EQ(session->hardware().kind(), bus::TargetKind::kSimulator);
+  EXPECT_EQ(session->hardware().Read32(0x0004).value(), 456u);
+  // And the simulator handle now offers full visibility.
+  ASSERT_NE(session->simulator_target(), nullptr);
+  auto peek = session->simulator_target()->simulator()->Peek("u_timer.load_val");
+  ASSERT_TRUE(peek.ok()) << peek.status().ToString();
+  EXPECT_EQ(peek.value(), 456u);
+}
+
+TEST(SessionTest, AnalysisRunsOnFpgaTarget) {
+  SessionConfig cfg;
+  cfg.target = SessionConfig::Target::kFpga;
+  cfg.exec.max_instructions = 300000;
+  auto session = MustCreate(std::move(cfg));
+  ASSERT_TRUE(session->LoadFirmwareAsm(
+      firmware::BranchTreeFirmware(3, 2)).ok());
+  session->MakeSymbolicRegister(10, "input");
+  auto report = session->Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().paths_completed, 8u);
+  // Context switches on the FPGA went through the scan chain.
+  EXPECT_GT(session->fpga_target()->stats().snapshots_saved, 0u);
+}
+
+TEST(SessionTest, CustomPeripheralSubset) {
+  SessionConfig cfg;
+  cfg.peripherals = {periph::TimerPeripheral()};
+  auto session = MustCreate(std::move(cfg));
+  auto info = session->hardware_info();
+  EXPECT_LT(info.soc_stats.state_bits(), 200u);
+  // Timer reachable at region 0.
+  ASSERT_TRUE(session->hardware().Write32(0x0004, 7).ok());
+  EXPECT_EQ(session->hardware().Read32(0x0004).value(), 7u);
+}
+
+TEST(SessionTest, SecureBootBypassSynthesized) {
+  SessionConfig cfg;
+  cfg.exec.max_instructions = 500000;
+  auto session = MustCreate(std::move(cfg));
+  ASSERT_TRUE(session->LoadFirmwareAsm(firmware::SecureBootFirmware()).ok());
+  ASSERT_TRUE(session->MakeSymbolicRegion(vm::kRamBase, 1, "image").ok());
+  ASSERT_TRUE(
+      session->MakeSymbolicRegion(vm::kRamBase + 0x10, 8, "expected").ok());
+  auto report = session->Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report.value().bugs.size(), 1u);
+  // The exploit's forged digest must match the golden model for the
+  // concretized image byte.
+  const auto& in = report.value().bugs[0].test_case.inputs;
+  const uint8_t image =
+      static_cast<uint8_t>(in.count("image[0]") ? in.at("image[0]") : 0);
+  EXPECT_NE(image, 0x42);  // a genuinely tampered image
+  auto digest = periph::ref::Sha256({image});
+  uint32_t exp0 = 0;
+  for (int i = 0; i < 4; ++i)
+    exp0 |= static_cast<uint32_t>(in.at("expected[" + std::to_string(i) + "]"))
+            << (8 * i);
+  EXPECT_EQ(exp0, digest[0]);
+}
+
+TEST(SessionTest, BadFirmwareRejected) {
+  auto session = MustCreate();
+  EXPECT_FALSE(session->LoadFirmwareAsm("not actual assembly !!!").ok());
+}
+
+}  // namespace
+}  // namespace hardsnap::core

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "bus/sim_target.h"
+#include "fpga/fpga_target.h"
+#include "periph/periph.h"
+#include "rtl/elaborate.h"
+#include "snapshot/orchestrator.h"
+#include "snapshot/snapshot.h"
+
+namespace hardsnap::snapshot {
+namespace {
+
+rtl::Design SocDesign() {
+  auto d = rtl::CompileVerilog(periph::BuildSoc(periph::DefaultCorpus()), "soc");
+  EXPECT_TRUE(d.ok()) << d.status().ToString();
+  return std::move(d).value();
+}
+
+sim::HardwareState SampleState() {
+  sim::HardwareState st;
+  st.flops = {1, 2, 3, 0xdeadbeef};
+  st.memories = {{10, 20, 30}, {}};
+  return st;
+}
+
+TEST(SerializeTest, RoundTrip) {
+  auto st = SampleState();
+  auto bytes = SerializeState(st);
+  auto back = DeserializeState(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value(), st);
+}
+
+TEST(SerializeTest, RejectsGarbage) {
+  std::vector<uint8_t> junk = {1, 2, 3, 4, 5};
+  EXPECT_FALSE(DeserializeState(junk).ok());
+}
+
+TEST(SerializeTest, RejectsTruncation) {
+  auto bytes = SerializeState(SampleState());
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(DeserializeState(bytes).ok());
+}
+
+TEST(SerializeTest, RejectsTrailingBytes) {
+  auto bytes = SerializeState(SampleState());
+  bytes.push_back(0);
+  EXPECT_FALSE(DeserializeState(bytes).ok());
+}
+
+TEST(StoreTest, PutGetUpdateDrop) {
+  SnapshotStore store(42);
+  SnapshotId id = store.Put(SampleState(), "initial");
+  EXPECT_NE(id, kNoSnapshot);
+  auto snap = store.Get(id);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap.value()->label, "initial");
+  EXPECT_EQ(snap.value()->state, SampleState());
+
+  auto st2 = SampleState();
+  st2.flops[0] = 99;
+  ASSERT_TRUE(store.Update(id, st2).ok());
+  EXPECT_EQ(store.Get(id).value()->state.flops[0], 99u);
+
+  ASSERT_TRUE(store.Drop(id).ok());
+  EXPECT_FALSE(store.Get(id).ok());
+  EXPECT_FALSE(store.Drop(id).ok());
+}
+
+TEST(StoreTest, IdsAreUniqueAndNonZero) {
+  SnapshotStore store(1);
+  SnapshotId a = store.Put(SampleState());
+  SnapshotId b = store.Put(SampleState());
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, kNoSnapshot);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_GT(store.TotalBytes(), 0u);
+}
+
+TEST(ShapeDigestTest, DiffersAcrossDesigns) {
+  auto soc = SocDesign();
+  auto timer = rtl::CompileVerilog(periph::TimerVerilog(), "hs_timer");
+  ASSERT_TRUE(timer.ok());
+  EXPECT_NE(StateShapeDigest(soc), StateShapeDigest(timer.value()));
+  EXPECT_EQ(StateShapeDigest(soc), StateShapeDigest(SocDesign()));
+}
+
+TEST(OrchestratorTest, MoveToTransfersLiveState) {
+  auto soc = SocDesign();
+  auto st = bus::SimulatorTarget::Create(soc);
+  auto ft = fpga::FpgaTarget::Create(soc);
+  ASSERT_TRUE(st.ok() && ft.ok());
+  TargetOrchestrator orch({st.value().get(), ft.value().get()});
+  ASSERT_TRUE(orch.active().ResetHardware().ok());
+
+  const uint32_t timer_load = (0u << 8) | periph::timer_regs::kLoad;
+  ASSERT_TRUE(orch.active().Write32(timer_load, 777).ok());
+  EXPECT_EQ(orch.active().kind(), bus::TargetKind::kSimulator);
+
+  auto fpga_idx = orch.IndexOf(bus::TargetKind::kFpga);
+  ASSERT_TRUE(fpga_idx.ok());
+  ASSERT_TRUE(orch.MoveTo(fpga_idx.value()).ok());
+  EXPECT_EQ(orch.active().kind(), bus::TargetKind::kFpga);
+  EXPECT_EQ(orch.active().Read32(timer_load).value(), 777u);
+
+  // And back again.
+  ASSERT_TRUE(orch.MoveTo(0).ok());
+  EXPECT_EQ(orch.active().Read32(timer_load).value(), 777u);
+}
+
+TEST(OrchestratorTest, MoveToSelfIsFree) {
+  auto soc = SocDesign();
+  auto st = bus::SimulatorTarget::Create(soc);
+  ASSERT_TRUE(st.ok());
+  TargetOrchestrator orch({st.value().get()});
+  auto before = orch.TotalTime();
+  ASSERT_TRUE(orch.MoveTo(0).ok());
+  EXPECT_EQ(orch.TotalTime().picos(), before.picos());
+}
+
+TEST(OrchestratorTest, BadIndexRejected) {
+  auto soc = SocDesign();
+  auto st = bus::SimulatorTarget::Create(soc);
+  ASSERT_TRUE(st.ok());
+  TargetOrchestrator orch({st.value().get()});
+  EXPECT_FALSE(orch.MoveTo(5).ok());
+  EXPECT_FALSE(orch.IndexOf(bus::TargetKind::kFpga).ok());
+}
+
+}  // namespace
+}  // namespace hardsnap::snapshot

@@ -1,0 +1,239 @@
+// Deeper solver properties: width extremes, signed semantics, algebraic
+// identities checked by the decision procedure itself, and randomized
+// differential testing of every operator against concrete evaluation.
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "solver/bitblast.h"
+#include "solver/term.h"
+
+namespace hardsnap::solver {
+namespace {
+
+// Prove `prop` (a 1-bit term) valid by checking its negation UNSAT.
+::testing::AssertionResult Valid(BvContext* ctx, TermId prop) {
+  BvSolver solver(ctx);
+  auto r = solver.Check({ctx->BoolNot(prop)});
+  if (!r.ok()) return ::testing::AssertionFailure() << r.status().ToString();
+  if (r.value() == BvResult::kSat) {
+    return ::testing::AssertionFailure()
+           << "property falsifiable: " << ctx->ToString(prop);
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(SolverProofTest, AdditionCommutes) {
+  BvContext ctx;
+  TermId x = ctx.Var("x", 16), y = ctx.Var("y", 16);
+  EXPECT_TRUE(Valid(&ctx, ctx.Eq(ctx.Add(x, y), ctx.Add(y, x))));
+}
+
+TEST(SolverProofTest, SubIsAddNeg) {
+  BvContext ctx;
+  TermId x = ctx.Var("x", 12), y = ctx.Var("y", 12);
+  EXPECT_TRUE(Valid(&ctx, ctx.Eq(ctx.Sub(x, y), ctx.Add(x, ctx.Neg(y)))));
+}
+
+TEST(SolverProofTest, DeMorgan) {
+  BvContext ctx;
+  TermId x = ctx.Var("x", 8), y = ctx.Var("y", 8);
+  EXPECT_TRUE(Valid(&ctx, ctx.Eq(ctx.Not(ctx.And(x, y)),
+                                 ctx.Or(ctx.Not(x), ctx.Not(y)))));
+}
+
+TEST(SolverProofTest, MulByTwoIsShift) {
+  BvContext ctx;
+  TermId x = ctx.Var("x", 16);
+  EXPECT_TRUE(Valid(&ctx, ctx.Eq(ctx.Mul(x, ctx.Const(2, 16)),
+                                 ctx.Shl(x, ctx.Const(1, 16)))));
+}
+
+TEST(SolverProofTest, DivModReconstruction) {
+  // For b != 0: a == (a/b)*b + a%b.
+  BvContext ctx;
+  TermId a = ctx.Var("a", 8), b = ctx.Var("b", 8);
+  TermId reconstruct =
+      ctx.Add(ctx.Mul(ctx.Udiv(a, b), b), ctx.Urem(a, b));
+  TermId prop = ctx.Or(ctx.Eq(b, ctx.Const(0, 8)),
+                       ctx.Eq(a, reconstruct));
+  EXPECT_TRUE(Valid(&ctx, prop));
+}
+
+TEST(SolverProofTest, SignedUnsignedLtAgreeOnSmallValues) {
+  // When both operands have a clear top bit, slt == ult.
+  BvContext ctx;
+  TermId a = ctx.Var("a", 8), b = ctx.Var("b", 8);
+  TermId small = ctx.And(ctx.Ult(a, ctx.Const(0x80, 8)),
+                         ctx.Ult(b, ctx.Const(0x80, 8)));
+  TermId agree = ctx.Eq(ctx.Slt(a, b), ctx.Ult(a, b));
+  EXPECT_TRUE(Valid(&ctx, ctx.Or(ctx.BoolNot(small), agree)));
+}
+
+TEST(SolverProofTest, SextPreservesSignedOrder) {
+  BvContext ctx;
+  TermId a = ctx.Var("a", 8), b = ctx.Var("b", 8);
+  TermId prop = ctx.Eq(ctx.Slt(a, b),
+                       ctx.Slt(ctx.Sext(a, 16), ctx.Sext(b, 16)));
+  EXPECT_TRUE(Valid(&ctx, prop));
+}
+
+TEST(SolverProofTest, ConcatExtractRoundTrip) {
+  BvContext ctx;
+  TermId hi = ctx.Var("hi", 8), lo = ctx.Var("lo", 8);
+  TermId cat = ctx.Concat(hi, lo);
+  EXPECT_TRUE(Valid(&ctx, ctx.Eq(ctx.Extract(cat, 15, 8), hi)));
+  EXPECT_TRUE(Valid(&ctx, ctx.Eq(ctx.Extract(cat, 7, 0), lo)));
+}
+
+TEST(SolverProofTest, AshrOfNegativeStaysNegative) {
+  BvContext ctx;
+  TermId x = ctx.Var("x", 8);
+  TermId neg = ctx.Slt(x, ctx.Const(0, 8));
+  TermId shifted_neg =
+      ctx.Slt(ctx.Ashr(x, ctx.Const(3, 8)), ctx.Const(0, 8));
+  EXPECT_TRUE(Valid(&ctx, ctx.Or(ctx.BoolNot(neg), shifted_neg)));
+}
+
+TEST(SolverEdgeTest, OneBitArithmetic) {
+  BvContext ctx;
+  BvSolver solver(&ctx);
+  TermId x = ctx.Var("x", 1);
+  // x + x == 0 for 1-bit x (mod 2).
+  auto r = solver.Check(
+      {ctx.Ne(ctx.Add(x, x), ctx.Const(0, 1))});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), BvResult::kUnsat);
+}
+
+TEST(SolverEdgeTest, SixtyFourBitModel) {
+  BvContext ctx;
+  BvSolver solver(&ctx);
+  TermId x = ctx.Var("x", 64);
+  BvModel model;
+  auto r = solver.Check(
+      {ctx.Eq(ctx.Add(x, ctx.Const(1, 64)), ctx.Const(0, 64))}, &model);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value(), BvResult::kSat);
+  EXPECT_EQ(model.values.at(x), ~uint64_t{0});
+}
+
+TEST(SolverEdgeTest, ManyVariablesChainedEqualities) {
+  BvContext ctx;
+  BvSolver solver(&ctx);
+  std::vector<TermId> vars;
+  std::vector<TermId> assertions;
+  for (int i = 0; i < 20; ++i) vars.push_back(ctx.Var("v", 16));
+  for (int i = 0; i + 1 < 20; ++i)
+    assertions.push_back(
+        ctx.Eq(vars[i + 1], ctx.Add(vars[i], ctx.Const(1, 16))));
+  assertions.push_back(ctx.Eq(vars[0], ctx.Const(100, 16)));
+  BvModel model;
+  auto r = solver.Check(assertions, &model);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value(), BvResult::kSat);
+  EXPECT_EQ(model.values.at(vars[19]), 119u);
+}
+
+TEST(SolverEdgeTest, UnsatCoreOfTightBounds) {
+  BvContext ctx;
+  BvSolver solver(&ctx);
+  TermId x = ctx.Var("x", 32);
+  auto r = solver.Check({
+      ctx.Ugt(x, ctx.Const(1000, 32)),
+      ctx.Ult(x, ctx.Const(1002, 32)),
+      ctx.Ne(x, ctx.Const(1001, 32)),
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), BvResult::kUnsat);
+}
+
+// Randomized differential test: every operator against EvalTerm under a
+// random concrete assignment; assert (ops(vars) == concrete_result) SAT
+// with vars pinned, and UNSAT when the result is perturbed.
+class OperatorDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OperatorDifferentialTest, BlastedSemanticsMatchEvaluator) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 48611 + 19);
+  BvContext ctx;
+  BvSolver solver(&ctx);
+
+  const unsigned w = 1 + static_cast<unsigned>(rng.Below(16));
+  TermId a = ctx.Var("a", w);
+  TermId b = ctx.Var("b", w);
+  const uint64_t va = rng.Bits(w), vb = rng.Bits(w);
+
+  std::vector<TermId> exprs = {
+      ctx.Add(a, b), ctx.Sub(a, b), ctx.Mul(a, b), ctx.And(a, b),
+      ctx.Or(a, b), ctx.Xor(a, b), ctx.Not(a), ctx.Neg(b),
+      ctx.Udiv(a, b), ctx.Urem(a, b), ctx.Shl(a, b), ctx.Lshr(a, b),
+      ctx.Ashr(a, b), ctx.Zext(ctx.Ult(a, b), w), ctx.Zext(ctx.Slt(a, b), w),
+      ctx.Ite(ctx.Eq(a, b), a, ctx.Xor(a, b)),
+  };
+  std::map<TermId, uint64_t> env{{a, va}, {b, vb}};
+  for (TermId e : exprs) {
+    const uint64_t expect = EvalTerm(ctx, e, env);
+    std::vector<TermId> pinned = {
+        ctx.Eq(a, ctx.Const(va, w)),
+        ctx.Eq(b, ctx.Const(vb, w)),
+        ctx.Eq(e, ctx.Const(expect, w)),
+    };
+    auto sat = solver.Check(pinned);
+    ASSERT_TRUE(sat.ok());
+    EXPECT_EQ(sat.value(), BvResult::kSat)
+        << ctx.ToString(e) << " with a=" << va << " b=" << vb;
+
+    pinned.back() = ctx.Ne(e, ctx.Const(expect, w));
+    auto unsat = solver.Check(pinned);
+    ASSERT_TRUE(unsat.ok());
+    EXPECT_EQ(unsat.value(), BvResult::kUnsat)
+        << ctx.ToString(e) << " should be uniquely " << expect;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OperatorDifferentialTest,
+                         ::testing::Range(0, 12));
+
+TEST(SolverCacheTest, RepeatedQueriesHitTheCache) {
+  BvContext ctx;
+  BvSolver solver(&ctx);
+  TermId x = ctx.Var("x", 32);
+  TermId a1 = ctx.Ult(x, ctx.Const(10, 32));
+  TermId a2 = ctx.Ugt(x, ctx.Const(3, 32));
+  BvModel m1, m2;
+  ASSERT_TRUE(solver.Check({a1, a2}, &m1).ok());
+  EXPECT_EQ(solver.stats().cache_hits, 0u);
+  // Same assertion set, different order: canonicalization must hit.
+  ASSERT_TRUE(solver.Check({a2, a1}, &m2).ok());
+  EXPECT_EQ(solver.stats().cache_hits, 1u);
+  EXPECT_EQ(m1.values.at(x), m2.values.at(x));
+}
+
+TEST(SolverCacheTest, DisabledCacheNeverHits) {
+  BvContext ctx;
+  BvSolver solver(&ctx);
+  solver.set_cache_enabled(false);
+  TermId x = ctx.Var("x", 8);
+  TermId a = ctx.Eq(x, ctx.Const(5, 8));
+  ASSERT_TRUE(solver.Check({a}).ok());
+  ASSERT_TRUE(solver.Check({a}).ok());
+  EXPECT_EQ(solver.stats().cache_hits, 0u);
+}
+
+TEST(SolverCacheTest, CachedUnsatStaysUnsat) {
+  BvContext ctx;
+  BvSolver solver(&ctx);
+  TermId x = ctx.Var("x", 8);
+  std::vector<TermId> as = {ctx.Ult(x, ctx.Const(3, 8)),
+                            ctx.Ugt(x, ctx.Const(200, 8))};
+  auto r1 = solver.Check(as);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.value(), BvResult::kUnsat);
+  auto r2 = solver.Check(as);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value(), BvResult::kUnsat);
+  EXPECT_EQ(solver.stats().cache_hits, 1u);
+}
+
+}  // namespace
+}  // namespace hardsnap::solver

@@ -1,0 +1,417 @@
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "solver/bitblast.h"
+#include "solver/sat.h"
+#include "solver/term.h"
+
+namespace hardsnap::solver {
+namespace {
+
+// ---------------- SAT core ----------------
+
+TEST(SatTest, EmptyInstanceIsSat) {
+  SatSolver s;
+  EXPECT_EQ(s.Solve(), SatResult::kSat);
+}
+
+TEST(SatTest, UnitClauses) {
+  SatSolver s;
+  Var a = s.NewVar(), b = s.NewVar();
+  s.AddClause({MkLit(a)});
+  s.AddClause({MkLit(b, true)});
+  ASSERT_EQ(s.Solve(), SatResult::kSat);
+  EXPECT_TRUE(s.ValueOf(a));
+  EXPECT_FALSE(s.ValueOf(b));
+}
+
+TEST(SatTest, ContradictionIsUnsat) {
+  SatSolver s;
+  Var a = s.NewVar();
+  s.AddClause({MkLit(a)});
+  s.AddClause({MkLit(a, true)});
+  EXPECT_EQ(s.Solve(), SatResult::kUnsat);
+}
+
+TEST(SatTest, EmptyClauseIsUnsat) {
+  SatSolver s;
+  s.NewVar();
+  s.AddClause({});
+  EXPECT_EQ(s.Solve(), SatResult::kUnsat);
+}
+
+TEST(SatTest, TautologyDropped) {
+  SatSolver s;
+  Var a = s.NewVar();
+  s.AddClause({MkLit(a), MkLit(a, true)});
+  EXPECT_EQ(s.Solve(), SatResult::kSat);
+}
+
+TEST(SatTest, ImplicationChain) {
+  // a, a->b, b->c, c->d: all true.
+  SatSolver s;
+  Var a = s.NewVar(), b = s.NewVar(), c = s.NewVar(), d = s.NewVar();
+  s.AddClause({MkLit(a)});
+  s.AddClause({MkLit(a, true), MkLit(b)});
+  s.AddClause({MkLit(b, true), MkLit(c)});
+  s.AddClause({MkLit(c, true), MkLit(d)});
+  ASSERT_EQ(s.Solve(), SatResult::kSat);
+  EXPECT_TRUE(s.ValueOf(d));
+}
+
+TEST(SatTest, PigeonHole3Into2IsUnsat) {
+  // PHP(3,2): classic small UNSAT instance requiring real search.
+  SatSolver s;
+  Var p[3][2];
+  for (auto& row : p)
+    for (auto& v : row) v = s.NewVar();
+  for (int i = 0; i < 3; ++i)
+    s.AddClause({MkLit(p[i][0]), MkLit(p[i][1])});
+  for (int h = 0; h < 2; ++h)
+    for (int i = 0; i < 3; ++i)
+      for (int j = i + 1; j < 3; ++j)
+        s.AddClause({MkLit(p[i][h], true), MkLit(p[j][h], true)});
+  EXPECT_EQ(s.Solve(), SatResult::kUnsat);
+}
+
+TEST(SatTest, PigeonHole5Into4IsUnsat) {
+  SatSolver s;
+  constexpr int N = 5, H = 4;
+  Var p[N][H];
+  for (auto& row : p)
+    for (auto& v : row) v = s.NewVar();
+  for (int i = 0; i < N; ++i) {
+    std::vector<Lit> c;
+    for (int h = 0; h < H; ++h) c.push_back(MkLit(p[i][h]));
+    s.AddClause(c);
+  }
+  for (int h = 0; h < H; ++h)
+    for (int i = 0; i < N; ++i)
+      for (int j = i + 1; j < N; ++j)
+        s.AddClause({MkLit(p[i][h], true), MkLit(p[j][h], true)});
+  EXPECT_EQ(s.Solve(), SatResult::kUnsat);
+  EXPECT_GT(s.num_conflicts(), 0u);
+}
+
+// Property: random 3-SAT instances agree with brute force.
+class Sat3RandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Sat3RandomTest, AgreesWithBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 777 + 3);
+  const int num_vars = 8;
+  const int num_clauses = static_cast<int>(rng.Range(8, 40));
+
+  std::vector<std::vector<Lit>> clauses;
+  for (int c = 0; c < num_clauses; ++c) {
+    std::vector<Lit> cl;
+    for (int k = 0; k < 3; ++k) {
+      Var v = static_cast<Var>(rng.Below(num_vars));
+      cl.push_back(MkLit(v, rng.Chance(0.5)));
+    }
+    clauses.push_back(cl);
+  }
+
+  // Brute force.
+  bool brute_sat = false;
+  for (uint32_t assign = 0; assign < (1u << num_vars) && !brute_sat; ++assign) {
+    bool all = true;
+    for (const auto& cl : clauses) {
+      bool any = false;
+      for (Lit l : cl) {
+        bool val = (assign >> VarOf(l)) & 1;
+        if (IsNeg(l) ? !val : val) any = true;
+      }
+      if (!any) { all = false; break; }
+    }
+    brute_sat = all;
+  }
+
+  SatSolver s;
+  for (int v = 0; v < num_vars; ++v) s.NewVar();
+  for (auto& cl : clauses) s.AddClause(cl);
+  const bool solver_sat = s.Solve() == SatResult::kSat;
+  EXPECT_EQ(solver_sat, brute_sat);
+
+  if (solver_sat) {
+    // Verify the model satisfies every clause.
+    for (const auto& cl : clauses) {
+      bool any = false;
+      for (Lit l : cl) {
+        if (s.ValueOf(VarOf(l)) != IsNeg(l)) any = true;
+      }
+      EXPECT_TRUE(any);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Sat3RandomTest, ::testing::Range(0, 30));
+
+// ---------------- Term factory ----------------
+
+TEST(TermTest, ConstantFolding) {
+  BvContext ctx;
+  TermId a = ctx.Const(10, 32), b = ctx.Const(3, 32);
+  EXPECT_TRUE(ctx.IsConstValue(ctx.Add(a, b), 13));
+  EXPECT_TRUE(ctx.IsConstValue(ctx.Sub(a, b), 7));
+  EXPECT_TRUE(ctx.IsConstValue(ctx.Mul(a, b), 30));
+  EXPECT_TRUE(ctx.IsConstValue(ctx.Udiv(a, b), 3));
+  EXPECT_TRUE(ctx.IsConstValue(ctx.Urem(a, b), 1));
+  EXPECT_EQ(ctx.Ult(b, a), ctx.True());
+  EXPECT_EQ(ctx.Eq(a, a), ctx.True());
+}
+
+TEST(TermTest, DivisionByZeroRiscvSemantics) {
+  BvContext ctx;
+  TermId a = ctx.Const(42, 32), z = ctx.Const(0, 32);
+  EXPECT_TRUE(ctx.IsConstValue(ctx.Udiv(a, z), 0xffffffffu));
+  EXPECT_TRUE(ctx.IsConstValue(ctx.Urem(a, z), 42));
+}
+
+TEST(TermTest, IdentitySimplifications) {
+  BvContext ctx;
+  TermId x = ctx.Var("x", 32);
+  TermId zero = ctx.Const(0, 32);
+  TermId ones = ctx.Const(~0ull, 32);
+  EXPECT_EQ(ctx.Add(x, zero), x);
+  EXPECT_EQ(ctx.And(x, ones), x);
+  EXPECT_EQ(ctx.And(x, zero), zero);
+  EXPECT_EQ(ctx.Or(x, zero), x);
+  EXPECT_EQ(ctx.Xor(x, x), zero);
+  EXPECT_EQ(ctx.Not(ctx.Not(x)), x);
+  EXPECT_EQ(ctx.Eq(x, x), ctx.True());
+}
+
+TEST(TermTest, HashConsingSharesStructure) {
+  BvContext ctx;
+  TermId x = ctx.Var("x", 32);
+  TermId y = ctx.Var("y", 32);
+  EXPECT_EQ(ctx.Add(x, y), ctx.Add(x, y));
+  EXPECT_NE(ctx.Var("x", 32), x);  // variables are nominal
+}
+
+TEST(TermTest, SignedComparisonFolds) {
+  BvContext ctx;
+  TermId neg1 = ctx.Const(0xff, 8);
+  TermId one = ctx.Const(1, 8);
+  EXPECT_EQ(ctx.Slt(neg1, one), ctx.True());
+  EXPECT_EQ(ctx.Ult(neg1, one), ctx.False());
+}
+
+TEST(TermTest, ExtractConcatExtend) {
+  BvContext ctx;
+  TermId v = ctx.Const(0xabcd, 16);
+  EXPECT_TRUE(ctx.IsConstValue(ctx.Extract(v, 15, 8), 0xab));
+  EXPECT_TRUE(ctx.IsConstValue(ctx.Concat(ctx.Const(0xab, 8), ctx.Const(0xcd, 8)), 0xabcd));
+  EXPECT_TRUE(ctx.IsConstValue(ctx.Zext(ctx.Const(0x80, 8), 16), 0x80));
+  EXPECT_TRUE(ctx.IsConstValue(ctx.Sext(ctx.Const(0x80, 8), 16), 0xff80));
+}
+
+// ---------------- Bitvector solver ----------------
+
+BvResult MustCheck(BvSolver* solver, const std::vector<TermId>& assertions,
+                   BvModel* model = nullptr) {
+  auto r = solver->Check(assertions, model);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.value();
+}
+
+TEST(BvSolverTest, TrivialConstQueries) {
+  BvContext ctx;
+  BvSolver solver(&ctx);
+  EXPECT_EQ(MustCheck(&solver, {ctx.True()}), BvResult::kSat);
+  EXPECT_EQ(MustCheck(&solver, {ctx.False()}), BvResult::kUnsat);
+  EXPECT_EQ(MustCheck(&solver, {}), BvResult::kSat);
+}
+
+TEST(BvSolverTest, SolvesLinearEquation) {
+  // x + 5 == 12  ->  x == 7
+  BvContext ctx;
+  BvSolver solver(&ctx);
+  TermId x = ctx.Var("x", 32);
+  TermId eq = ctx.Eq(ctx.Add(x, ctx.Const(5, 32)), ctx.Const(12, 32));
+  BvModel model;
+  ASSERT_EQ(MustCheck(&solver, {eq}, &model), BvResult::kSat);
+  EXPECT_EQ(model.values.at(x), 7u);
+}
+
+TEST(BvSolverTest, DetectsUnsatRange) {
+  // x < 4 && x > 10 is unsat.
+  BvContext ctx;
+  BvSolver solver(&ctx);
+  TermId x = ctx.Var("x", 8);
+  EXPECT_EQ(MustCheck(&solver, {ctx.Ult(x, ctx.Const(4, 8)),
+                                ctx.Ugt(x, ctx.Const(10, 8))}),
+            BvResult::kUnsat);
+}
+
+TEST(BvSolverTest, ModelSatisfiesAllAssertions) {
+  BvContext ctx;
+  BvSolver solver(&ctx);
+  TermId x = ctx.Var("x", 16);
+  TermId y = ctx.Var("y", 16);
+  std::vector<TermId> as = {
+      ctx.Eq(ctx.And(x, ctx.Const(0xff, 16)), ctx.Const(0x5a, 16)),
+      ctx.Ult(y, x),
+      ctx.Eq(ctx.Xor(x, y), ctx.Const(0x1234, 16)),
+  };
+  BvModel model;
+  ASSERT_EQ(MustCheck(&solver, as, &model), BvResult::kSat);
+  for (TermId a : as)
+    EXPECT_EQ(EvalTerm(ctx, a, model.values), 1u) << ctx.ToString(a);
+}
+
+TEST(BvSolverTest, MultiplicationInverts) {
+  // x * 3 == 21 over 8 bits -> x = 7 mod ... (3 is odd, unique solution 7
+  // + k*256/gcd... gcd(3,256)=1 so unique: 7 * 3 = 21; but 8-bit wrap
+  // admits x = 7 + 256/1 * k -> only 7 in range... actually 3x ≡ 21 mod 256
+  // has the single solution x ≡ 7 * 3^-1*3 = 7).
+  BvContext ctx;
+  BvSolver solver(&ctx);
+  TermId x = ctx.Var("x", 8);
+  BvModel model;
+  ASSERT_EQ(MustCheck(&solver,
+                      {ctx.Eq(ctx.Mul(x, ctx.Const(3, 8)), ctx.Const(21, 8))},
+                      &model),
+            BvResult::kSat);
+  EXPECT_EQ(TruncBits(model.values.at(x) * 3, 8), 21u);
+}
+
+TEST(BvSolverTest, DivisionCircuit) {
+  BvContext ctx;
+  BvSolver solver(&ctx);
+  TermId x = ctx.Var("x", 8);
+  // x / 10 == 7 && x % 10 == 3  ->  x == 73
+  BvModel model;
+  ASSERT_EQ(
+      MustCheck(&solver,
+                {ctx.Eq(ctx.Udiv(x, ctx.Const(10, 8)), ctx.Const(7, 8)),
+                 ctx.Eq(ctx.Urem(x, ctx.Const(10, 8)), ctx.Const(3, 8))},
+                &model),
+      BvResult::kSat);
+  EXPECT_EQ(model.values.at(x), 73u);
+}
+
+TEST(BvSolverTest, ShiftBySymbolicAmount) {
+  BvContext ctx;
+  BvSolver solver(&ctx);
+  TermId x = ctx.Var("x", 8);
+  TermId sh = ctx.Var("sh", 8);
+  // (x << sh) == 0x80 && x == 1  ->  sh == 7
+  BvModel model;
+  ASSERT_EQ(MustCheck(&solver,
+                      {ctx.Eq(ctx.Shl(x, sh), ctx.Const(0x80, 8)),
+                       ctx.Eq(x, ctx.Const(1, 8))},
+                      &model),
+            BvResult::kSat);
+  EXPECT_EQ(model.values.at(sh), 7u);
+}
+
+TEST(BvSolverTest, ShiftOverflowYieldsZero) {
+  BvContext ctx;
+  BvSolver solver(&ctx);
+  TermId x = ctx.Var("x", 8);
+  // (x << 9) != 0 is unsat for 8-bit x.
+  EXPECT_EQ(MustCheck(&solver, {ctx.Ne(ctx.Shl(x, ctx.Const(9, 8)),
+                                       ctx.Const(0, 8))}),
+            BvResult::kUnsat);
+}
+
+TEST(BvSolverTest, SignedVsUnsignedDisagree) {
+  BvContext ctx;
+  BvSolver solver(&ctx);
+  TermId x = ctx.Var("x", 8);
+  // x <s 0 && x >u 127: satisfied by any x in [128, 255].
+  BvModel model;
+  ASSERT_EQ(MustCheck(&solver,
+                      {ctx.Slt(x, ctx.Const(0, 8)),
+                       ctx.Ugt(x, ctx.Const(127, 8))},
+                      &model),
+            BvResult::kSat);
+  EXPECT_GE(model.values.at(x), 128u);
+}
+
+TEST(BvSolverTest, IteBothBranchesReachable) {
+  BvContext ctx;
+  BvSolver solver(&ctx);
+  TermId c = ctx.Var("c", 1);
+  TermId v = ctx.Ite(c, ctx.Const(10, 8), ctx.Const(20, 8));
+  BvModel model;
+  ASSERT_EQ(MustCheck(&solver, {ctx.Eq(v, ctx.Const(20, 8))}, &model),
+            BvResult::kSat);
+  EXPECT_EQ(model.values.at(c), 0u);
+  ASSERT_EQ(MustCheck(&solver, {ctx.Eq(v, ctx.Const(10, 8))}, &model),
+            BvResult::kSat);
+  EXPECT_EQ(model.values.at(c), 1u);
+  EXPECT_EQ(MustCheck(&solver, {ctx.Eq(v, ctx.Const(30, 8))}),
+            BvResult::kUnsat);
+}
+
+// Property: random term DAGs — if the solver says SAT, the model evaluates
+// true; checking the negation of a satisfied assignment's value is UNSAT.
+class BvRandomPropertyTest : public ::testing::TestWithParam<int> {};
+
+TermId RandomTerm(BvContext* ctx, Rng* rng, const std::vector<TermId>& vars,
+                  int depth) {
+  if (depth == 0 || rng->Chance(0.3)) {
+    if (rng->Chance(0.5)) return vars[rng->Below(vars.size())];
+    return ctx->Const(rng->Bits(8), 8);
+  }
+  TermId a = RandomTerm(ctx, rng, vars, depth - 1);
+  TermId b = RandomTerm(ctx, rng, vars, depth - 1);
+  switch (rng->Below(9)) {
+    case 0: return ctx->Add(a, b);
+    case 1: return ctx->Sub(a, b);
+    case 2: return ctx->And(a, b);
+    case 3: return ctx->Or(a, b);
+    case 4: return ctx->Xor(a, b);
+    case 5: return ctx->Mul(a, b);
+    case 6: return ctx->Shl(a, ctx->Const(rng->Below(8), 8));
+    case 7: return ctx->Not(a);
+    default: return ctx->Ite(ctx->Eq(a, b), a, ctx->Not(b));
+  }
+}
+
+TEST_P(BvRandomPropertyTest, ModelsEvaluateTrue) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31337 + 11);
+  BvContext ctx;
+  BvSolver solver(&ctx);
+  std::vector<TermId> vars = {ctx.Var("a", 8), ctx.Var("b", 8)};
+  TermId lhs = RandomTerm(&ctx, &rng, vars, 3);
+  TermId rhs = ctx.Const(rng.Bits(8), 8);
+  TermId assertion = ctx.Eq(lhs, rhs);
+
+  BvModel model;
+  auto r = solver.Check({assertion}, &model);
+  ASSERT_TRUE(r.ok());
+  if (r.value() == BvResult::kSat) {
+    EXPECT_EQ(EvalTerm(ctx, assertion, model.values), 1u)
+        << ctx.ToString(assertion);
+  } else {
+    // Cross-check with brute force over both 8-bit vars.
+    for (uint32_t a = 0; a < 256; ++a) {
+      for (uint32_t b = 0; b < 256; ++b) {
+        std::map<TermId, uint64_t> env{{vars[0], a}, {vars[1], b}};
+        ASSERT_EQ(EvalTerm(ctx, assertion, env), 0u)
+            << "solver said UNSAT but a=" << a << " b=" << b << " satisfies "
+            << ctx.ToString(assertion);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BvRandomPropertyTest, ::testing::Range(0, 20));
+
+TEST(BvSolverTest, StatsTrackQueries) {
+  BvContext ctx;
+  BvSolver solver(&ctx);
+  TermId x = ctx.Var("x", 8);
+  (void)solver.Check({ctx.Eq(x, ctx.Const(1, 8))});
+  (void)solver.Check({ctx.False()});
+  EXPECT_EQ(solver.stats().queries, 2u);
+  EXPECT_EQ(solver.stats().sat, 1u);
+  EXPECT_EQ(solver.stats().unsat, 1u);
+}
+
+}  // namespace
+}  // namespace hardsnap::solver

@@ -1,0 +1,350 @@
+// Edge cases of the selective symbolic VM: interrupt atomicity, budget
+// and state caps, symbolic memory/data flows, computed jumps, division.
+#include <gtest/gtest.h>
+
+#include "bus/sim_target.h"
+#include "firmware/corpus.h"
+#include "periph/periph.h"
+#include "rtl/elaborate.h"
+#include "symex/executor.h"
+#include "vm/memmap.h"
+
+namespace hardsnap::symex {
+namespace {
+
+rtl::Design& Soc() {
+  static rtl::Design* d = [] {
+    auto r = rtl::CompileVerilog(periph::BuildSoc(periph::DefaultCorpus()),
+                                 "soc");
+    HS_CHECK_MSG(r.ok(), r.status().ToString());
+    return new rtl::Design(std::move(r).value());
+  }();
+  return *d;
+}
+
+std::unique_ptr<bus::SimulatorTarget> MakeTarget() {
+  auto t = bus::SimulatorTarget::Create(Soc());
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+vm::FirmwareImage Asm(const std::string& src) {
+  auto img = vm::Assemble(src);
+  EXPECT_TRUE(img.ok()) << img.status().ToString();
+  return img.value_or(vm::FirmwareImage{});
+}
+
+TEST(SymexEdgeTest, BudgetExhaustionTerminatesCleanly) {
+  auto target = MakeTarget();
+  ExecOptions opts;
+  opts.max_instructions = 500;
+  Executor ex(target.get(), opts);
+  ASSERT_TRUE(ex.LoadFirmware(Asm("_start:\n  j _start\n")).ok());
+  auto report = ex.Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().instructions, 500u);
+  EXPECT_EQ(report.value().paths_completed, 1u);
+  EXPECT_EQ(report.value().paths_exited, 0u);
+}
+
+TEST(SymexEdgeTest, StateCapBoundsForks) {
+  auto target = MakeTarget();
+  ExecOptions opts;
+  opts.max_states = 4;  // branch tree wants 2^6 states
+  opts.max_instructions = 300000;
+  Executor ex(target.get(), opts);
+  ASSERT_TRUE(ex.LoadFirmware(
+      Asm(firmware::BranchTreeFirmware(6, 2))).ok());
+  ex.MakeSymbolicRegister(10, "x");
+  auto report = ex.Run();
+  ASSERT_TRUE(report.ok());
+  // Capped: fewer than 64 paths, but every live state still completes.
+  EXPECT_LT(report.value().paths_completed, 64u);
+  EXPECT_GE(report.value().paths_completed, 4u);
+}
+
+TEST(SymexEdgeTest, SymbolicDataRoundTripsThroughRam) {
+  auto target = MakeTarget();
+  Executor ex(target.get(), {});
+  ASSERT_TRUE(ex.LoadFirmware(Asm(R"(
+    _start:
+      li t0, 0x10000040
+      sw a0, 0(t0)
+      lw a1, 0(t0)
+      li t1, 0xcafe
+      bne a1, t1, not_magic
+      ebreak
+    not_magic:
+      li t0, 0x50000004
+      sw zero, 0(t0)
+  )")).ok());
+  ex.MakeSymbolicRegister(10, "value");
+  auto report = ex.Run();
+  ASSERT_TRUE(report.ok());
+  // The stored-then-loaded symbolic value must still be symbolic: the
+  // magic comparison forks and the ebreak is reachable exactly when
+  // value == 0xcafe.
+  ASSERT_EQ(report.value().bugs.size(), 1u);
+  EXPECT_EQ(report.value().bugs[0].test_case.inputs.at("value"), 0xcafeu);
+}
+
+TEST(SymexEdgeTest, SignExtendingLoadOfSymbolicByte) {
+  auto target = MakeTarget();
+  Executor ex(target.get(), {});
+  ASSERT_TRUE(ex.LoadFirmware(Asm(R"(
+    _start:
+      li t0, 0x10000000
+      lb a1, 0(t0)          # sign-extended symbolic byte
+      bge a1, zero, positive
+      li a2, 1
+      j out
+    positive:
+      li a2, 0
+    out:
+      li t0, 0x50000004
+      sw a2, 0(t0)
+  )")).ok());
+  ASSERT_TRUE(ex.MakeSymbolicRegion(vm::kRamBase, 1, "byte").ok());
+  auto report = ex.Run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.value().paths_completed, 2u);
+  // Negative path requires byte >= 0x80.
+  bool saw_negative = false;
+  for (const auto& tc : report.value().test_cases) {
+    auto it = tc.inputs.find("byte[0]");
+    if (it != tc.inputs.end() && it->second >= 0x80) saw_negative = true;
+  }
+  EXPECT_TRUE(saw_negative);
+}
+
+TEST(SymexEdgeTest, ComputedJumpViaJalrTable) {
+  auto target = MakeTarget();
+  Executor ex(target.get(), {});
+  ASSERT_TRUE(ex.LoadFirmware(Asm(R"(
+    _start:
+      andi a0, a0, 1
+      slli t0, a0, 3        # 8 bytes per arm
+      la t1, arm0
+      add t1, t1, t0
+      jalr zero, 0(t1)
+    arm0:
+      li a1, 10
+      j out
+    arm1:
+      li a1, 20
+      j out
+    out:
+      li t0, 0x50000004
+      sw a1, 0(t0)
+  )")).ok());
+  ex.MakeSymbolicRegister(10, "sel");
+  auto report = ex.Run();
+  ASSERT_TRUE(report.ok());
+  // The jalr target is symbolic: the single-value policy concretizes one
+  // arm; the branch fork before it still covers both selector values.
+  EXPECT_GE(report.value().paths_completed, 1u);
+  EXPECT_GE(report.value().concretizations, 1u);
+  EXPECT_TRUE(report.value().bugs.empty());
+}
+
+TEST(SymexEdgeTest, ComputedJumpAllValuesPolicyCoversBothArms) {
+  auto target = MakeTarget();
+  ExecOptions opts;
+  opts.concretization = ConcretizationPolicy::kAllValues;
+  Executor ex(target.get(), opts);
+  ASSERT_TRUE(ex.LoadFirmware(Asm(R"(
+    _start:
+      andi a0, a0, 1
+      slli t0, a0, 3
+      la t1, arm0
+      add t1, t1, t0
+      jalr zero, 0(t1)
+    arm0:
+      li a1, 10
+      j out
+    arm1:
+      li a1, 20
+      j out
+    out:
+      li t0, 0x50000004
+      sw a1, 0(t0)
+  )")).ok());
+  ex.MakeSymbolicRegister(10, "sel");
+  auto report = ex.Run();
+  ASSERT_TRUE(report.ok());
+  // Both exit codes... both arms exit 0, so check paths: with kAllValues
+  // the boundary forks cover both arms.
+  EXPECT_GE(report.value().paths_completed, 2u);
+}
+
+TEST(SymexEdgeTest, SymbolicDivisionAndRemainder) {
+  auto target = MakeTarget();
+  Executor ex(target.get(), {});
+  ASSERT_TRUE(ex.LoadFirmware(Asm(R"(
+    _start:
+      li t0, 10
+      divu t1, a0, t0
+      remu t2, a0, t0
+      li t3, 7
+      bne t1, t3, no
+      li t3, 3
+      bne t2, t3, no
+      ebreak              # reachable iff a0/10==7 && a0%10==3 -> a0==73
+    no:
+      li t0, 0x50000004
+      sw zero, 0(t0)
+  )")).ok());
+  ex.MakeSymbolicRegister(10, "x");
+  auto report = ex.Run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.value().bugs.size(), 1u);
+  EXPECT_EQ(report.value().bugs[0].test_case.inputs.at("x"), 73u);
+}
+
+TEST(SymexEdgeTest, MulhUpperBitsCorrect) {
+  auto target = MakeTarget();
+  Executor ex(target.get(), {});
+  // 0x10000 * 0x10000 = 2^32: mulhu = 1.
+  ASSERT_TRUE(ex.LoadFirmware(Asm(R"(
+    _start:
+      li t0, 0x10000
+      mulhu a0, t0, t0
+      li t1, 0x50000004
+      sw a0, 0(t1)
+  )")).ok());
+  auto report = ex.Run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.value().exit_codes.size(), 1u);
+  EXPECT_EQ(report.value().exit_codes[0], 1u);
+}
+
+TEST(SymexEdgeTest, InterruptHandlerIsAtomicAcrossStates) {
+  // Two states (from one symbolic branch) both run the timer-interrupt
+  // firmware; interrupts must be served per state with no cross-state
+  // corruption of the handler's counter.
+  auto target = MakeTarget();
+  ExecOptions opts;
+  opts.max_instructions = 400000;
+  opts.instructions_per_slice = 3;  // aggressive interleaving
+  Executor ex(target.get(), opts);
+  // Wrap the interrupt firmware behind a symbolic fork so two states run
+  // the same interrupt-driven sequence concurrently.
+  std::string src = firmware::TimerInterruptFirmware(2);
+  src.replace(src.find("_start:"), 7, "entry:");
+  std::string wrapper =
+      "_start:\n  andi a0, a0, 1\n  beqz a0, entry\n  nop\n  j entry\n" + src;
+  ASSERT_TRUE(ex.LoadFirmware(Asm(wrapper)).ok());
+  ex.MakeSymbolicRegister(10, "fork");
+  auto report = ex.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().paths_completed, 2u) << report.value().Summary();
+  EXPECT_EQ(report.value().paths_exited, 2u);
+  EXPECT_GE(report.value().interrupts_served, 4u);  // 2 per state
+}
+
+TEST(SymexEdgeTest, MisalignedFetchIsBug) {
+  auto target = MakeTarget();
+  Executor ex(target.get(), {});
+  ASSERT_TRUE(ex.LoadFirmware(Asm(R"(
+    _start:
+      la t0, _start
+      addi t0, t0, 2
+      jalr zero, 0(t0)
+  )")).ok());
+  auto report = ex.Run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.value().bugs.size(), 1u);
+  EXPECT_EQ(report.value().bugs[0].kind, "bad instruction fetch");
+}
+
+TEST(SymexEdgeTest, SymbolicExitCodeConcretized) {
+  auto target = MakeTarget();
+  Executor ex(target.get(), {});
+  ASSERT_TRUE(ex.LoadFirmware(Asm(R"(
+    _start:
+      andi a0, a0, 0xff
+      li t0, 0x50000004
+      sw a0, 0(t0)
+  )")).ok());
+  ex.MakeSymbolicRegister(10, "code");
+  auto report = ex.Run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.value().exit_codes.size(), 1u);
+  EXPECT_LE(report.value().exit_codes[0], 0xffu);
+  EXPECT_GE(report.value().concretizations, 1u);
+}
+
+TEST(SymexEdgeTest, UnsatisfiablePathPruned) {
+  auto target = MakeTarget();
+  Executor ex(target.get(), {});
+  // Contradictory conditions: the second branch is infeasible once the
+  // first constrains a0 < 5, so only 2 paths exist, not 4.
+  ASSERT_TRUE(ex.LoadFirmware(Asm(R"(
+    _start:
+      li t0, 5
+      bltu a0, t0, small
+      j out
+    small:
+      li t0, 100
+      bltu t0, a0, impossible    # a0 > 100 contradicts a0 < 5
+      j out
+    impossible:
+      ebreak
+    out:
+      li t0, 0x50000004
+      sw zero, 0(t0)
+  )")).ok());
+  ex.MakeSymbolicRegister(10, "x");
+  auto report = ex.Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().paths_completed, 2u);
+  EXPECT_TRUE(report.value().bugs.empty());
+}
+
+TEST(SymexEdgeTest, PartialWordStoresMergeInMemory) {
+  auto target = MakeTarget();
+  Executor ex(target.get(), {});
+  ASSERT_TRUE(ex.LoadFirmware(Asm(R"(
+    _start:
+      li t0, 0x10000020
+      li t1, 0x11223344
+      sw t1, 0(t0)
+      li t2, 0xaa
+      sb t2, 1(t0)        # word becomes 0x1122aa44
+      lw a0, 0(t0)
+      li t3, 0x50000004
+      sw a0, 0(t3)
+  )")).ok());
+  auto report = ex.Run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.value().exit_codes.size(), 1u);
+  EXPECT_EQ(report.value().exit_codes[0], 0x1122aa44u);
+}
+
+TEST(SymexEdgeTest, StepHookObservesEveryInstruction) {
+  auto target = MakeTarget();
+  ExecOptions opts;
+  uint64_t hook_calls = 0;
+  uint32_t last_pc = 0;
+  opts.step_hook = [&](const State& s) {
+    ++hook_calls;
+    last_pc = s.pc;
+  };
+  Executor ex(target.get(), opts);
+  ASSERT_TRUE(ex.LoadFirmware(Asm(R"(
+    _start:
+      li a0, 1
+      li a1, 2
+      add a0, a0, a1
+      li t0, 0x50000004
+      sw a0, 0(t0)
+  )")).ok());
+  auto r = ex.Run();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(hook_calls, r.value().instructions);
+  EXPECT_GT(hook_calls, 0u);
+  (void)last_pc;
+}
+
+}  // namespace
+}  // namespace hardsnap::symex

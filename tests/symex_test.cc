@@ -1,0 +1,423 @@
+#include <gtest/gtest.h>
+
+#include "bus/sim_target.h"
+#include "firmware/corpus.h"
+#include "periph/periph.h"
+#include "rtl/elaborate.h"
+#include "symex/executor.h"
+#include "vm/assembler.h"
+#include "vm/memmap.h"
+
+namespace hardsnap::symex {
+namespace {
+
+rtl::Design& SocDesign() {
+  static rtl::Design* design = [] {
+    auto d = rtl::CompileVerilog(periph::BuildSoc(periph::DefaultCorpus()),
+                                 "soc");
+    HS_CHECK_MSG(d.ok(), d.status().ToString());
+    return new rtl::Design(std::move(d).value());
+  }();
+  return *design;
+}
+
+std::unique_ptr<bus::SimulatorTarget> MakeTarget() {
+  auto t = bus::SimulatorTarget::Create(SocDesign());
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return std::move(t).value();
+}
+
+vm::FirmwareImage MustAssemble(const std::string& src) {
+  auto img = vm::Assemble(src);
+  EXPECT_TRUE(img.ok()) << img.status().ToString();
+  return img.value_or(vm::FirmwareImage{});
+}
+
+Report MustRun(Executor* ex) {
+  auto r = ex->Run();
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.value_or(Report{});
+}
+
+// ---------------- concrete execution ----------------
+
+TEST(ConcreteExecTest, ArithmeticAndExitCode) {
+  auto target = MakeTarget();
+  Executor ex(target.get(), {});
+  ASSERT_TRUE(ex.LoadFirmware(MustAssemble(R"(
+    _start:
+      li a0, 6
+      li a1, 7
+      mul a0, a0, a1
+      li t0, 0x50000004
+      sw a0, 0(t0)
+  )")).ok());
+  Report r = MustRun(&ex);
+  EXPECT_EQ(r.paths_completed, 1u);
+  ASSERT_EQ(r.exit_codes.size(), 1u);
+  EXPECT_EQ(r.exit_codes[0], 42u);
+}
+
+TEST(ConcreteExecTest, ConsoleOutput) {
+  auto target = MakeTarget();
+  Executor ex(target.get(), {});
+  ASSERT_TRUE(ex.LoadFirmware(MustAssemble(R"(
+    _start:
+      li t0, 0x50000000
+      li t1, 72          # 'H'
+      sw t1, 0(t0)
+      li t1, 105         # 'i'
+      sw t1, 0(t0)
+      li t0, 0x50000004
+      sw zero, 0(t0)
+  )")).ok());
+  Report r = MustRun(&ex);
+  EXPECT_EQ(r.console, "Hi");
+}
+
+TEST(ConcreteExecTest, MemoryRoundTrip) {
+  auto target = MakeTarget();
+  Executor ex(target.get(), {});
+  ASSERT_TRUE(ex.LoadFirmware(MustAssemble(R"(
+    _start:
+      li t0, 0x10000000
+      li t1, 0x12345678
+      sw t1, 0(t0)
+      lhu a0, 2(t0)      # upper half, little endian -> 0x1234
+      li t0, 0x50000004
+      sw a0, 0(t0)
+  )")).ok());
+  Report r = MustRun(&ex);
+  ASSERT_EQ(r.exit_codes.size(), 1u);
+  EXPECT_EQ(r.exit_codes[0], 0x1234u);
+}
+
+TEST(ConcreteExecTest, OutOfBoundsStoreIsBug) {
+  auto target = MakeTarget();
+  Executor ex(target.get(), {});
+  ASSERT_TRUE(ex.LoadFirmware(MustAssemble(R"(
+    _start:
+      li t0, 0x20000000   # unmapped
+      sw zero, 0(t0)
+  )")).ok());
+  Report r = MustRun(&ex);
+  ASSERT_EQ(r.bugs.size(), 1u);
+  EXPECT_EQ(r.bugs[0].kind, "out-of-bounds store");
+}
+
+TEST(ConcreteExecTest, EbreakIsBug) {
+  auto target = MakeTarget();
+  Executor ex(target.get(), {});
+  ASSERT_TRUE(ex.LoadFirmware(MustAssemble("_start:\n  ebreak\n")).ok());
+  Report r = MustRun(&ex);
+  ASSERT_EQ(r.bugs.size(), 1u);
+  EXPECT_EQ(r.bugs[0].kind, "ebreak");
+}
+
+TEST(ConcreteExecTest, AesDriverSelfTestPasses) {
+  auto target = MakeTarget();
+  ExecOptions opts;
+  opts.max_instructions = 200000;
+  Executor ex(target.get(), opts);
+  ASSERT_TRUE(
+      ex.LoadFirmware(MustAssemble(firmware::AesSelfTestFirmware())).ok());
+  Report r = MustRun(&ex);
+  EXPECT_TRUE(r.bugs.empty()) << (r.bugs.empty() ? "" : r.bugs[0].kind);
+  ASSERT_EQ(r.exit_codes.size(), 1u);
+  EXPECT_EQ(r.exit_codes[0], 0u);
+}
+
+TEST(ConcreteExecTest, ShaDriverSelfTestPasses) {
+  auto target = MakeTarget();
+  ExecOptions opts;
+  opts.max_instructions = 200000;
+  Executor ex(target.get(), opts);
+  ASSERT_TRUE(
+      ex.LoadFirmware(MustAssemble(firmware::ShaSelfTestFirmware())).ok());
+  Report r = MustRun(&ex);
+  EXPECT_TRUE(r.bugs.empty());
+  ASSERT_EQ(r.exit_codes.size(), 1u);
+  EXPECT_EQ(r.exit_codes[0], 0u);
+}
+
+TEST(ConcreteExecTest, TimerInterruptsServed) {
+  auto target = MakeTarget();
+  ExecOptions opts;
+  opts.max_instructions = 100000;
+  Executor ex(target.get(), opts);
+  ASSERT_TRUE(ex.LoadFirmware(
+      MustAssemble(firmware::TimerInterruptFirmware(3))).ok());
+  Report r = MustRun(&ex);
+  ASSERT_EQ(r.exit_codes.size(), 1u);
+  EXPECT_EQ(r.exit_codes[0], 0u);
+  EXPECT_GE(r.interrupts_served, 3u);
+}
+
+TEST(ConcreteExecTest, UartIrqEchoRoundTrips) {
+  auto target = MakeTarget();
+  ExecOptions opts;
+  opts.max_instructions = 300000;
+  Executor ex(target.get(), opts);
+  ASSERT_TRUE(
+      ex.LoadFirmware(MustAssemble(firmware::UartIrqEchoFirmware(4))).ok());
+  Report r = MustRun(&ex);
+  EXPECT_TRUE(r.bugs.empty()) << r.Summary();
+  ASSERT_EQ(r.exit_codes.size(), 1u) << r.Summary();
+  EXPECT_EQ(r.exit_codes[0], 0u);
+  EXPECT_GE(r.interrupts_served, 4u);
+}
+
+// ---------------- symbolic execution ----------------
+
+TEST(SymbolicExecTest, ForksOnSymbolicBranch) {
+  auto target = MakeTarget();
+  Executor ex(target.get(), {});
+  ASSERT_TRUE(ex.LoadFirmware(MustAssemble(R"(
+    _start:
+      li t0, 10
+      blt a0, t0, small
+      li a1, 1
+      j out
+    small:
+      li a1, 2
+    out:
+      li t0, 0x50000004
+      sw a1, 0(t0)
+  )")).ok());
+  ex.MakeSymbolicRegister(10, "input");
+  Report r = MustRun(&ex);
+  EXPECT_EQ(r.forks, 1u);
+  EXPECT_EQ(r.paths_completed, 2u);
+  // Both exit codes observed.
+  ASSERT_EQ(r.exit_codes.size(), 2u);
+  EXPECT_NE(r.exit_codes[0], r.exit_codes[1]);
+}
+
+TEST(SymbolicExecTest, TestCasesSatisfyPathConditions) {
+  auto target = MakeTarget();
+  Executor ex(target.get(), {});
+  ASSERT_TRUE(ex.LoadFirmware(MustAssemble(R"(
+    _start:
+      li t0, 0x1234
+      bne a0, t0, other
+      li a1, 1
+      j out
+    other:
+      li a1, 0
+    out:
+      li t0, 0x50000004
+      sw a1, 0(t0)
+  )")).ok());
+  ex.MakeSymbolicRegister(10, "input");
+  Report r = MustRun(&ex);
+  ASSERT_EQ(r.test_cases.size(), 2u);
+  bool saw_equal = false;
+  for (const auto& tc : r.test_cases) {
+    if (tc.inputs.count("input") && tc.inputs.at("input") == 0x1234)
+      saw_equal = true;
+  }
+  EXPECT_TRUE(saw_equal);
+}
+
+TEST(SymbolicExecTest, BranchTreeExploresAllPaths) {
+  auto target = MakeTarget();
+  ExecOptions opts;
+  opts.max_instructions = 500000;
+  Executor ex(target.get(), opts);
+  ASSERT_TRUE(ex.LoadFirmware(
+      MustAssemble(firmware::BranchTreeFirmware(4, 3))).ok());
+  ex.MakeSymbolicRegister(10, "input");
+  Report r = MustRun(&ex);
+  EXPECT_EQ(r.paths_completed, 16u);  // 2^4
+  EXPECT_EQ(r.forks, 15u);
+  EXPECT_EQ(r.paths_exited, 16u);
+}
+
+TEST(SymbolicExecTest, VulnerableParserBugFoundWithTestCase) {
+  auto target = MakeTarget();
+  ExecOptions opts;
+  opts.search = SearchStrategy::kDfs;
+  opts.max_instructions = 400000;
+  Executor ex(target.get(), opts);
+  ASSERT_TRUE(ex.LoadFirmware(
+      MustAssemble(firmware::VulnerableParserFirmware())).ok());
+  ASSERT_TRUE(ex.MakeSymbolicRegion(vm::kRamBase, 2, "packet").ok());
+  Report r = MustRun(&ex);
+  ASSERT_GE(r.bugs.size(), 1u) << r.Summary();
+  EXPECT_EQ(r.bugs[0].kind, "out-of-bounds store");
+  // The generated test case must have a length that overflows the buffer.
+  ASSERT_TRUE(r.bugs[0].test_case.inputs.count("packet[0]"));
+  EXPECT_GE(r.bugs[0].test_case.inputs.at("packet[0]"), 16u);
+}
+
+TEST(SymbolicExecTest, MmioStoreConcretizesSymbolicData) {
+  auto target = MakeTarget();
+  Executor ex(target.get(), {});
+  // Store a symbolic value into the timer LOAD register, then exit.
+  ASSERT_TRUE(ex.LoadFirmware(MustAssemble(R"(
+    _start:
+      li t0, 0x40000000
+      sw a0, 4(t0)
+      li t0, 0x50000004
+      sw zero, 0(t0)
+  )")).ok());
+  ex.MakeSymbolicRegister(10, "value");
+  Report r = MustRun(&ex);
+  EXPECT_EQ(r.paths_completed, 1u);
+  EXPECT_GE(r.concretizations, 1u);
+}
+
+TEST(SymbolicExecTest, AllValuesPolicyForksAtBoundary) {
+  auto target = MakeTarget();
+  ExecOptions opts;
+  opts.concretization = ConcretizationPolicy::kAllValues;
+  opts.max_concretization_fanout = 4;
+  Executor ex(target.get(), opts);
+  // a0 restricted to {1,2,3} by the branch structure, then stored to MMIO.
+  ASSERT_TRUE(ex.LoadFirmware(MustAssemble(R"(
+    _start:
+      andi a0, a0, 3
+      bnez a0, nonzero
+      li a0, 1
+    nonzero:
+      li t0, 0x40000000
+      sw a0, 4(t0)
+      li t0, 0x50000004
+      sw zero, 0(t0)
+  )")).ok());
+  ex.MakeSymbolicRegister(10, "value");
+  Report r = MustRun(&ex);
+  // 2 branch paths; the a0 != 0 path concretizes a value with 3
+  // possibilities -> extra forks from the boundary.
+  EXPECT_GT(r.forks, 1u);
+  EXPECT_GE(r.paths_completed, 3u);
+}
+
+// ---------------- consistency modes (Fig. 1 scenario) ----------------
+
+struct Fig1Outcome {
+  bool false_positive = false;  // bug at path A's check
+  bool real_bug = false;        // bug at path B's planted ebreak
+  Report report;
+};
+
+Fig1Outcome RunFig1(ConsistencyMode mode) {
+  auto target = MakeTarget();
+  ExecOptions opts;
+  opts.mode = mode;
+  opts.search = SearchStrategy::kBfs;  // interleave: worst case for HIL
+  opts.max_instructions = 2000000;
+  Executor ex(target.get(), opts);
+  auto img = MustAssemble(firmware::Fig1ConsistencyFirmware());
+  HS_CHECK(ex.LoadFirmware(img).ok());
+  ex.MakeSymbolicRegister(10, "req");
+  Fig1Outcome out;
+  out.report = MustRun(&ex);
+  const uint32_t fp_pc = img.symbols.at("bug_false_positive");
+  const uint32_t real_pc = img.symbols.at("bug_real");
+  for (const auto& bug : out.report.bugs) {
+    if (bug.pc == fp_pc) out.false_positive = true;
+    if (bug.pc == real_pc) out.real_bug = true;
+  }
+  return out;
+}
+
+TEST(ConsistencyTest, HardSnapFindsExactlyTheRealBug) {
+  auto out = RunFig1(ConsistencyMode::kHardSnap);
+  EXPECT_TRUE(out.real_bug) << out.report.Summary();
+  EXPECT_FALSE(out.false_positive) << out.report.Summary();
+  EXPECT_EQ(out.report.paths_completed, 2u);
+  EXPECT_GT(out.report.hw_context_switches, 0u);
+}
+
+TEST(ConsistencyTest, NaiveConsistentFindsTheRealBugAtReplayCost) {
+  auto out = RunFig1(ConsistencyMode::kNaiveConsistent);
+  EXPECT_TRUE(out.real_bug) << out.report.Summary();
+  EXPECT_FALSE(out.false_positive) << out.report.Summary();
+  EXPECT_GT(out.report.replayed_instructions, 0u);
+  EXPECT_GT(out.report.reboots, 1u);
+  EXPECT_GT(out.report.replay_overhead.picos(), 0);
+}
+
+TEST(ConsistencyTest, NaiveInconsistentGetsItWrong) {
+  auto out = RunFig1(ConsistencyMode::kNaiveInconsistent);
+  // Shared live hardware between interleaved states corrupts at least one
+  // of the two paths: a false positive appears, the planted bug vanishes,
+  // or both.
+  EXPECT_TRUE(out.false_positive || !out.real_bug) << out.report.Summary();
+  EXPECT_EQ(out.report.hw_context_switches, 0u);
+}
+
+TEST(ConsistencyTest, HardSnapCheaperThanNaiveConsistent) {
+  auto hs = RunFig1(ConsistencyMode::kHardSnap);
+  auto nc = RunFig1(ConsistencyMode::kNaiveConsistent);
+  // Identical verification verdicts...
+  EXPECT_EQ(hs.real_bug, nc.real_bug);
+  EXPECT_EQ(hs.false_positive, nc.false_positive);
+  // ...but the replayed work exists only in the naive flow.
+  EXPECT_EQ(hs.report.replayed_instructions, 0u);
+  EXPECT_GT(nc.report.replayed_instructions, 0u);
+  EXPECT_GT(nc.report.analysis_hw_time.picos(),
+            hs.report.analysis_hw_time.picos());
+}
+
+// ---------------- searcher behaviour ----------------
+
+TEST(SearcherTest, DfsCompletesOnePathBeforeForksAccumulate) {
+  auto target = MakeTarget();
+  ExecOptions opts;
+  opts.search = SearchStrategy::kDfs;
+  Executor ex(target.get(), opts);
+  ASSERT_TRUE(ex.LoadFirmware(
+      MustAssemble(firmware::BranchTreeFirmware(3, 2))).ok());
+  ex.MakeSymbolicRegister(10, "input");
+  Report r = MustRun(&ex);
+  EXPECT_EQ(r.paths_completed, 8u);
+  // DFS switches states only when a path dies: context switches stay low
+  // (close to the number of paths, not the number of instructions).
+  EXPECT_LE(r.hw_context_switches, r.paths_completed * 4);
+}
+
+TEST(SearcherTest, StrategiesAgreeOnPathCount) {
+  for (SearchStrategy strat : {SearchStrategy::kDfs, SearchStrategy::kBfs,
+                               SearchStrategy::kRandom,
+                               SearchStrategy::kCoverage}) {
+    auto target = MakeTarget();
+    ExecOptions opts;
+    opts.search = strat;
+    opts.seed = 99;
+    Executor ex(target.get(), opts);
+    ASSERT_TRUE(ex.LoadFirmware(
+        MustAssemble(firmware::BranchTreeFirmware(3, 2))).ok());
+    ex.MakeSymbolicRegister(10, "input");
+    Report r = MustRun(&ex);
+    EXPECT_EQ(r.paths_completed, 8u) << SearchStrategyName(strat);
+  }
+}
+
+TEST(AssertionTest, UserAssertionFlagsBug) {
+  auto target = MakeTarget();
+  Executor ex(target.get(), {});
+  ASSERT_TRUE(ex.LoadFirmware(MustAssemble(R"(
+    _start:
+      li t0, 0x10000000
+      li t1, 0xbad
+      sw t1, 0(t0)
+      li t0, 0x50000004
+      sw zero, 0(t0)
+  )")).ok());
+  // Property: firmware must never leave 0xbad at RAM[0].
+  solver::BvContext& ctx = ex.ctx();
+  ex.AddAssertion([&ctx](const State& s) -> std::string {
+    auto it = s.mem.find(vm::kRamBase);
+    if (it == s.mem.end()) return "";
+    if (ctx.IsConstValue(it->second, 0xad)) return "poisoned RAM[0]";
+    return "";
+  });
+  Report r = MustRun(&ex);
+  ASSERT_EQ(r.bugs.size(), 1u);
+  EXPECT_EQ(r.bugs[0].kind, "assertion");
+}
+
+}  // namespace
+}  // namespace hardsnap::symex

@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vm/assembler.h"
+#include "vm/isa.h"
+#include "vm/memmap.h"
+
+namespace hardsnap::vm {
+namespace {
+
+Instruction MustDecode(uint32_t word) {
+  auto r = Decode(word);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.value_or(Instruction{});
+}
+
+TEST(IsaTest, DecodeKnownWords) {
+  // addi a0, a0, 1  = 0x00150513
+  auto in = MustDecode(0x00150513);
+  EXPECT_EQ(in.op, Opcode::kAddi);
+  EXPECT_EQ(in.rd, 10);
+  EXPECT_EQ(in.rs1, 10);
+  EXPECT_EQ(in.imm, 1);
+
+  // lui a0, 0x12345 = 0x12345537
+  in = MustDecode(0x12345537);
+  EXPECT_EQ(in.op, Opcode::kLui);
+  EXPECT_EQ(static_cast<uint32_t>(in.imm), 0x12345000u);
+
+  // sw a1, 8(sp) = 0x00b12423
+  in = MustDecode(0x00b12423);
+  EXPECT_EQ(in.op, Opcode::kSw);
+  EXPECT_EQ(in.rs1, 2);
+  EXPECT_EQ(in.rs2, 11);
+  EXPECT_EQ(in.imm, 8);
+
+  // ecall / ebreak / mret
+  EXPECT_EQ(MustDecode(0x00000073).op, Opcode::kEcall);
+  EXPECT_EQ(MustDecode(0x00100073).op, Opcode::kEbreak);
+  EXPECT_EQ(MustDecode(0x30200073).op, Opcode::kMret);
+}
+
+TEST(IsaTest, DecodeNegativeImmediates) {
+  // addi a0, a0, -1 = 0xfff50513
+  auto in = MustDecode(0xfff50513);
+  EXPECT_EQ(in.imm, -1);
+  // beq a0, a1, -8: B-type negative displacement
+  Instruction b{Opcode::kBeq, 0, 10, 11, -8, 0};
+  auto word = Encode(b);
+  ASSERT_TRUE(word.ok());
+  auto back = MustDecode(word.value());
+  EXPECT_EQ(back.op, Opcode::kBeq);
+  EXPECT_EQ(back.imm, -8);
+}
+
+TEST(IsaTest, RejectsGarbageWords) {
+  EXPECT_FALSE(Decode(0xffffffff).ok());
+  EXPECT_FALSE(Decode(0x00000000).ok());
+}
+
+TEST(IsaTest, EncodeDecodeRoundTripAllOpcodes) {
+  // Every opcode encodes then decodes to itself with representative fields.
+  const Opcode all[] = {
+      Opcode::kLui, Opcode::kAuipc, Opcode::kJal, Opcode::kJalr,
+      Opcode::kBeq, Opcode::kBne, Opcode::kBlt, Opcode::kBge, Opcode::kBltu,
+      Opcode::kBgeu, Opcode::kLb, Opcode::kLh, Opcode::kLw, Opcode::kLbu,
+      Opcode::kLhu, Opcode::kSb, Opcode::kSh, Opcode::kSw, Opcode::kAddi,
+      Opcode::kSlti, Opcode::kSltiu, Opcode::kXori, Opcode::kOri,
+      Opcode::kAndi, Opcode::kSlli, Opcode::kSrli, Opcode::kSrai,
+      Opcode::kAdd, Opcode::kSub, Opcode::kSll, Opcode::kSlt, Opcode::kSltu,
+      Opcode::kXor, Opcode::kSrl, Opcode::kSra, Opcode::kOr, Opcode::kAnd,
+      Opcode::kMul, Opcode::kMulh, Opcode::kMulhsu, Opcode::kMulhu,
+      Opcode::kDiv, Opcode::kDivu, Opcode::kRem, Opcode::kRemu,
+      Opcode::kCsrrw, Opcode::kCsrrs, Opcode::kCsrrc, Opcode::kEcall,
+      Opcode::kEbreak, Opcode::kMret, Opcode::kWfi};
+  for (Opcode op : all) {
+    Instruction in;
+    in.op = op;
+    in.rd = 5;
+    in.rs1 = 6;
+    in.rs2 = 7;
+    switch (op) {
+      case Opcode::kLui: case Opcode::kAuipc:
+        in.imm = 0x12345000; break;
+      case Opcode::kJal: in.imm = 2048; break;
+      case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt:
+      case Opcode::kBge: case Opcode::kBltu: case Opcode::kBgeu:
+        in.imm = -16; break;
+      case Opcode::kSlli: case Opcode::kSrli: case Opcode::kSrai:
+        in.imm = 13; break;
+      case Opcode::kCsrrw: case Opcode::kCsrrs: case Opcode::kCsrrc:
+        in.csr = kCsrMstatus; break;
+      case Opcode::kEcall: case Opcode::kEbreak: case Opcode::kMret:
+      case Opcode::kWfi:
+        in.rd = in.rs1 = in.rs2 = 0; break;
+      case Opcode::kAdd: case Opcode::kSub: case Opcode::kSll:
+      case Opcode::kSlt: case Opcode::kSltu: case Opcode::kXor:
+      case Opcode::kSrl: case Opcode::kSra: case Opcode::kOr:
+      case Opcode::kAnd: case Opcode::kMul: case Opcode::kMulh:
+      case Opcode::kMulhsu: case Opcode::kMulhu: case Opcode::kDiv:
+      case Opcode::kDivu: case Opcode::kRem: case Opcode::kRemu:
+        in.imm = 0; break;  // R-type carries no immediate
+      default:
+        in.imm = -100; break;
+    }
+    auto word = Encode(in);
+    ASSERT_TRUE(word.ok()) << OpcodeName(op);
+    auto back = Decode(word.value());
+    ASSERT_TRUE(back.ok()) << OpcodeName(op) << " word " << word.value();
+    EXPECT_EQ(back.value().op, in.op) << OpcodeName(op);
+    // Branches and stores have no rd field; system ops have none at all.
+    const bool has_rd =
+        !(op == Opcode::kBeq || op == Opcode::kBne || op == Opcode::kBlt ||
+          op == Opcode::kBge || op == Opcode::kBltu || op == Opcode::kBgeu ||
+          op == Opcode::kSb || op == Opcode::kSh || op == Opcode::kSw ||
+          op == Opcode::kEcall || op == Opcode::kEbreak ||
+          op == Opcode::kMret || op == Opcode::kWfi);
+    if (has_rd) {
+      EXPECT_EQ(back.value().rd, in.rd) << OpcodeName(op);
+    }
+    EXPECT_EQ(back.value().imm, in.imm) << OpcodeName(op);
+  }
+}
+
+TEST(IsaTest, DisassembleProducesText) {
+  EXPECT_EQ(Disassemble(MustDecode(0x00150513)), "addi a0, a0, 1");
+  EXPECT_EQ(Disassemble(MustDecode(0x00000073)), "ecall");
+}
+
+TEST(AssemblerTest, EmptyProgram) {
+  auto img = Assemble("");
+  ASSERT_TRUE(img.ok());
+  EXPECT_TRUE(img.value().bytes.empty());
+}
+
+TEST(AssemblerTest, SimpleArithmetic) {
+  auto img = Assemble(R"(
+    addi a0, zero, 5
+    addi a1, zero, 7
+    add a2, a0, a1
+  )");
+  ASSERT_TRUE(img.ok()) << img.status().ToString();
+  ASSERT_EQ(img.value().bytes.size(), 12u);
+  uint32_t w0 = 0;
+  for (int i = 0; i < 4; ++i) w0 |= uint32_t{img.value().bytes[i]} << (8 * i);
+  auto in = MustDecode(w0);
+  EXPECT_EQ(in.op, Opcode::kAddi);
+  EXPECT_EQ(in.imm, 5);
+}
+
+TEST(AssemblerTest, LabelsAndBranches) {
+  auto img = Assemble(R"(
+    start:
+      addi a0, zero, 10
+    loop:
+      addi a0, a0, -1
+      bnez a0, loop
+      j done
+      nop
+    done:
+      ebreak
+  )");
+  ASSERT_TRUE(img.ok()) << img.status().ToString();
+  const auto& symbols = img.value().symbols;
+  EXPECT_EQ(symbols.at("start"), 0u);
+  EXPECT_EQ(symbols.at("loop"), 4u);
+  EXPECT_EQ(symbols.at("done"), 20u);
+}
+
+TEST(AssemblerTest, LiExpandsTo32Bit) {
+  auto img = Assemble(R"(
+    li a0, 0x40000000
+    li a1, -5
+    li a2, 0x12345678
+  )");
+  ASSERT_TRUE(img.ok()) << img.status().ToString();
+  EXPECT_EQ(img.value().bytes.size(), 24u);  // 3 x (lui+addi or addi+pad)
+}
+
+TEST(AssemblerTest, MemoryOperands) {
+  auto img = Assemble(R"(
+    lw a0, 8(sp)
+    sw a0, -4(s0)
+    lbu a1, 0(a0)
+  )");
+  ASSERT_TRUE(img.ok()) << img.status().ToString();
+  uint32_t w1 = 0;
+  for (int i = 0; i < 4; ++i)
+    w1 |= uint32_t{img.value().bytes[4 + i]} << (8 * i);
+  auto in = MustDecode(w1);
+  EXPECT_EQ(in.op, Opcode::kSw);
+  EXPECT_EQ(in.imm, -4);
+  EXPECT_EQ(in.rs1, 8);  // s0
+}
+
+TEST(AssemblerTest, DirectivesWordSpaceOrg) {
+  auto img = Assemble(R"(
+      j entry
+      nop
+    table:
+      .word 0x11111111, 0x22222222
+      .space 8
+    entry:
+      nop
+  )");
+  ASSERT_TRUE(img.ok()) << img.status().ToString();
+  EXPECT_EQ(img.value().symbols.at("table"), 8u);
+  EXPECT_EQ(img.value().symbols.at("entry"), 24u);
+  EXPECT_EQ(img.value().bytes[8], 0x11);
+  EXPECT_EQ(img.value().bytes[12], 0x22);
+}
+
+TEST(AssemblerTest, CsrPseudoOps) {
+  auto img = Assemble(R"(
+    csrw mtvec, a0
+    csrr a1, mepc
+    mret
+  )");
+  ASSERT_TRUE(img.ok()) << img.status().ToString();
+  uint32_t w0 = 0;
+  for (int i = 0; i < 4; ++i) w0 |= uint32_t{img.value().bytes[i]} << (8 * i);
+  auto in = MustDecode(w0);
+  EXPECT_EQ(in.op, Opcode::kCsrrw);
+  EXPECT_EQ(in.csr, kCsrMtvec);
+}
+
+TEST(AssemblerTest, CallAndRet) {
+  auto img = Assemble(R"(
+      call func
+      ebreak
+    func:
+      ret
+  )");
+  ASSERT_TRUE(img.ok()) << img.status().ToString();
+  uint32_t w0 = 0;
+  for (int i = 0; i < 4; ++i) w0 |= uint32_t{img.value().bytes[i]} << (8 * i);
+  auto in = MustDecode(w0);
+  EXPECT_EQ(in.op, Opcode::kJal);
+  EXPECT_EQ(in.rd, 1);  // ra
+  EXPECT_EQ(in.imm, 8);
+}
+
+TEST(AssemblerTest, UnknownMnemonicRejected) {
+  auto r = Assemble("frobnicate a0, a1");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("frobnicate"), std::string::npos);
+}
+
+TEST(AssemblerTest, UnknownSymbolRejected) {
+  EXPECT_FALSE(Assemble("j nowhere").ok());
+}
+
+TEST(AssemblerTest, DuplicateLabelRejected) {
+  EXPECT_FALSE(Assemble("a:\nnop\na:\nnop").ok());
+}
+
+TEST(AssemblerTest, BackwardOrgRejected) {
+  EXPECT_FALSE(Assemble(".org 0x100\nnop\n.org 0x0").ok());
+}
+
+TEST(AssemblerTest, CommentsIgnored) {
+  auto img = Assemble(R"(
+    # full line comment
+    nop        # trailing comment
+    nop        // C style
+  )");
+  ASSERT_TRUE(img.ok());
+  EXPECT_EQ(img.value().bytes.size(), 8u);
+}
+
+TEST(AssemblerTest, RandomInstructionsRoundTripThroughDecode) {
+  // Assemble random R-type instructions; every emitted word must decode.
+  Rng rng(2024);
+  std::string src;
+  const char* ops[] = {"add", "sub", "xor", "and", "or", "sll", "srl", "mul"};
+  for (int i = 0; i < 100; ++i) {
+    src += std::string(ops[rng.Below(8)]) + " x" +
+           std::to_string(rng.Below(32)) + ", x" +
+           std::to_string(rng.Below(32)) + ", x" +
+           std::to_string(rng.Below(32)) + "\n";
+  }
+  auto img = Assemble(src);
+  ASSERT_TRUE(img.ok());
+  ASSERT_EQ(img.value().bytes.size(), 400u);
+  for (size_t off = 0; off < 400; off += 4) {
+    uint32_t w = 0;
+    for (int i = 0; i < 4; ++i)
+      w |= uint32_t{img.value().bytes[off + i]} << (8 * i);
+    EXPECT_TRUE(Decode(w).ok()) << "offset " << off;
+  }
+}
+
+TEST(MemMapTest, RegionPredicates) {
+  EXPECT_TRUE(InRom(0));
+  EXPECT_TRUE(InRom(kRomSize - 1));
+  EXPECT_FALSE(InRom(kRomSize));
+  EXPECT_TRUE(InRam(kRamBase));
+  EXPECT_TRUE(InMmio(kMmioBase));
+  EXPECT_FALSE(InMmio(kMmioBase + kMmioSize));
+  EXPECT_EQ(PeripheralAddr(2, 0x10), 0x40000210u);
+}
+
+}  // namespace
+}  // namespace hardsnap::vm

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "bus/sim_target.h"
+#include "symex/executor.h"
+#include "vm/assembler.h"
+
+#include "periph/periph.h"
+#include "rtl/elaborate.h"
+#include "sim/simulator.h"
+
+namespace hardsnap::periph {
+namespace {
+
+sim::Simulator MakeSim() {
+  auto d = rtl::CompileVerilog(WatchdogVerilog(), "hs_watchdog");
+  EXPECT_TRUE(d.ok()) << d.status().ToString();
+  auto s = sim::Simulator::Create(d.value());
+  EXPECT_TRUE(s.ok()) << s.status().ToString();
+  return std::move(s).value();
+}
+
+void Write(sim::Simulator* s, uint32_t addr, uint32_t data) {
+  ASSERT_TRUE(s->PokeInput("sel", 1).ok());
+  ASSERT_TRUE(s->PokeInput("wr", 1).ok());
+  ASSERT_TRUE(s->PokeInput("addr", addr).ok());
+  ASSERT_TRUE(s->PokeInput("wdata", data).ok());
+  s->Tick(1);
+  ASSERT_TRUE(s->PokeInput("sel", 0).ok());
+  ASSERT_TRUE(s->PokeInput("wr", 0).ok());
+}
+
+uint32_t Read(sim::Simulator* s, uint32_t addr) {
+  EXPECT_TRUE(s->PokeInput("sel", 1).ok());
+  EXPECT_TRUE(s->PokeInput("rd", 1).ok());
+  EXPECT_TRUE(s->PokeInput("addr", addr).ok());
+  uint32_t v = static_cast<uint32_t>(s->Peek("rdata").value());
+  s->Tick(1);
+  EXPECT_TRUE(s->PokeInput("sel", 0).ok());
+  EXPECT_TRUE(s->PokeInput("rd", 0).ok());
+  return v;
+}
+
+TEST(WatchdogTest, BarksOnTimeout) {
+  auto sim = MakeSim();
+  ASSERT_TRUE(sim.Reset().ok());
+  Write(&sim, wdog_regs::kTimeout, 10);
+  Write(&sim, wdog_regs::kCtrl, 0b11);
+  sim.Tick(8);
+  EXPECT_EQ(Read(&sim, wdog_regs::kStatus) & 1u, 0u);
+  sim.Tick(10);
+  EXPECT_EQ(Read(&sim, wdog_regs::kStatus) & 1u, 1u);      // barked
+  EXPECT_EQ(Read(&sim, wdog_regs::kStatus) & 0b10u, 0b10u);  // reset_req
+  EXPECT_EQ(sim.Peek("irq").value(), 1u);
+}
+
+TEST(WatchdogTest, TimelyKickPreventsBark) {
+  auto sim = MakeSim();
+  ASSERT_TRUE(sim.Reset().ok());
+  Write(&sim, wdog_regs::kTimeout, 20);
+  Write(&sim, wdog_regs::kWindow, 15);  // kick allowed once count < 15
+  Write(&sim, wdog_regs::kCtrl, 0b11);
+  for (int service = 0; service < 5; ++service) {
+    sim.Tick(10);  // count drops into the window
+    Write(&sim, wdog_regs::kKick, wdog_regs::kKickMagic);
+  }
+  EXPECT_EQ(Read(&sim, wdog_regs::kStatus), 0u);
+  EXPECT_EQ(sim.Peek("irq").value(), 0u);
+}
+
+TEST(WatchdogTest, EarlyKickIsABadKick) {
+  auto sim = MakeSim();
+  ASSERT_TRUE(sim.Reset().ok());
+  Write(&sim, wdog_regs::kTimeout, 100);
+  Write(&sim, wdog_regs::kWindow, 10);  // window opens at count < 10
+  Write(&sim, wdog_regs::kCtrl, 0b11);
+  sim.Tick(2);
+  Write(&sim, wdog_regs::kKick, wdog_regs::kKickMagic);  // way too early
+  EXPECT_EQ(Read(&sim, wdog_regs::kStatus) & 0b100u, 0b100u);  // bad_kick
+  EXPECT_EQ(Read(&sim, wdog_regs::kStatus) & 1u, 1u);          // barked
+}
+
+TEST(WatchdogTest, WrongMagicIsABadKick) {
+  auto sim = MakeSim();
+  ASSERT_TRUE(sim.Reset().ok());
+  Write(&sim, wdog_regs::kTimeout, 20);
+  Write(&sim, wdog_regs::kWindow, 25);  // window always open
+  Write(&sim, wdog_regs::kCtrl, 0b01);
+  sim.Tick(3);
+  Write(&sim, wdog_regs::kKick, 0xdead);
+  EXPECT_EQ(Read(&sim, wdog_regs::kStatus) & 0b100u, 0b100u);
+}
+
+TEST(WatchdogTest, StatusWriteClears) {
+  auto sim = MakeSim();
+  ASSERT_TRUE(sim.Reset().ok());
+  Write(&sim, wdog_regs::kTimeout, 3);
+  Write(&sim, wdog_regs::kCtrl, 0b11);
+  sim.Tick(10);
+  ASSERT_EQ(Read(&sim, wdog_regs::kStatus) & 1u, 1u);
+  Write(&sim, wdog_regs::kStatus, 0);
+  EXPECT_EQ(Read(&sim, wdog_regs::kStatus), 0u);
+  EXPECT_EQ(sim.Peek("irq").value(), 0u);
+}
+
+TEST(WatchdogTest, AutoReloadsAfterBark) {
+  auto sim = MakeSim();
+  ASSERT_TRUE(sim.Reset().ok());
+  Write(&sim, wdog_regs::kTimeout, 5);
+  Write(&sim, wdog_regs::kCtrl, 0b01);
+  sim.Tick(7);
+  uint32_t count = Read(&sim, wdog_regs::kCount);
+  EXPECT_LE(count, 5u);  // reloaded and counting again
+  EXPECT_GT(count, 0u);
+}
+
+TEST(WatchdogTest, ExtendedCorpusBuildsSoc) {
+  auto d = rtl::CompileVerilog(BuildSoc(ExtendedCorpus()), "soc");
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_NE(d.value().FindSignal("u_wdog.count"), rtl::kInvalidId);
+  EXPECT_EQ(d.value().signal(d.value().FindSignal("irq")).width, 5u);
+}
+
+TEST(WatchdogTest, StatePersistsAcrossInputsWithoutReset) {
+  // The property that makes the watchdog a good snapshot-motivation demo:
+  // once barked, it stays barked for every later "test case" unless the
+  // device state is restored.
+  auto sim = MakeSim();
+  ASSERT_TRUE(sim.Reset().ok());
+  Write(&sim, wdog_regs::kTimeout, 3);
+  Write(&sim, wdog_regs::kCtrl, 0b01);
+  sim.Tick(10);  // test case 1 lets it bark
+  ASSERT_EQ(Read(&sim, wdog_regs::kStatus) & 1u, 1u);
+  // "Test case 2" starts without a reset: still barked.
+  sim.Tick(1);
+  EXPECT_EQ(Read(&sim, wdog_regs::kStatus) & 1u, 1u);
+  // With a state restore (the HardSnap way), it is clean again.
+  auto clean = sim.DumpState();
+  for (auto& f : clean.flops) f = 0;
+  ASSERT_TRUE(sim.RestoreState(clean).ok());
+  EXPECT_EQ(Read(&sim, wdog_regs::kStatus) & 1u, 0u);
+}
+
+TEST(WatchdogSymexTest, SlowPathTripsTheDog) {
+  // Firmware on the extended corpus: path A services the watchdog in
+  // time; path B dawdles past the timeout first. Symbolic execution must
+  // find the bark on exactly the slow path — a timing bug discovered
+  // through real peripheral state.
+  auto soc = rtl::CompileVerilog(BuildSoc(ExtendedCorpus()), "soc");
+  ASSERT_TRUE(soc.ok()) << soc.status().ToString();
+  auto target = bus::SimulatorTarget::Create(soc.value());
+  ASSERT_TRUE(target.ok());
+  symex::ExecOptions opts;
+  opts.max_instructions = 300000;
+  symex::Executor ex(target.value().get(), opts);
+  auto img = vm::Assemble(R"(
+    _start:
+      li t0, 0x40000400      # watchdog region (4)
+      li t1, 40
+      sw t1, 4(t0)           # TIMEOUT = 40
+      li t1, 50
+      sw t1, 8(t0)           # WINDOW = 50 (kick always allowed)
+      li t1, 1
+      sw t1, 0(t0)           # enable
+      andi a0, a0, 1
+      bnez a0, slow_path
+    fast_path:
+      li t2, 0x5afe
+      sw t2, 0xc(t0)         # timely kick
+      j check
+    slow_path:
+      li t3, 30
+    dawdle:
+      addi t3, t3, -1
+      bnez t3, dawdle        # ~60 instructions > 40-cycle timeout
+      li t2, 0x5afe
+      sw t2, 0xc(t0)         # too late
+    check:
+      lw t4, 0x10(t0)
+      andi t4, t4, 1
+      beqz t4, healthy
+      ebreak                 # the dog barked
+    healthy:
+      li t0, 0x50000004
+      sw zero, 0(t0)
+  )");
+  ASSERT_TRUE(img.ok()) << img.status().ToString();
+  ASSERT_TRUE(ex.LoadFirmware(img.value()).ok());
+  ex.MakeSymbolicRegister(10, "path");
+  auto report = ex.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().paths_completed, 2u);
+  ASSERT_EQ(report.value().bugs.size(), 1u) << report.value().Summary();
+  // The bark happens on the slow path (a0 odd).
+  EXPECT_EQ(report.value().bugs[0].test_case.inputs.at("path") & 1u, 1u);
+}
+
+}  // namespace
+}  // namespace hardsnap::periph

@@ -1,0 +1,322 @@
+// hardsnap — command-line front end.
+//
+//   hardsnap run <firmware.s> [options]      symbolic analysis
+//   hardsnap fuzz <firmware.s> [options]     snapshot-based fuzzing
+//   hardsnap exec <firmware.s> [options]     concrete execution
+//   hardsnap info                            SoC + scan chain summary
+//
+// Common options:
+//   --target=sim|fpga|both      hardware back-end (default sim)
+//   --max-instr=N               instruction budget
+// run options:
+//   --mode=hardsnap|naive-consistent|naive-inconsistent
+//   --search=bfs|dfs|random|coverage
+//   --symbolic-reg=a0[:name]    make a register symbolic
+//   --symbolic-mem=ADDR:LEN[:name]
+//   --all-values                completeness concretization policy
+// fuzz options:
+//   --execs=N  --input-addr=A  --input-size=N  --reset=snapshot|reboot
+//
+// Example:
+//   hardsnap run driver.s --symbolic-reg=a0 --mode=hardsnap --target=fpga
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bus/sim_target.h"
+#include "core/session.h"
+#include "fpga/fpga_target.h"
+#include "fuzz/fuzzer.h"
+#include "vm/cpu.h"
+
+using namespace hardsnap;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: hardsnap <run|fuzz|exec|info> [firmware.s] "
+               "[options]\n(see the header of tools/hardsnap_cli.cpp)\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream f(path);
+  if (!f) return false;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+// "--key=value" option helper.
+bool OptValue(const std::string& arg, const char* key, std::string* value) {
+  const std::string prefix = std::string("--") + key + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+int RegByName(const std::string& name) {
+  for (int i = 0; i < 32; ++i) {
+    if (name == vm::RegName(static_cast<unsigned>(i))) return i;
+    if (name == "x" + std::to_string(i)) return i;
+  }
+  return -1;
+}
+
+uint64_t ParseNum(const std::string& s) {
+  return std::stoull(s, nullptr, 0);
+}
+
+struct Cli {
+  std::string command;
+  bool json = false;
+  std::string firmware_path;
+  core::SessionConfig::Target target = core::SessionConfig::Target::kSimulator;
+  symex::ExecOptions exec;
+  // symbolic inputs
+  std::vector<std::pair<int, std::string>> sym_regs;
+  struct MemRegion { uint32_t addr; unsigned len; std::string name; };
+  std::vector<MemRegion> sym_mems;
+  // fuzz
+  uint64_t execs = 1000;
+  fuzz::FuzzOptions fuzz;
+};
+
+bool ParseArgs(int argc, char** argv, Cli* cli) {
+  if (argc < 2) return false;
+  cli->command = argv[1];
+  int i = 2;
+  if (cli->command != "info") {
+    if (argc < 3) return false;
+    cli->firmware_path = argv[2];
+    i = 3;
+  }
+  for (; i < argc; ++i) {
+    std::string arg = argv[i], v;
+    if (OptValue(arg, "target", &v)) {
+      if (v == "sim") cli->target = core::SessionConfig::Target::kSimulator;
+      else if (v == "fpga") cli->target = core::SessionConfig::Target::kFpga;
+      else if (v == "both") cli->target = core::SessionConfig::Target::kBoth;
+      else return false;
+    } else if (OptValue(arg, "mode", &v)) {
+      if (v == "hardsnap") cli->exec.mode = symex::ConsistencyMode::kHardSnap;
+      else if (v == "naive-consistent")
+        cli->exec.mode = symex::ConsistencyMode::kNaiveConsistent;
+      else if (v == "naive-inconsistent")
+        cli->exec.mode = symex::ConsistencyMode::kNaiveInconsistent;
+      else return false;
+    } else if (OptValue(arg, "search", &v)) {
+      if (v == "bfs") cli->exec.search = symex::SearchStrategy::kBfs;
+      else if (v == "dfs") cli->exec.search = symex::SearchStrategy::kDfs;
+      else if (v == "random") cli->exec.search = symex::SearchStrategy::kRandom;
+      else if (v == "coverage")
+        cli->exec.search = symex::SearchStrategy::kCoverage;
+      else return false;
+    } else if (OptValue(arg, "max-instr", &v)) {
+      cli->exec.max_instructions = ParseNum(v);
+    } else if (arg == "--json") {
+      cli->json = true;
+    } else if (arg == "--all-values") {
+      cli->exec.concretization = symex::ConcretizationPolicy::kAllValues;
+    } else if (OptValue(arg, "symbolic-reg", &v)) {
+      const size_t colon = v.find(':');
+      const std::string reg = v.substr(0, colon);
+      const std::string name =
+          colon == std::string::npos ? reg : v.substr(colon + 1);
+      const int r = RegByName(reg);
+      if (r <= 0) {
+        std::fprintf(stderr, "bad register '%s'\n", reg.c_str());
+        return false;
+      }
+      cli->sym_regs.emplace_back(r, name);
+    } else if (OptValue(arg, "symbolic-mem", &v)) {
+      Cli::MemRegion region;
+      const size_t c1 = v.find(':');
+      if (c1 == std::string::npos) return false;
+      const size_t c2 = v.find(':', c1 + 1);
+      region.addr = static_cast<uint32_t>(ParseNum(v.substr(0, c1)));
+      region.len = static_cast<unsigned>(
+          ParseNum(v.substr(c1 + 1, c2 - c1 - 1)));
+      region.name = c2 == std::string::npos ? "mem" : v.substr(c2 + 1);
+      cli->sym_mems.push_back(region);
+    } else if (OptValue(arg, "execs", &v)) {
+      cli->execs = ParseNum(v);
+    } else if (OptValue(arg, "input-addr", &v)) {
+      cli->fuzz.input_addr = static_cast<uint32_t>(ParseNum(v));
+    } else if (OptValue(arg, "input-size", &v)) {
+      cli->fuzz.input_size = static_cast<unsigned>(ParseNum(v));
+    } else if (OptValue(arg, "reset", &v)) {
+      if (v == "snapshot") cli->fuzz.reset = fuzz::ResetStrategy::kSnapshotReset;
+      else if (v == "reboot") cli->fuzz.reset = fuzz::ResetStrategy::kRebootReset;
+      else return false;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int CmdInfo() {
+  core::SessionConfig cfg;
+  cfg.target = core::SessionConfig::Target::kBoth;
+  auto session = core::Session::Create(cfg);
+  if (!session.ok()) {
+    std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  auto info = session.value()->hardware_info();
+  std::printf("HardSnap SoC summary\n");
+  std::printf("  peripherals:      timer, uart, aes128, sha256\n");
+  std::printf("  signals:          %u\n", info.soc_stats.num_signals);
+  std::printf("  flip-flops:       %u (%u bits)\n", info.soc_stats.num_flops,
+              info.soc_stats.num_flop_bits);
+  std::printf("  memories:         %u (%u bits)\n",
+              info.soc_stats.num_memories, info.soc_stats.num_memory_bits);
+  std::printf("  expression nodes: %u\n", info.soc_stats.num_expr_nodes);
+  std::printf("  scan chain:       %u bits + %u memory words\n",
+              info.scan_chain_bits, info.scan_mem_words);
+  auto* f = session.value()->fpga_target();
+  std::printf("  scan pass cost:   %s\n",
+              f->ScanPassCost().ToString().c_str());
+  std::printf("  readback cost:    %s\n",
+              f->ReadbackCost().ToString().c_str());
+  return 0;
+}
+
+int CmdRun(const Cli& cli) {
+  std::string source;
+  if (!ReadFile(cli.firmware_path, &source)) {
+    std::fprintf(stderr, "cannot read %s\n", cli.firmware_path.c_str());
+    return 1;
+  }
+  core::SessionConfig cfg;
+  cfg.target = cli.target;
+  cfg.exec = cli.exec;
+  auto session = core::Session::Create(cfg);
+  if (!session.ok()) {
+    std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  if (auto s = session.value()->LoadFirmwareAsm(source); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  for (const auto& [reg, name] : cli.sym_regs)
+    session.value()->MakeSymbolicRegister(static_cast<unsigned>(reg), name);
+  for (const auto& region : cli.sym_mems) {
+    if (auto s = session.value()->MakeSymbolicRegion(region.addr, region.len,
+                                                     region.name);
+        !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  auto report = session.value()->Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  if (cli.json) {
+    std::printf("%s\n", report.value().ToJson().c_str());
+    return 0;
+  }
+  std::printf("%s\n", report.value().Summary().c_str());
+  if (!report.value().console.empty())
+    std::printf("console: %s\n", report.value().console.c_str());
+  for (const auto& bug : report.value().bugs) {
+    std::printf("BUG %-22s pc=0x%08x %s\n", bug.kind.c_str(), bug.pc,
+                bug.detail.c_str());
+    for (const auto& [name, value] : bug.test_case.inputs)
+      std::printf("    %s = 0x%llx\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+  }
+  return 0;
+}
+
+int CmdExec(const Cli& cli) {
+  std::string source;
+  if (!ReadFile(cli.firmware_path, &source)) {
+    std::fprintf(stderr, "cannot read %s\n", cli.firmware_path.c_str());
+    return 1;
+  }
+  auto img = vm::Assemble(source);
+  if (!img.ok()) {
+    std::fprintf(stderr, "%s\n", img.status().ToString().c_str());
+    return 1;
+  }
+  core::SessionConfig cfg;
+  cfg.target = cli.target;
+  auto session = core::Session::Create(cfg);
+  if (!session.ok()) return 1;
+  vm::Cpu cpu(&session.value()->hardware());
+  if (!cpu.LoadFirmware(img.value()).ok()) return 1;
+  auto out = cpu.Run(cli.exec.max_instructions);
+  std::printf("status: %s\n",
+              out.status == vm::RunStatus::kExited ? "exited"
+              : out.status == vm::RunStatus::kBug ? "BUG"
+              : out.status == vm::RunStatus::kWaiting ? "waiting" : "budget");
+  if (out.status == vm::RunStatus::kExited)
+    std::printf("exit code: %u\n", out.exit_code);
+  if (out.status == vm::RunStatus::kBug)
+    std::printf("fault: %s at pc=0x%08x\n", out.reason.c_str(), out.fault_pc);
+  std::printf("instructions: %llu\n",
+              static_cast<unsigned long long>(cpu.state().icount));
+  if (!cpu.console().empty())
+    std::printf("console: %s\n", cpu.console().c_str());
+  return out.status == vm::RunStatus::kBug ? 1 : 0;
+}
+
+int CmdFuzz(const Cli& cli) {
+  std::string source;
+  if (!ReadFile(cli.firmware_path, &source)) {
+    std::fprintf(stderr, "cannot read %s\n", cli.firmware_path.c_str());
+    return 1;
+  }
+  auto img = vm::Assemble(source);
+  if (!img.ok()) {
+    std::fprintf(stderr, "%s\n", img.status().ToString().c_str());
+    return 1;
+  }
+  core::SessionConfig cfg;
+  cfg.target = cli.target;
+  auto session = core::Session::Create(cfg);
+  if (!session.ok()) return 1;
+  fuzz::Fuzzer fuzzer(&session.value()->hardware(), img.value(), cli.fuzz);
+  auto stats = fuzzer.Run(cli.execs);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "execs=%llu corpus=%llu edges=%llu crashes=%llu reset-overhead=%s\n",
+      static_cast<unsigned long long>(stats.value().execs),
+      static_cast<unsigned long long>(stats.value().corpus_size),
+      static_cast<unsigned long long>(stats.value().edges_covered),
+      static_cast<unsigned long long>(stats.value().crashes),
+      stats.value().reset_overhead.ToString().c_str());
+  for (const auto& crash : fuzzer.crashes()) {
+    std::printf("CRASH pc=0x%08x %s input=[", crash.pc, crash.reason.c_str());
+    for (size_t i = 0; i < crash.input.size(); ++i)
+      std::printf("%s0x%02x", i ? " " : "", crash.input[i]);
+    std::printf("]\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  if (!ParseArgs(argc, argv, &cli)) return Usage();
+  if (cli.command == "info") return CmdInfo();
+  if (cli.command == "run") return CmdRun(cli);
+  if (cli.command == "exec") return CmdExec(cli);
+  if (cli.command == "fuzz") return CmdFuzz(cli);
+  return Usage();
+}
