@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "bus/sim_target.h"
 #include "firmware/corpus.h"
 #include "periph/periph.h"
@@ -90,6 +91,11 @@ void PrintTable() {
       std::printf("%-20s %-8s | %9d %9d %9d\n",
                   symex::ConsistencyModeName(mode),
                   symex::SearchStrategyName(search), correct, fps, fns);
+      const std::string p = std::string(symex::ConsistencyModeName(mode)) +
+                            "." + symex::SearchStrategyName(search);
+      benchjson::Add(p + ".correct", correct);
+      benchjson::Add(p + ".false_positives", fps);
+      benchjson::Add(p + ".false_negatives", fns);
     }
   }
   std::printf(
@@ -112,5 +118,6 @@ int main(int argc, char** argv) {
   PrintTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  benchjson::Emit("consistency");
   return 0;
 }

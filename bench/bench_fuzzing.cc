@@ -15,6 +15,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "bus/sim_target.h"
 #include "firmware/corpus.h"
 #include "fpga/fpga_target.h"
@@ -89,15 +90,26 @@ void PrintTable() {
                 per_exec.ToString().c_str(),
                 static_cast<unsigned long long>(stats.value().crashes),
                 static_cast<unsigned long long>(stats.value().edges_covered));
+    const std::string p = cell.fpga ? "fpga_snapshot"
+                          : cell.reset == fuzz::ResetStrategy::kRebootReset
+                              ? "sim_reboot"
+                              : "sim_snapshot";
+    benchjson::Add(p + ".reset_overhead_ps",
+                   static_cast<uint64_t>(
+                       stats.value().reset_overhead.picos()));
+    benchjson::Add(p + ".crashes", stats.value().crashes);
+    benchjson::Add(p + ".edges", stats.value().edges_covered);
     if (cell.reset == fuzz::ResetStrategy::kRebootReset)
       reboot_overhead = stats.value().reset_overhead;
     else if (!cell.fpga)
       snap_overhead = stats.value().reset_overhead;
   }
   if (snap_overhead.picos() > 0) {
+    const double ratio = static_cast<double>(reboot_overhead.picos()) /
+                         static_cast<double>(snap_overhead.picos());
     std::printf("\nreboot/snapshot reset-cost ratio (simulator): %.1fx\n\n",
-                static_cast<double>(reboot_overhead.picos()) /
-                    static_cast<double>(snap_overhead.picos()));
+                ratio);
+    benchjson::Add("reboot_vs_snapshot_ratio", ratio);
   }
 }
 
@@ -122,5 +134,6 @@ int main(int argc, char** argv) {
   PrintTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  benchjson::Emit("fuzzing");
   return 0;
 }

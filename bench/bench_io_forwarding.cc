@@ -17,6 +17,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_json.h"
 #include "bus/axi.h"
 #include "bus/channel.h"
 #include "bus/sim_target.h"
@@ -45,6 +46,8 @@ void PrintChannelTable() {
                          bus::JtagChannel()}) {
     std::printf("%-16s %16s\n", ch.name.c_str(),
                 ch.per_transaction.ToString().c_str());
+    benchjson::Add(ch.name + ".per_transaction_ps",
+                   static_cast<uint64_t>(ch.per_transaction.picos()));
   }
   std::printf("\n");
 }
@@ -65,6 +68,8 @@ void PrintTargetTable() {
                 t.value()->options().sim_clock_hz / 1e6,
                 per_read.ToString().c_str(),
                 target.stats().io_time.ToString().c_str());
+    benchjson::Add("simulator.read32_ps",
+                   static_cast<uint64_t>(per_read.picos()));
   }
   // FPGA target.
   {
@@ -77,6 +82,8 @@ void PrintTargetTable() {
     std::printf("%-12s %11.2f MHz %16s %18s\n", "fpga", 100.0,
                 per_read.ToString().c_str(),
                 target.stats().io_time.ToString().c_str());
+    benchjson::Add("fpga.read32_ps",
+                   static_cast<uint64_t>(per_read.picos()));
   }
   std::printf(
       "\n(simulator forwards over shared memory; FPGA over the USB3 "
@@ -174,5 +181,6 @@ int main(int argc, char** argv) {
   PrintProtocolTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  benchjson::Emit("io_forwarding");
   return 0;
 }

@@ -1,0 +1,109 @@
+// Machine-readable benchmark output.
+//
+// Every bench prints a human table to stdout AND records its headline
+// numbers here; main() calls Emit("<name>") at the end, which writes
+// BENCH_<name>.json into the working directory. Experiment scripts
+// (EXPERIMENTS.md) consume the JSON instead of scraping the tables.
+//
+// Usage:
+//   benchjson::Add("soc.scan_ps", cost.picos());
+//   benchjson::Add("speedup", 12.4);
+//   benchjson::AddText("workload", "branch-tree b=4");
+//   ...
+//   benchjson::Emit("snapshot_latency");   // -> BENCH_snapshot_latency.json
+#pragma once
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hardsnap::benchjson {
+namespace internal {
+
+inline std::vector<std::pair<std::string, std::string>>& Rows() {
+  static std::vector<std::pair<std::string, std::string>> rows;
+  return rows;
+}
+
+inline std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace internal
+
+inline void Add(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  internal::Rows().emplace_back(key, buf);
+}
+
+inline void Add(const std::string& key, uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+  internal::Rows().emplace_back(key, buf);
+}
+
+inline void Add(const std::string& key, int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, value);
+  internal::Rows().emplace_back(key, buf);
+}
+
+inline void Add(const std::string& key, int value) {
+  Add(key, static_cast<int64_t>(value));
+}
+
+inline void Add(const std::string& key, unsigned value) {
+  Add(key, static_cast<uint64_t>(value));
+}
+
+inline void AddText(const std::string& key, const std::string& value) {
+  internal::Rows().emplace_back(key,
+                                "\"" + internal::Escape(value) + "\"");
+}
+
+// Writes BENCH_<name>.json. Returns false (and warns on stderr) if the
+// file cannot be created; benches still succeed in that case.
+inline bool Emit(const std::string& name) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "benchjson: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {\n",
+               internal::Escape(name).c_str());
+  const auto& rows = internal::Rows();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f, "    \"%s\": %s%s\n",
+                 internal::Escape(rows[i].first).c_str(),
+                 rows[i].second.c_str(), i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu metrics)\n", path.c_str(), rows.size());
+  return true;
+}
+
+}  // namespace hardsnap::benchjson

@@ -15,6 +15,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "bus/recording_target.h"
 #include "fpga/fpga_target.h"
 #include "periph/periph.h"
@@ -80,6 +81,11 @@ void PrintTable() {
                 restore_cost.ToString().c_str(),
                 static_cast<double>(replay_cost.picos()) /
                     static_cast<double>(restore_cost.picos()));
+    const std::string p = "n" + std::to_string(n);
+    benchjson::Add(p + ".replay_ps",
+                   static_cast<uint64_t>(replay_cost.picos()));
+    benchjson::Add(p + ".restore_ps",
+                   static_cast<uint64_t>(restore_cost.picos()));
   }
   std::printf(
       "\n(8800 interactions = the Nexus 5X camera-driver init the paper "
@@ -118,5 +124,6 @@ int main(int argc, char** argv) {
   PrintTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  benchjson::Emit("replay");
   return 0;
 }

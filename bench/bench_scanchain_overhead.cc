@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "periph/periph.h"
 #include "rtl/elaborate.h"
 #include "scanchain/scan_pass.h"
@@ -53,6 +54,8 @@ void PrintTable() {
                 e.name.c_str(), before.num_flops, before.num_flop_bits,
                 before.num_expr_nodes, after.num_expr_nodes, overhead,
                 map.total_bits, map.total_mem_words);
+    benchjson::Add(e.name + ".chain_bits", map.total_bits);
+    benchjson::Add(e.name + ".expr_overhead_pct", overhead);
   }
   std::printf(
       "\n(exprs = expression-node count, the gate proxy; chain = scan "
@@ -100,5 +103,6 @@ int main(int argc, char** argv) {
   PrintTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  benchjson::Emit("scanchain_overhead");
   return 0;
 }

@@ -18,6 +18,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "bus/sim_target.h"
 #include "fpga/fpga_target.h"
 #include "periph/periph.h"
@@ -52,26 +53,64 @@ std::vector<Row> Corpus() {
   return rows;
 }
 
+// Modeled cost of an incremental (delta) snapshot after a brief burst of
+// activity: save once to establish the sync point, run a few cycles, then
+// capture only the dirtied chunks. The scan pass itself remains full-length
+// (the fabric must always be scanned — E1's linear shape is preserved);
+// only the host-link payload and the CRIU image shrink.
+Duration DeltaSaveCost(bus::HardwareTarget* t, bus::DeltaSnapshotter* d) {
+  HS_CHECK(t->ResetHardware().ok());
+  HS_CHECK(t->SaveState().ok());  // sync point
+  HS_CHECK(t->Run(20).ok());
+  const Duration before = t->clock().now();
+  auto delta = d->SaveStateDelta();
+  HS_CHECK_MSG(delta.ok(), delta.status().ToString());
+  return t->clock().now() - before;
+}
+
 void PrintTable() {
   std::printf(
       "E1: hardware snapshot save/restore latency by method\n"
-      "%-12s %10s %9s | %14s %14s %14s\n",
-      "design", "FF bits", "mem bits", "scan-chain", "readback", "CRIU");
+      "%-12s %10s %9s | %14s %14s %14s | %14s %14s\n",
+      "design", "FF bits", "mem bits", "scan-chain", "readback", "CRIU",
+      "delta-scan", "delta-CRIU");
   for (auto& row : Corpus()) {
     auto stats = row.design.Stats();
     auto fpga = fpga::FpgaTarget::Create(row.design);
     HS_CHECK(fpga.ok());
     auto sim = bus::SimulatorTarget::Create(row.design);
     HS_CHECK(sim.ok());
-    std::printf("%-12s %10u %9u | %14s %14s %14s\n", row.name.c_str(),
-                stats.num_flop_bits, stats.num_memory_bits,
+    const Duration delta_scan =
+        DeltaSaveCost(fpga.value().get(), fpga.value().get());
+    const Duration delta_criu =
+        DeltaSaveCost(sim.value().get(), sim.value().get());
+    std::printf("%-12s %10u %9u | %14s %14s %14s | %14s %14s\n",
+                row.name.c_str(), stats.num_flop_bits, stats.num_memory_bits,
                 fpga.value()->ScanPassCost().ToString().c_str(),
                 fpga.value()->ReadbackCost().ToString().c_str(),
-                sim.value()->CriuCost().ToString().c_str());
+                sim.value()->CriuCost().ToString().c_str(),
+                delta_scan.ToString().c_str(),
+                delta_criu.ToString().c_str());
+    benchjson::Add(row.name + ".ff_bits", stats.num_flop_bits);
+    benchjson::Add(row.name + ".mem_bits", stats.num_memory_bits);
+    benchjson::Add(row.name + ".scan_ps",
+                   static_cast<uint64_t>(
+                       fpga.value()->ScanPassCost().picos()));
+    benchjson::Add(row.name + ".readback_ps",
+                   static_cast<uint64_t>(
+                       fpga.value()->ReadbackCost().picos()));
+    benchjson::Add(row.name + ".criu_ps",
+                   static_cast<uint64_t>(sim.value()->CriuCost().picos()));
+    benchjson::Add(row.name + ".delta_scan_ps",
+                   static_cast<uint64_t>(delta_scan.picos()));
+    benchjson::Add(row.name + ".delta_criu_ps",
+                   static_cast<uint64_t>(delta_criu.picos()));
   }
   std::printf(
       "\n(scan-chain = state-linear pass at 100 MHz + USB3 command; "
-      "readback = full-fabric dump; CRIU = process image freeze+dump)\n\n");
+      "readback = full-fabric dump; CRIU = process image freeze+dump; "
+      "delta-* = incremental capture of a lightly-dirtied state — the scan "
+      "pass stays full-length, only the transferred payload shrinks)\n\n");
 }
 
 // Wall-clock: one full scan save on the emulated fabric.
@@ -136,5 +175,6 @@ int main(int argc, char** argv) {
   PrintTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  benchjson::Emit("snapshot_latency");
   return 0;
 }

@@ -17,6 +17,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "bus/sim_target.h"
 #include "fpga/fpga_target.h"
 #include "periph/periph.h"
@@ -54,6 +55,7 @@ void PrintTransferTable() {
     const Duration cost = (f.value()->clock().now() - f0) +
                           (s.value()->clock().now() - s0);
     std::printf("%-24s %14s\n", "fpga -> simulator", cost.ToString().c_str());
+    benchjson::Add("fpga_to_sim_ps", static_cast<uint64_t>(cost.picos()));
   }
   {
     auto f = fpga::FpgaTarget::Create(Soc());
@@ -69,6 +71,7 @@ void PrintTransferTable() {
     const Duration cost = (f.value()->clock().now() - f0) +
                           (s.value()->clock().now() - s0);
     std::printf("%-24s %14s\n", "simulator -> fpga", cost.ToString().c_str());
+    benchjson::Add("sim_to_fpga_ps", static_cast<uint64_t>(cost.picos()));
   }
   std::printf(
       "\n(fpga side = scan pass + USB3 bulk; simulator side = CRIU "
@@ -114,6 +117,45 @@ void PrintHandoffTable() {
       "transfer and wins against all-simulator as the prefix grows)\n\n");
 }
 
+// E6c: repeated migrations ping-ponging between the two targets. After
+// the first full transfer each destination still holds the state it was
+// last left with, so the orchestrator ships only the delta blob — the
+// wire format's answer to "how much actually crosses the host link".
+void PrintDeltaShippingTable() {
+  auto f = fpga::FpgaTarget::Create(Soc());
+  auto s = bus::SimulatorTarget::Create(Soc());
+  HS_CHECK(f.ok() && s.ok());
+  snapshot::TargetOrchestrator orch({f.value().get(), s.value().get()});
+  HS_CHECK(orch.active().ResetHardware().ok());
+  // Ping-pong with a little activity between hops so each delta is
+  // non-empty but small.
+  for (int hop = 0; hop < 16; ++hop) {
+    HS_CHECK(orch.active().Write32((0u << 8) | periph::timer_regs::kLoad,
+                                   100 + hop)
+                 .ok());
+    HS_CHECK(orch.active().Run(10).ok());
+    HS_CHECK(orch.MoveTo(hop % 2 == 0 ? 1 : 0).ok());
+  }
+  const auto& ts = orch.transfer_stats();
+  std::printf(
+      "E6c: host-link bytes for %llu migrations (full blob vs shipped)\n"
+      "%-16s %12s %12s\n",
+      static_cast<unsigned long long>(ts.transfers), "", "bytes", "ratio");
+  std::printf("%-16s %12llu %12s\n", "full-state blobs",
+              static_cast<unsigned long long>(ts.full_bytes), "");
+  std::printf("%-16s %12llu %11.1fx\n", "actually shipped",
+              static_cast<unsigned long long>(ts.shipped_bytes),
+              static_cast<double>(ts.full_bytes) /
+                  static_cast<double>(ts.shipped_bytes ? ts.shipped_bytes
+                                                       : 1));
+  std::printf(
+      "\n(after the first hop each side holds a valid base, so only "
+      "changed chunks cross the link in the HSSD delta format)\n\n");
+  benchjson::Add("e6c.transfers", ts.transfers);
+  benchjson::Add("e6c.full_bytes", ts.full_bytes);
+  benchjson::Add("e6c.shipped_bytes", ts.shipped_bytes);
+}
+
 // Measured: actual end-to-end migration through the orchestrator.
 void BM_OrchestratorMigration(benchmark::State& state) {
   auto f = fpga::FpgaTarget::Create(Soc());
@@ -134,7 +176,9 @@ BENCHMARK(BM_OrchestratorMigration)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   PrintTransferTable();
   PrintHandoffTable();
+  PrintDeltaShippingTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  benchjson::Emit("state_transfer");
   return 0;
 }

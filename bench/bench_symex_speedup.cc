@@ -17,6 +17,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "bus/sim_target.h"
 #include "firmware/corpus.h"
 #include "fpga/fpga_target.h"
@@ -81,6 +82,15 @@ void PrintTable() {
     const double speedup =
         static_cast<double>(naive.total.picos()) /
         static_cast<double>(hs.total.picos());
+    {
+      const std::string p = "b" + std::to_string(branches);
+      benchjson::Add(p + ".paths", hs.report.paths_completed);
+      benchjson::Add(p + ".naive_ps",
+                     static_cast<uint64_t>(naive.total.picos()));
+      benchjson::Add(p + ".hardsnap_ps",
+                     static_cast<uint64_t>(hs.total.picos()));
+      benchjson::Add(p + ".speedup", speedup);
+    }
     std::printf("%-7llu %-7llu | %14s %10llu %10llu | %14s %10llu | %8.2fx\n",
                 static_cast<unsigned long long>(hs.report.paths_completed),
                 static_cast<unsigned long long>(hs.report.instructions),
@@ -192,5 +202,6 @@ int main(int argc, char** argv) {
   PrintTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  benchjson::Emit("symex_speedup");
   return 0;
 }

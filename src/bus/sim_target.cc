@@ -35,6 +35,12 @@ Duration SimulatorTarget::CriuCost() const {
   return options_.criu_base + Duration::Seconds(seconds);
 }
 
+Duration SimulatorTarget::CriuDeltaCost(size_t payload_bytes) const {
+  const double seconds =
+      static_cast<double>(payload_bytes) / options_.criu_bytes_per_sec;
+  return options_.criu_incremental_base + Duration::Seconds(seconds);
+}
+
 Result<uint32_t> SimulatorTarget::Read32(uint32_t addr) {
   auto v = driver_->Read32(addr);
   if (!v.ok()) return v.status();
@@ -83,13 +89,39 @@ Result<sim::HardwareState> SimulatorTarget::SaveState() {
   const Duration cost = CriuCost();
   clock_.Advance(cost);
   stats_.snapshot_time += cost;
-  return sim_->DumpState();
+  sim::HardwareState st = sim_->DumpState();
+  stats_.snapshot_bytes_copied += sim::StateWords(st) * 8;
+  // A full checkpoint is a sync point for the delta tracker: the caller
+  // now holds exactly this state as a base for future deltas.
+  sim_->MarkSynced();
+  return st;
 }
 
 Status SimulatorTarget::RestoreState(const sim::HardwareState& state) {
-  HS_RETURN_IF_ERROR(sim_->RestoreState(state));
+  HS_RETURN_IF_ERROR(sim_->RestoreState(state));  // sync point
   ++stats_.snapshots_restored;
+  stats_.snapshot_bytes_copied += sim::StateWords(state) * 8;
   const Duration cost = CriuCost();
+  clock_.Advance(cost);
+  stats_.snapshot_time += cost;
+  return Status::Ok();
+}
+
+Result<sim::StateDelta> SimulatorTarget::SaveStateDelta() {
+  sim::StateDelta delta = sim_->CaptureDelta();
+  ++stats_.snapshots_saved;
+  stats_.snapshot_bytes_copied += delta.PayloadBytes();
+  const Duration cost = CriuDeltaCost(delta.PayloadBytes());
+  clock_.Advance(cost);
+  stats_.snapshot_time += cost;
+  return delta;
+}
+
+Status SimulatorTarget::RestoreStateDelta(const sim::StateDelta& delta) {
+  HS_RETURN_IF_ERROR(sim_->RestoreDelta(delta));
+  ++stats_.snapshots_restored;
+  stats_.snapshot_bytes_copied += delta.PayloadBytes();
+  const Duration cost = CriuDeltaCost(delta.PayloadBytes());
   clock_.Advance(cost);
   stats_.snapshot_time += cost;
   return Status::Ok();

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "bus/channel.h"
+#include "bus/delta_support.h"
 #include "bus/soc_driver.h"
 #include "bus/target.h"
 #include "common/status.h"
@@ -32,10 +33,15 @@ struct SimulatorTargetOptions {
   double criu_bytes_per_sec = 400e6;   // page dump bandwidth
   uint64_t process_image_bytes = 24ull << 20;  // simulator RSS baseline
 
+  // Incremental checkpoint (CRIU pre-dump of dirty pages): the freeze is
+  // short because only soft-dirty pages are walked, and the dump moves
+  // only the delta payload.
+  Duration criu_incremental_base = Duration::Millis(8);
+
   ChannelModel channel = SharedMemoryChannel();
 };
 
-class SimulatorTarget : public HardwareTarget {
+class SimulatorTarget : public HardwareTarget, public DeltaSnapshotter {
  public:
   static Result<std::unique_ptr<SimulatorTarget>> Create(
       const rtl::Design& soc_design, SimulatorTargetOptions options = {});
@@ -52,6 +58,13 @@ class SimulatorTarget : public HardwareTarget {
   Result<sim::HardwareState> SaveState() override;
   Status RestoreState(const sim::HardwareState& state) override;
 
+  // DeltaSnapshotter: incremental CRIU (soft-dirty pre-dump). The
+  // simulator's own chunk tracker supplies the dirty set, so capture cost
+  // is O(dirty chunks) on the host and the modeled checkpoint moves only
+  // the delta payload.
+  Result<sim::StateDelta> SaveStateDelta() override;
+  Status RestoreStateDelta(const sim::StateDelta& delta) override;
+
   const VirtualClock& clock() const override { return clock_; }
   const TargetStats& stats() const override { return stats_; }
 
@@ -62,6 +75,8 @@ class SimulatorTarget : public HardwareTarget {
 
   // Modeled duration of one CRIU checkpoint or restore.
   Duration CriuCost() const;
+  // Modeled duration of one incremental checkpoint moving `payload_bytes`.
+  Duration CriuDeltaCost(size_t payload_bytes) const;
 
  private:
   SimulatorTarget(std::unique_ptr<sim::Simulator> sim,

@@ -35,6 +35,10 @@ struct TargetStats {
   uint64_t cycles_run = 0;
   uint64_t snapshots_saved = 0;
   uint64_t snapshots_restored = 0;
+  // Snapshot payload bytes moved between host and target: full operations
+  // count the whole architectural state, delta operations only the changed
+  // chunks. The delta benchmarks compare exactly this.
+  uint64_t snapshot_bytes_copied = 0;
   Duration io_time;        // virtual time spent forwarding MMIO
   Duration run_time;       // virtual time spent executing
   Duration snapshot_time;  // virtual time spent saving/restoring state

@@ -38,7 +38,11 @@ namespace hardsnap::core {
 
 // HardwareTarget proxy that always forwards to the orchestrator's active
 // target, so the executor transparently follows MoveToTarget() calls.
-class OrchestratedTarget : public bus::HardwareTarget {
+// Forwards the DeltaSnapshotter capability too — without this the
+// executor's dynamic_cast sees only the proxy and every context switch
+// silently pays the full-copy price.
+class OrchestratedTarget : public bus::HardwareTarget,
+                           public bus::DeltaSnapshotter {
  public:
   explicit OrchestratedTarget(snapshot::TargetOrchestrator* orch)
       : orch_(orch) {}
@@ -64,6 +68,22 @@ class OrchestratedTarget : public bus::HardwareTarget {
   }
   const bus::TargetStats& stats() const override {
     return orch_->active().stats();
+  }
+  Result<sim::StateDelta> SaveStateDelta() override {
+    auto* d = dynamic_cast<bus::DeltaSnapshotter*>(&orch_->active());
+    if (!d) {
+      // Degrade to a full capture expressed as a self-contained delta.
+      auto st = orch_->active().SaveState();
+      if (!st.ok()) return st.status();
+      return sim::FullDelta(st.value());
+    }
+    return d->SaveStateDelta();
+  }
+  Status RestoreStateDelta(const sim::StateDelta& delta) override {
+    auto* d = dynamic_cast<bus::DeltaSnapshotter*>(&orch_->active());
+    if (!d)
+      return FailedPrecondition("active target has no incremental restore");
+    return d->RestoreStateDelta(delta);
   }
 
  private:

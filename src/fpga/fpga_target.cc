@@ -67,6 +67,7 @@ Status FpgaTarget::Run(uint64_t cycles) {
 
 Status FpgaTarget::ResetHardware() {
   HS_RETURN_IF_ERROR(fabric_->Reset());
+  mirror_valid_ = false;  // live state moved without crossing the host link
   clock_.Advance(FabricCycles(2));
   return Status::Ok();
 }
@@ -83,6 +84,12 @@ Duration FpgaTarget::BulkTransferCost() const {
       8ull * inst_->map.total_mem_words;  // words stream as 64-bit beats
   const double seconds =
       static_cast<double>(bytes) / options_.bulk_bytes_per_sec;
+  return Duration::Seconds(seconds) + options_.channel.per_transaction;
+}
+
+Duration FpgaTarget::BulkDeltaCost(size_t payload_bytes) const {
+  const double seconds =
+      static_cast<double>(payload_bytes) / options_.bulk_bytes_per_sec;
   return Duration::Seconds(seconds) + options_.channel.per_transaction;
 }
 
@@ -108,6 +115,7 @@ Status FpgaTarget::RestoreFromSlot(unsigned slot) {
   if (slot >= sram_.size()) return OutOfRange("no such SRAM slot");
   if (!sram_[slot]) return FailedPrecondition("SRAM slot is empty");
   HS_RETURN_IF_ERROR(scan_->Restore(*sram_[slot]));
+  mirror_valid_ = false;  // on-fabric load: the host never saw these bits
   ++stats_.snapshots_restored;
   const Duration cost = ScanPassCost();
   clock_.Advance(cost);
@@ -121,6 +129,7 @@ Status FpgaTarget::SwapWithSlot(unsigned slot) {
   auto old = scan_->SaveRestore(*sram_[slot]);
   if (!old.ok()) return old.status();
   *sram_[slot] = std::move(old).value();
+  mirror_valid_ = false;  // on-fabric swap: the host never saw these bits
   ++stats_.snapshots_saved;
   ++stats_.snapshots_restored;
   const Duration cost = ScanPassCost();
@@ -139,6 +148,7 @@ Result<HardwareState> FpgaTarget::DownloadSlot(unsigned slot) {
   const Duration cost = BulkTransferCost();
   clock_.Advance(cost);
   stats_.snapshot_time += cost;
+  stats_.snapshot_bytes_copied += sim::StateWords(*sram_[slot]) * 8;
   return *sram_[slot];
 }
 
@@ -148,17 +158,68 @@ Status FpgaTarget::UploadSlot(unsigned slot, const HardwareState& state) {
   const Duration cost = BulkTransferCost();
   clock_.Advance(cost);
   stats_.snapshot_time += cost;
+  stats_.snapshot_bytes_copied += sim::StateWords(state) * 8;
   return Status::Ok();
 }
 
 Result<HardwareState> FpgaTarget::SaveState() {
   HS_RETURN_IF_ERROR(SaveToSlot(0));
-  return DownloadSlot(0);
+  auto state = DownloadSlot(0);
+  if (state.ok()) {
+    mirror_ = state.value();
+    mirror_valid_ = true;  // full download is a sync point for the delta path
+  }
+  return state;
 }
 
 Status FpgaTarget::RestoreState(const HardwareState& state) {
   HS_RETURN_IF_ERROR(UploadSlot(0, state));
-  return RestoreFromSlot(0);
+  HS_RETURN_IF_ERROR(RestoreFromSlot(0));
+  mirror_ = state;  // full upload is a sync point for the delta path
+  mirror_valid_ = true;
+  return Status::Ok();
+}
+
+Result<sim::StateDelta> FpgaTarget::SaveStateDelta() {
+  // The scan chain has no random access: extracting ANY state costs one
+  // full pass at fabric speed (E1's linear-in-bits shape). The saving is
+  // on the host link — only chunks that differ from the mirror cross it.
+  auto state = scan_->Save();
+  if (!state.ok()) return state.status();
+  sim::StateDelta delta;
+  if (mirror_valid_) {
+    auto diff = sim::DiffStates(mirror_, state.value());
+    if (!diff.ok()) return diff.status();
+    delta = std::move(diff).value();
+  } else {
+    delta = sim::FullDelta(state.value());  // no base: ship everything
+  }
+  mirror_ = std::move(state).value();
+  mirror_valid_ = true;
+  ++stats_.snapshots_saved;
+  stats_.snapshot_bytes_copied += delta.PayloadBytes();
+  const Duration cost = ScanPassCost() + BulkDeltaCost(delta.PayloadBytes());
+  clock_.Advance(cost);
+  stats_.snapshot_time += cost;
+  return delta;
+}
+
+Status FpgaTarget::RestoreStateDelta(const sim::StateDelta& delta) {
+  if (!mirror_valid_)
+    return FailedPrecondition(
+        "fpga delta restore needs a sync point; do a full transfer first");
+  HardwareState next = mirror_;
+  HS_RETURN_IF_ERROR(sim::ApplyDeltaToState(&next, delta));
+  // Writing the chain is still a full pass; the delta only shrank the
+  // host->fabric upload.
+  HS_RETURN_IF_ERROR(scan_->Restore(next));
+  mirror_ = std::move(next);
+  ++stats_.snapshots_restored;
+  stats_.snapshot_bytes_copied += delta.PayloadBytes();
+  const Duration cost = ScanPassCost() + BulkDeltaCost(delta.PayloadBytes());
+  clock_.Advance(cost);
+  stats_.snapshot_time += cost;
+  return Status::Ok();
 }
 
 Result<HardwareState> FpgaTarget::Readback() {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bus/channel.h"
+#include "bus/delta_support.h"
 #include "bus/slot_support.h"
 #include "bus/soc_driver.h"
 #include "bus/target.h"
@@ -52,7 +53,9 @@ struct FpgaTargetOptions {
   scanchain::ScanOptions scan;  // scope restriction, if any
 };
 
-class FpgaTarget : public bus::HardwareTarget, public bus::SlotSnapshotter {
+class FpgaTarget : public bus::HardwareTarget,
+                   public bus::SlotSnapshotter,
+                   public bus::DeltaSnapshotter {
  public:
   // Instruments `soc_design` and loads it onto the emulated fabric.
   static Result<std::unique_ptr<FpgaTarget>> Create(
@@ -70,6 +73,17 @@ class FpgaTarget : public bus::HardwareTarget, public bus::SlotSnapshotter {
   // Full host transfer: scan pass + USB3 bulk download/upload.
   Result<sim::HardwareState> SaveState() override;
   Status RestoreState(const sim::HardwareState& state) override;
+
+  // bus::DeltaSnapshotter: the scan pass itself still reads/writes EVERY
+  // state bit (a chain has no random access — E1's linear-in-bits latency
+  // shape is a property of the mechanism and is preserved), but the host
+  // keeps a mirror of the state at the last sync point, so only the
+  // chunks that differ cross the USB3 link. Slot restores and hardware
+  // resets bypass the mirror and invalidate it; the next SaveStateDelta
+  // then degrades to a full-payload delta and RestoreStateDelta requires
+  // a full operation first.
+  Result<sim::StateDelta> SaveStateDelta() override;
+  Status RestoreStateDelta(const sim::StateDelta& delta) override;
 
   const VirtualClock& clock() const override { return clock_; }
   const bus::TargetStats& stats() const override { return stats_; }
@@ -106,6 +120,8 @@ class FpgaTarget : public bus::HardwareTarget, public bus::SlotSnapshotter {
   Duration ScanPassCost() const;
   Duration ReadbackCost() const;
   Duration BulkTransferCost() const;
+  // Bulk USB3 cost of moving just `payload_bytes` of delta chunks.
+  Duration BulkDeltaCost(size_t payload_bytes) const;
 
  private:
   FpgaTarget(std::unique_ptr<scanchain::InstrumentedDesign> inst,
@@ -123,6 +139,11 @@ class FpgaTarget : public bus::HardwareTarget, public bus::SlotSnapshotter {
   std::unique_ptr<bus::SocBusDriver> driver_;
   std::unique_ptr<scanchain::ScanController> scan_;
   std::vector<std::unique_ptr<sim::HardwareState>> sram_;
+  // Host-side mirror of the architectural state at the last full-transfer
+  // sync point (what the delta path diffs against). Invalidated whenever
+  // the live state moves without crossing the host link.
+  sim::HardwareState mirror_;
+  bool mirror_valid_ = false;
   VirtualClock clock_;
   bus::TargetStats stats_;
 };

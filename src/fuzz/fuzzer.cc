@@ -20,6 +20,8 @@ Fuzzer::Fuzzer(bus::HardwareTarget* target, const vm::FirmwareImage& image,
   HS_CHECK_MSG(options_.input_size > 0, "fuzzer input_size must be >= 1");
   HS_CHECK(cpu_.LoadFirmware(image_).ok());
   corpus_.push_back(std::vector<uint8_t>(options_.input_size, 0));
+  if (options_.use_delta_snapshots)
+    delta_ = dynamic_cast<bus::DeltaSnapshotter*>(target);
 }
 
 Status Fuzzer::PrepareSnapshot() {
@@ -34,9 +36,10 @@ Status Fuzzer::PrepareSnapshot() {
           out.reason);
   }
   sw_snapshot_ = cpu_.SnapshotSoftware();
-  auto hw = target_->SaveState();
+  auto hw = target_->SaveState();  // sync point: base for delta resets
   if (!hw.ok()) return hw.status();
   hw_snapshot_ = std::move(hw).value();
+  hw_snapshot_hash_ = sim::HashState(hw_snapshot_);
   snapshot_ready_ = true;
   return Status::Ok();
 }
@@ -45,7 +48,19 @@ Status Fuzzer::ResetForNextExec() {
   const Duration before = target_->clock().now();
   if (options_.reset == ResetStrategy::kSnapshotReset) {
     cpu_.RestoreSoftware(sw_snapshot_);
-    HS_RETURN_IF_ERROR(target_->RestoreState(hw_snapshot_));
+    bool restored = false;
+    if (delta_) {
+      // The harness snapshot IS the sync point, so an empty delta means
+      // "revert whatever the execution dirtied" — O(dirty) on targets
+      // with change tracking.
+      sim::StateDelta revert = sim::EmptyDeltaFor(hw_snapshot_);
+      revert.base_hash = hw_snapshot_hash_;
+      if (delta_->RestoreStateDelta(revert).ok()) {
+        ++stats_.delta_restores;
+        restored = true;
+      }
+    }
+    if (!restored) HS_RETURN_IF_ERROR(target_->RestoreState(hw_snapshot_));
     ++stats_.snapshot_restores;
   } else {
     // Full reboot: power-cycle the device, re-run firmware init.
@@ -135,6 +150,7 @@ Result<FuzzStats> Fuzzer::Run(uint64_t execs) {
   stats_.edges_covered = edges_.size();
   stats_.crashes = crashes_.size();
   stats_.hw_time = target_->clock().now();
+  stats_.snapshot_bytes_copied = target_->stats().snapshot_bytes_copied;
   return stats_;
 }
 

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "bus/delta_support.h"
 #include "bus/target.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -49,6 +50,10 @@ struct FuzzOptions {
   // Modeled cost of one device reboot for the baseline strategy.
   Duration reboot_cost = Duration::Millis(250);
   unsigned cycles_per_instruction = 1;
+  // Snapshot resets through the target's incremental interface when it
+  // has one: the harness snapshot is the sync point, so each reset only
+  // rewrites the chunks the execution dirtied (O(dirty), not O(state)).
+  bool use_delta_snapshots = true;
 };
 
 struct Crash {
@@ -65,6 +70,10 @@ struct FuzzStats {
   uint64_t crashes = 0;            // unique by faulting pc
   uint64_t reboots = 0;
   uint64_t snapshot_restores = 0;
+  uint64_t delta_restores = 0;     // resets served by the delta fast path
+  // Snapshot payload bytes moved over the target's snapshot path (full
+  // restores count the whole state, delta resets only changed chunks).
+  uint64_t snapshot_bytes_copied = 0;
   Duration reset_overhead;         // modeled time spent resetting state
   Duration hw_time;                // total modeled hardware time
 };
@@ -88,6 +97,8 @@ class Fuzzer {
   std::vector<uint8_t> Mutate(const std::vector<uint8_t>& parent);
 
   bus::HardwareTarget* target_;
+  bus::DeltaSnapshotter* delta_ = nullptr;  // non-null if the target does
+                                            // incremental snapshots
   vm::FirmwareImage image_;
   FuzzOptions options_;
   Rng rng_;
@@ -96,6 +107,7 @@ class Fuzzer {
   bool snapshot_ready_ = false;
   vm::CpuState sw_snapshot_;
   sim::HardwareState hw_snapshot_;
+  uint64_t hw_snapshot_hash_ = 0;  // delta reset base-hash check
 
   std::vector<std::vector<uint8_t>> corpus_;
   std::set<uint64_t> edges_;          // hashed (from, to) control-flow edges

@@ -1,0 +1,116 @@
+// Chunked copy-on-write snapshot deltas (the hot-path layer under the
+// snapshot store).
+//
+// A HardwareState is viewed as a set of fixed-size "chunks" of 64-bit
+// words: the flop vector is chunk space 0, memory m is chunk space 1+m.
+// A StateDelta carries only the chunks that differ from some base state —
+// the unit of dirty tracking in the Simulator, of structural sharing in
+// snapshot::SnapshotStore, and of wire transfer in SerializeStateDelta.
+//
+// kChunkWords trades tracking precision against per-chunk overhead. The
+// peripheral corpus here has O(100) flops and small FIFOs, so chunks are
+// deliberately small; blksnap-style block trackers use the same scheme at
+// disk-page granularity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hardsnap::sim {
+
+struct HardwareState;
+
+inline constexpr uint32_t kChunkWords = 4;
+
+// Number of chunks covering `words` words (the last chunk may be short).
+inline uint32_t NumChunks(size_t words) {
+  return static_cast<uint32_t>((words + kChunkWords - 1) / kChunkWords);
+}
+
+// One changed chunk: `space` 0 addresses the flop vector, 1+m memory m.
+struct DeltaChunk {
+  uint32_t space = 0;
+  uint32_t index = 0;             // chunk index within the space
+  std::vector<uint64_t> words;    // full chunk payload (tail chunks short)
+
+  bool operator==(const DeltaChunk&) const = default;
+};
+
+// The chunks by which a state differs from a base state, plus the shape
+// the delta applies to (so mismatched applications fail loudly).
+struct StateDelta {
+  uint64_t base_hash = 0;      // HashState() of the base; 0 = unchecked
+  uint32_t chunk_words = kChunkWords;
+  uint32_t num_flops = 0;
+  std::vector<uint32_t> mem_depths;
+  std::vector<DeltaChunk> chunks;
+
+  size_t PayloadWords() const;
+  size_t PayloadBytes() const { return PayloadWords() * 8; }
+  bool ShapeMatches(const HardwareState& st) const;
+
+  bool operator==(const StateDelta&) const = default;
+};
+
+// Content hash of a full state (FNV-1a over flop and memory words).
+uint64_t HashState(const HardwareState& state);
+
+// Total 64-bit words in a state (flops + all memory words).
+size_t StateWords(const HardwareState& state);
+
+// Shape-only delta: no chunks (applying it to its base is a no-op). Used
+// to express "revert to the sync point" to a DeltaSnapshotter target.
+StateDelta EmptyDeltaFor(const HardwareState& shape);
+
+// Every chunk of `state` (a delta against an unknown/absent base).
+StateDelta FullDelta(const HardwareState& state);
+
+// All chunks of `next` that differ from `base`. Shapes must match; the
+// result's base_hash binds it to `base`.
+Result<StateDelta> DiffStates(const HardwareState& base,
+                              const HardwareState& next);
+
+// Overwrite the delta's chunks in `state`. Rejects shape mismatches and,
+// when delta.base_hash is set, a `state` that is not the delta's base.
+Status ApplyDeltaToState(HardwareState* state, const StateDelta& delta);
+
+// Per-chunk dirty bitmap (one bit per chunk of one space).
+class ChunkBitmap {
+ public:
+  void Resize(size_t words) {
+    num_chunks_ = NumChunks(words);
+    bits_.assign((num_chunks_ + 63) / 64, 0);
+  }
+  void MarkWord(size_t word) { Mark(word / kChunkWords); }
+  void Mark(size_t chunk) { bits_[chunk >> 6] |= uint64_t{1} << (chunk & 63); }
+  bool Test(size_t chunk) const {
+    return (bits_[chunk >> 6] >> (chunk & 63)) & 1;
+  }
+  void ClearAll() { bits_.assign(bits_.size(), 0); }
+  void MarkAll() {
+    bits_.assign(bits_.size(), ~uint64_t{0});  // stray high bits are ignored
+  }
+  bool Any() const {
+    for (uint64_t w : bits_)
+      if (w != 0) return true;
+    return false;
+  }
+  size_t num_chunks() const { return num_chunks_; }
+
+ private:
+  std::vector<uint64_t> bits_;
+  size_t num_chunks_ = 0;
+};
+
+// Cumulative accounting of delta capture/restore work (per Simulator).
+struct DeltaStats {
+  uint64_t captures = 0;
+  uint64_t restores = 0;
+  uint64_t words_captured = 0;  // delta payload words emitted
+  uint64_t words_restored = 0;  // words actually written into live state
+  uint64_t full_words = 0;      // words a full copy would have moved
+};
+
+}  // namespace hardsnap::sim

@@ -29,6 +29,20 @@ Simulator::Simulator(const Design& design) : design_(design) {
   for (size_t m = 0; m < memories_.size(); ++m)
     memories_[m].assign(design.memories()[m].depth, 0);
   flop_next_.assign(design.flops().size(), 0);
+
+  flop_of_signal_.assign(design.signals().size(), -1);
+  for (size_t i = 0; i < design.flops().size(); ++i)
+    flop_of_signal_[design.flops()[i].q] = static_cast<int32_t>(i);
+  shadow_.flops.assign(design.flops().size(), 0);
+  shadow_.memories = memories_;
+  flop_dirty_.Resize(design.flops().size());
+  mem_dirty_.resize(memories_.size());
+  for (size_t m = 0; m < memories_.size(); ++m)
+    mem_dirty_[m].Resize(memories_[m].size());
+  // The shadow (all zeros) matches the initial live state, but mark
+  // everything dirty so the first capture is a full, base-free baseline.
+  flop_dirty_.MarkAll();
+  for (auto& bm : mem_dirty_) bm.MarkAll();
 }
 
 Result<Simulator> Simulator::Create(const Design& design) {
@@ -231,12 +245,19 @@ void Simulator::CommitEdge() {
   }
 
   for (size_t i = 0; i < flops.size(); ++i) {
-    values_[flops[i].q] =
+    const uint64_t next =
         TruncBits(flop_next_[i], design_.signal(flops[i].q).width);
+    if (values_[flops[i].q] != next) {
+      values_[flops[i].q] = next;
+      flop_dirty_.MarkWord(i);
+    }
   }
   for (const auto& pw : pending) {
     auto& mem = memories_[pw.mem];
-    if (pw.addr < mem.size()) mem[pw.addr] = pw.data;  // OOB writes dropped
+    if (pw.addr < mem.size() && mem[pw.addr] != pw.data) {  // OOB dropped
+      mem[pw.addr] = pw.data;
+      mem_dirty_[pw.mem].MarkWord(pw.addr);
+    }
   }
 }
 
@@ -296,12 +317,14 @@ Status Simulator::PokeRegister(const std::string& name, uint64_t value) {
   SignalId id = design_.FindSignal(name);
   if (id == rtl::kInvalidId) return NotFound("no signal '" + name + "'");
   const auto& s = design_.signal(id);
-  bool is_flop = false;
-  for (const auto& ff : design_.flops())
-    if (ff.q == id) { is_flop = true; break; }
-  if (!is_flop)
+  const int32_t flop_index = flop_of_signal_[id];
+  if (flop_index < 0)
     return InvalidArgument("'" + s.name + "' is not a register");
-  values_[id] = TruncBits(value, s.width);
+  const uint64_t v = TruncBits(value, s.width);
+  if (values_[id] != v) {
+    values_[id] = v;
+    flop_dirty_.MarkWord(static_cast<size_t>(flop_index));
+  }
   dirty_ = true;
   return Status::Ok();
 }
@@ -312,7 +335,11 @@ Status Simulator::PokeMemory(const std::string& name, unsigned index,
   if (id == rtl::kInvalidId) return NotFound("no memory '" + name + "'");
   if (index >= memories_[id].size())
     return OutOfRange("memory index out of range");
-  memories_[id][index] = TruncBits(value, design_.memory(id).width);
+  const uint64_t v = TruncBits(value, design_.memory(id).width);
+  if (memories_[id][index] != v) {
+    memories_[id][index] = v;
+    mem_dirty_[id].MarkWord(index);
+  }
   dirty_ = true;
   return Status::Ok();
 }
@@ -336,13 +363,181 @@ Status Simulator::RestoreState(const HardwareState& st) {
       return InvalidArgument("snapshot memory depth mismatch");
   }
   const auto& flops = design_.flops();
+  uint64_t written = 0;
   for (size_t i = 0; i < flops.size(); ++i) {
-    values_[flops[i].q] =
-        TruncBits(st.flops[i], design_.signal(flops[i].q).width);
+    const uint64_t v = TruncBits(st.flops[i], design_.signal(flops[i].q).width);
+    if (values_[flops[i].q] != v) {
+      values_[flops[i].q] = v;
+      ++written;
+    }
+    shadow_.flops[i] = v;
   }
-  memories_ = st.memories;
+  for (size_t m = 0; m < memories_.size(); ++m) {
+    auto& mem = memories_[m];
+    const auto& src = st.memories[m];
+    for (size_t w = 0; w < mem.size(); ++w) {
+      if (mem[w] != src[w]) {
+        mem[w] = src[w];
+        ++written;
+      }
+    }
+    shadow_.memories[m] = src;
+  }
+  flop_dirty_.ClearAll();
+  for (auto& bm : mem_dirty_) bm.ClearAll();
+  ++delta_stats_.restores;
+  delta_stats_.words_restored += written;
+  delta_stats_.full_words += StateWords(st);
   dirty_ = true;
   return Status::Ok();
+}
+
+StateDelta Simulator::CaptureDelta() {
+  Eval();
+  const auto& flops = design_.flops();
+  StateDelta d = EmptyDeltaFor(shadow_);
+  d.base_hash = HashState(shadow_);
+
+  // Flop space: walk dirty chunks, compare against the shadow, emit the
+  // chunks that really changed and fold them into the shadow.
+  const uint32_t nfc = flop_dirty_.num_chunks();
+  for (uint32_t c = 0; c < nfc; ++c) {
+    if (!flop_dirty_.Test(c)) continue;
+    const size_t start = size_t{c} * kChunkWords;
+    const size_t len = std::min<size_t>(kChunkWords, flops.size() - start);
+    bool changed = false;
+    for (size_t i = start; i < start + len; ++i)
+      if (values_[flops[i].q] != shadow_.flops[i]) { changed = true; break; }
+    if (!changed) continue;
+    DeltaChunk chunk{0, c, {}};
+    chunk.words.reserve(len);
+    for (size_t i = start; i < start + len; ++i) {
+      shadow_.flops[i] = values_[flops[i].q];
+      chunk.words.push_back(shadow_.flops[i]);
+    }
+    d.chunks.push_back(std::move(chunk));
+  }
+  flop_dirty_.ClearAll();
+
+  for (size_t m = 0; m < memories_.size(); ++m) {
+    const auto& mem = memories_[m];
+    auto& shadow_mem = shadow_.memories[m];
+    const uint32_t nc = mem_dirty_[m].num_chunks();
+    for (uint32_t c = 0; c < nc; ++c) {
+      if (!mem_dirty_[m].Test(c)) continue;
+      const size_t start = size_t{c} * kChunkWords;
+      const size_t len = std::min<size_t>(kChunkWords, mem.size() - start);
+      if (std::equal(mem.begin() + start, mem.begin() + start + len,
+                     shadow_mem.begin() + start))
+        continue;
+      std::copy(mem.begin() + start, mem.begin() + start + len,
+                shadow_mem.begin() + start);
+      d.chunks.push_back({static_cast<uint32_t>(1 + m), c,
+                          {mem.begin() + start, mem.begin() + start + len}});
+    }
+    mem_dirty_[m].ClearAll();
+  }
+
+  ++delta_stats_.captures;
+  delta_stats_.words_captured += d.PayloadWords();
+  delta_stats_.full_words += StateWords(shadow_);
+  return d;
+}
+
+Status Simulator::RestoreDelta(const StateDelta& delta) {
+  if (!delta.ShapeMatches(shadow_))
+    return InvalidArgument("delta does not match simulator state shape");
+  if (delta.base_hash != 0 && HashState(shadow_) != delta.base_hash)
+    return InvalidArgument("delta base is not the simulator's sync point");
+
+  const auto& flops = design_.flops();
+  uint64_t written = 0;
+
+  // Pass 1: revert any chunk dirtied since the sync point back to the
+  // shadow — the delta is expressed against the sync point, not against
+  // whatever the live state drifted to.
+  const uint32_t nfc = flop_dirty_.num_chunks();
+  for (uint32_t c = 0; c < nfc; ++c) {
+    if (!flop_dirty_.Test(c)) continue;
+    const size_t start = size_t{c} * kChunkWords;
+    const size_t len = std::min<size_t>(kChunkWords, flops.size() - start);
+    for (size_t i = start; i < start + len; ++i) {
+      if (values_[flops[i].q] != shadow_.flops[i]) {
+        values_[flops[i].q] = shadow_.flops[i];
+        ++written;
+      }
+    }
+  }
+  flop_dirty_.ClearAll();
+  for (size_t m = 0; m < memories_.size(); ++m) {
+    auto& mem = memories_[m];
+    const auto& shadow_mem = shadow_.memories[m];
+    const uint32_t nc = mem_dirty_[m].num_chunks();
+    for (uint32_t c = 0; c < nc; ++c) {
+      if (!mem_dirty_[m].Test(c)) continue;
+      const size_t start = size_t{c} * kChunkWords;
+      const size_t len = std::min<size_t>(kChunkWords, mem.size() - start);
+      for (size_t w = start; w < start + len; ++w) {
+        if (mem[w] != shadow_mem[w]) {
+          mem[w] = shadow_mem[w];
+          ++written;
+        }
+      }
+    }
+    mem_dirty_[m].ClearAll();
+  }
+
+  // Pass 2: apply the delta's chunks to both live and shadow state.
+  for (const auto& c : delta.chunks) {
+    const size_t start = size_t{c.index} * kChunkWords;
+    if (c.space == 0) {
+      if (start >= flops.size())
+        return InvalidArgument("delta chunk index out of range");
+      if (c.words.size() !=
+          std::min<size_t>(kChunkWords, flops.size() - start))
+        return InvalidArgument("delta chunk payload size mismatch");
+      for (size_t i = 0; i < c.words.size(); ++i) {
+        const uint64_t v = TruncBits(
+            c.words[i], design_.signal(flops[start + i].q).width);
+        if (values_[flops[start + i].q] != v) {
+          values_[flops[start + i].q] = v;
+          ++written;
+        }
+        shadow_.flops[start + i] = v;
+      }
+    } else {
+      if (c.space > memories_.size())
+        return InvalidArgument("delta chunk space out of range");
+      auto& mem = memories_[c.space - 1];
+      if (start >= mem.size())
+        return InvalidArgument("delta chunk index out of range");
+      if (c.words.size() != std::min<size_t>(kChunkWords, mem.size() - start))
+        return InvalidArgument("delta chunk payload size mismatch");
+      for (size_t i = 0; i < c.words.size(); ++i) {
+        if (mem[start + i] != c.words[i]) {
+          mem[start + i] = c.words[i];
+          ++written;
+        }
+        shadow_.memories[c.space - 1][start + i] = c.words[i];
+      }
+    }
+  }
+
+  ++delta_stats_.restores;
+  delta_stats_.words_restored += written;
+  delta_stats_.full_words += StateWords(shadow_);
+  dirty_ = true;
+  return Status::Ok();
+}
+
+void Simulator::MarkSynced() {
+  Eval();
+  const auto& flops = design_.flops();
+  for (size_t i = 0; i < flops.size(); ++i)
+    shadow_.flops[i] = values_[flops[i].q];
+  shadow_.memories = memories_;
+  flop_dirty_.ClearAll();
+  for (auto& bm : mem_dirty_) bm.ClearAll();
 }
 
 }  // namespace hardsnap::sim

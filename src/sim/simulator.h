@@ -27,6 +27,7 @@
 
 #include "common/status.h"
 #include "rtl/ir.h"
+#include "sim/delta.h"
 
 namespace hardsnap::sim {
 
@@ -88,7 +89,32 @@ class Simulator {
 
   // --- snapshotting --------------------------------------------------------
   HardwareState DumpState() const;
+  // Overwrites the architectural state. Only words that actually differ
+  // from the live state are written (restoring a sibling of the current
+  // state touches O(diff) words), and the call establishes a new dirty-
+  // tracking sync point (see below).
   Status RestoreState(const HardwareState& state);
+
+  // --- delta snapshotting --------------------------------------------------
+  // The simulator tracks which kChunkWords-sized chunks of architectural
+  // state changed since the last *sync point*. Sync points are:
+  // construction, CaptureDelta(), RestoreDelta(), RestoreState(), and
+  // MarkSynced(). Flop commits, memory writes, and register/memory pokes
+  // mark chunks dirty only when a value actually changes.
+  //
+  // Captures the chunks dirtied since the last sync point as a delta
+  // against that point's state, then starts a new sync point. Cost is
+  // O(dirty chunks), not O(design). At construction everything is dirty,
+  // so the first capture is a full baseline.
+  StateDelta CaptureDelta();
+  // Restores the state `delta` away from the last sync point: applies the
+  // delta's chunks and reverts any other chunks dirtied since the sync
+  // point. When delta.base_hash is set it is checked against the sync
+  // point's state. Starts a new sync point at the restored state.
+  Status RestoreDelta(const StateDelta& delta);
+  // Declares the current live state a sync point without capturing.
+  void MarkSynced();
+  const DeltaStats& delta_stats() const { return delta_stats_; }
 
   // Cycles executed since construction (not part of architectural state).
   uint64_t cycle_count() const { return cycle_count_; }
@@ -112,6 +138,15 @@ class Simulator {
   // staging for the two-phase edge commit
   std::vector<uint64_t> flop_next_;
   uint64_t cycle_count_ = 0;
+
+  // --- dirty-state change tracking --------------------------------------
+  // Shadow copy of the architectural state at the last sync point, plus
+  // per-chunk dirty bitmaps (flop space + one per memory).
+  std::vector<int32_t> flop_of_signal_;  // SignalId -> flop index, -1 none
+  HardwareState shadow_;
+  ChunkBitmap flop_dirty_;
+  std::vector<ChunkBitmap> mem_dirty_;
+  DeltaStats delta_stats_;
 };
 
 }  // namespace hardsnap::sim

@@ -1,11 +1,15 @@
 #include "snapshot/orchestrator.h"
 
+#include "snapshot/snapshot.h"
+
 namespace hardsnap::snapshot {
 
 TargetOrchestrator::TargetOrchestrator(
     std::vector<bus::HardwareTarget*> targets)
     : targets_(std::move(targets)) {
   HS_CHECK_MSG(!targets_.empty(), "orchestrator needs at least one target");
+  last_shipped_.resize(targets_.size());
+  has_shipped_.assign(targets_.size(), false);
 }
 
 Status TargetOrchestrator::MoveTo(size_t index) {
@@ -13,7 +17,39 @@ Status TargetOrchestrator::MoveTo(size_t index) {
   if (index == active_) return Status::Ok();
   auto state = targets_[active_]->SaveState();
   if (!state.ok()) return state.status();
-  HS_RETURN_IF_ERROR(targets_[index]->RestoreState(state.value()));
+
+  ++transfer_stats_.transfers;
+  transfer_stats_.full_bytes += SerializeState(state.value()).size();
+  if (has_shipped_[index] &&
+      sim::StateWords(last_shipped_[index]) ==
+          sim::StateWords(state.value())) {
+    // The destination still holds the state we last left it with: ship
+    // only the chunks that changed since, through the real wire format.
+    auto delta = sim::DiffStates(last_shipped_[index], state.value());
+    if (delta.ok()) {
+      const std::vector<uint8_t> blob = SerializeStateDelta(delta.value());
+      transfer_stats_.shipped_bytes += blob.size();
+      auto decoded = DeserializeStateDelta(blob);
+      if (!decoded.ok()) return decoded.status();
+      HS_RETURN_IF_ERROR(
+          sim::ApplyDeltaToState(&last_shipped_[index], decoded.value()));
+      HS_RETURN_IF_ERROR(
+          targets_[index]->RestoreState(last_shipped_[index]));
+      last_shipped_[active_] = std::move(state).value();
+      has_shipped_[active_] = true;
+      active_ = index;
+      return Status::Ok();
+    }
+  }
+  const std::vector<uint8_t> blob = SerializeState(state.value());
+  transfer_stats_.shipped_bytes += blob.size();
+  auto decoded = DeserializeState(blob);
+  if (!decoded.ok()) return decoded.status();
+  HS_RETURN_IF_ERROR(targets_[index]->RestoreState(decoded.value()));
+  last_shipped_[index] = decoded.value();
+  has_shipped_[index] = true;
+  last_shipped_[active_] = std::move(state).value();
+  has_shipped_[active_] = true;
   active_ = index;
   return Status::Ok();
 }

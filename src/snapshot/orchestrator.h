@@ -14,11 +14,21 @@
 
 #include "bus/target.h"
 #include "common/status.h"
+#include "sim/delta.h"
 
 namespace hardsnap::snapshot {
 
 class TargetOrchestrator {
  public:
+  // Host-link traffic accounting for migrations (experiment E6): when the
+  // destination already holds a previously shipped state, only the delta
+  // blob (SerializeStateDelta) crosses the link instead of the full state.
+  struct TransferStats {
+    uint64_t transfers = 0;
+    uint64_t full_bytes = 0;     // what full-state blobs would have cost
+    uint64_t shipped_bytes = 0;  // what actually crossed the link
+  };
+
   // The orchestrator does not own the targets; they must outlive it.
   // All targets must execute the same SoC design (interchangeable state).
   explicit TargetOrchestrator(std::vector<bus::HardwareTarget*> targets);
@@ -38,9 +48,16 @@ class TargetOrchestrator {
   // device's timeline is the sum of whoever was executing it).
   Duration TotalTime() const;
 
+  const TransferStats& transfer_stats() const { return transfer_stats_; }
+
  private:
   std::vector<bus::HardwareTarget*> targets_;
   size_t active_ = 0;
+  // Per target: the architectural state it last held when the orchestrator
+  // left it (the base a delta blob can be expressed against).
+  std::vector<sim::HardwareState> last_shipped_;
+  std::vector<bool> has_shipped_;
+  TransferStats transfer_stats_;
 };
 
 }  // namespace hardsnap::snapshot

@@ -1,6 +1,11 @@
 #include "snapshot/snapshot.h"
 
+#include <algorithm>
+
 namespace hardsnap::snapshot {
+
+using sim::kChunkWords;
+using sim::NumChunks;
 
 uint64_t StateShapeDigest(const rtl::Design& design) {
   // FNV-1a over the flop widths and memory geometry.
@@ -51,14 +56,181 @@ Result<sim::HardwareState> DeserializeState(
   return st;
 }
 
+std::vector<uint8_t> SerializeStateDelta(const sim::StateDelta& delta) {
+  ByteWriter w;
+  w.PutU32(0x48535344);  // "HSSD"
+  w.PutU64(delta.base_hash);
+  w.PutU32(delta.chunk_words);
+  w.PutU32(delta.num_flops);
+  w.PutU32(static_cast<uint32_t>(delta.mem_depths.size()));
+  for (uint32_t d : delta.mem_depths) w.PutU32(d);
+  w.PutU32(static_cast<uint32_t>(delta.chunks.size()));
+  for (const auto& c : delta.chunks) {
+    w.PutU32(c.space);
+    w.PutU32(c.index);
+    w.PutU64Vector(c.words);
+  }
+  return w.Take();
+}
+
+Result<sim::StateDelta> DeserializeStateDelta(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  auto magic = r.GetU32();
+  if (!magic.ok()) return magic.status();
+  if (magic.value() != 0x48535344)
+    return InvalidArgument("not a HardSnap delta blob");
+  sim::StateDelta d;
+  auto base = r.GetU64();
+  if (!base.ok()) return base.status();
+  d.base_hash = base.value();
+  auto cw = r.GetU32();
+  if (!cw.ok()) return cw.status();
+  d.chunk_words = cw.value();
+  if (d.chunk_words != kChunkWords)
+    return InvalidArgument("delta blob chunk size mismatch");
+  auto nf = r.GetU32();
+  if (!nf.ok()) return nf.status();
+  d.num_flops = nf.value();
+  auto nmem = r.GetU32();
+  if (!nmem.ok()) return nmem.status();
+  d.mem_depths.reserve(nmem.value());
+  for (uint32_t i = 0; i < nmem.value(); ++i) {
+    auto depth = r.GetU32();
+    if (!depth.ok()) return depth.status();
+    d.mem_depths.push_back(depth.value());
+  }
+  auto nchunks = r.GetU32();
+  if (!nchunks.ok()) return nchunks.status();
+  d.chunks.reserve(nchunks.value());
+  for (uint32_t i = 0; i < nchunks.value(); ++i) {
+    sim::DeltaChunk c;
+    auto space = r.GetU32();
+    if (!space.ok()) return space.status();
+    c.space = space.value();
+    auto index = r.GetU32();
+    if (!index.ok()) return index.status();
+    c.index = index.value();
+    auto words = r.GetU64Vector();
+    if (!words.ok()) return words.status();
+    c.words = std::move(words).value();
+    // Validate chunk geometry against the declared shape so a corrupt
+    // blob fails here rather than scribbling on a target later.
+    if (c.space > d.mem_depths.size())
+      return InvalidArgument("delta blob chunk space out of range");
+    const size_t space_words =
+        c.space == 0 ? d.num_flops : d.mem_depths[c.space - 1];
+    const size_t start = size_t{c.index} * kChunkWords;
+    if (start >= space_words)
+      return InvalidArgument("delta blob chunk index out of range");
+    if (c.words.size() != std::min<size_t>(kChunkWords, space_words - start))
+      return InvalidArgument("delta blob chunk payload size mismatch");
+    d.chunks.push_back(std::move(c));
+  }
+  if (!r.AtEnd()) return InvalidArgument("trailing bytes in delta blob");
+  return d;
+}
+
+namespace {
+
+uint64_t HashChunk(const std::vector<uint64_t>& words) {
+  uint64_t h = 1469598103934665603ull;
+  for (uint64_t w : words) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Chunk layout of one stored snapshot: flop chunks first, then each
+// memory's chunks. Returns the linear chunk index of (space, index).
+size_t LinearChunk(uint32_t num_flops, const std::vector<uint32_t>& depths,
+                   uint32_t space, uint32_t index) {
+  size_t base = 0;
+  if (space > 0) {
+    base = NumChunks(num_flops);
+    for (uint32_t m = 0; m + 1 < space; ++m) base += NumChunks(depths[m]);
+  }
+  return base + index;
+}
+
+}  // namespace
+
+ChunkPtr SnapshotStore::Intern(std::vector<uint64_t> words) {
+  const uint64_t h = HashChunk(words);
+  auto& bucket = intern_[h];
+  for (auto it = bucket.begin(); it != bucket.end();) {
+    if (ChunkPtr live = it->lock()) {
+      if (*live == words) {
+        ++stats_.chunks_shared;
+        stats_.bytes_shared += words.size() * 8;
+        return live;
+      }
+      ++it;
+    } else {
+      it = bucket.erase(it);  // last owner dropped; prune the entry
+    }
+  }
+  ++stats_.chunks_stored;
+  stats_.bytes_copied += words.size() * 8;
+  auto chunk = std::make_shared<const std::vector<uint64_t>>(std::move(words));
+  bucket.push_back(chunk);
+  return chunk;
+}
+
+SnapshotStore::Stored SnapshotStore::MakeStored(SnapshotId id,
+                                                const sim::HardwareState& state,
+                                                std::string label) {
+  Stored s;
+  s.snap.id = id;
+  s.snap.shape_digest = shape_;
+  s.snap.label = std::move(label);
+  s.num_flops = static_cast<uint32_t>(state.flops.size());
+  s.mem_depths.reserve(state.memories.size());
+  for (const auto& mem : state.memories)
+    s.mem_depths.push_back(static_cast<uint32_t>(mem.size()));
+  s.logical_words = sim::StateWords(state);
+  s.content_hash = sim::HashState(state);
+
+  auto chunk_space = [&](const std::vector<uint64_t>& words) {
+    for (uint32_t c = 0; c < NumChunks(words.size()); ++c) {
+      const size_t start = size_t{c} * kChunkWords;
+      const size_t len = std::min<size_t>(kChunkWords, words.size() - start);
+      s.chunks.push_back(Intern(
+          {words.begin() + start, words.begin() + start + len}));
+    }
+  };
+  chunk_space(state.flops);
+  for (const auto& mem : state.memories) chunk_space(mem);
+  return s;
+}
+
+void SnapshotStore::Materialize(const Stored& s) const {
+  if (s.materialized) return;
+  sim::HardwareState st;
+  st.flops.reserve(s.num_flops);
+  st.memories.resize(s.mem_depths.size());
+  size_t ci = 0;
+  for (uint32_t c = 0; c < NumChunks(s.num_flops); ++c, ++ci)
+    st.flops.insert(st.flops.end(), s.chunks[ci]->begin(),
+                    s.chunks[ci]->end());
+  for (size_t m = 0; m < s.mem_depths.size(); ++m) {
+    st.memories[m].reserve(s.mem_depths[m]);
+    for (uint32_t c = 0; c < NumChunks(s.mem_depths[m]); ++c, ++ci)
+      st.memories[m].insert(st.memories[m].end(), s.chunks[ci]->begin(),
+                            s.chunks[ci]->end());
+  }
+  s.snap.state = std::move(st);
+  s.materialized = true;
+}
+
 SnapshotId SnapshotStore::Put(sim::HardwareState state, std::string label) {
   const SnapshotId id = next_id_++;
-  Snapshot snap;
-  snap.id = id;
-  snap.shape_digest = shape_;
-  snap.label = std::move(label);
-  snap.state = std::move(state);
-  snapshots_.emplace(id, std::move(snap));
+  Stored s = MakeStored(id, state, std::move(label));
+  total_bytes_ += s.logical_words * 8;
+  s.snap.state = std::move(state);  // caller's copy doubles as the cache
+  s.materialized = true;
+  snapshots_.emplace(id, std::move(s));
   return id;
 }
 
@@ -66,28 +238,168 @@ Result<const Snapshot*> SnapshotStore::Get(SnapshotId id) const {
   auto it = snapshots_.find(id);
   if (it == snapshots_.end())
     return NotFound("snapshot " + std::to_string(id) + " does not exist");
-  return &it->second;
+  Materialize(it->second);
+  return &it->second.snap;
 }
 
 Status SnapshotStore::Update(SnapshotId id, sim::HardwareState state) {
   auto it = snapshots_.find(id);
   if (it == snapshots_.end())
     return NotFound("snapshot " + std::to_string(id) + " does not exist");
-  it->second.state = std::move(state);
+  Stored s = MakeStored(id, state, std::move(it->second.snap.label));
+  total_bytes_ += s.logical_words * 8;
+  total_bytes_ -= it->second.logical_words * 8;
+  s.snap.state = std::move(state);
+  s.materialized = true;
+  it->second = std::move(s);
   return Status::Ok();
 }
 
 Status SnapshotStore::Drop(SnapshotId id) {
-  if (snapshots_.erase(id) == 0)
+  auto it = snapshots_.find(id);
+  if (it == snapshots_.end())
     return NotFound("snapshot " + std::to_string(id) + " does not exist");
+  total_bytes_ -= it->second.logical_words * 8;
+  snapshots_.erase(it);
   return Status::Ok();
 }
 
-size_t SnapshotStore::TotalBytes() const {
+Status SnapshotStore::ApplyDelta(const Stored& base,
+                                 const sim::StateDelta& delta, SnapshotId id,
+                                 std::string label, Stored* out) {
+  if (delta.chunk_words != kChunkWords)
+    return InvalidArgument("delta chunk size mismatch");
+  if (delta.num_flops != base.num_flops ||
+      delta.mem_depths != base.mem_depths)
+    return InvalidArgument("delta shape does not match base snapshot");
+  if (delta.base_hash != 0 && delta.base_hash != base.content_hash)
+    return InvalidArgument("delta base is not this snapshot's content");
+
+  Stored s;
+  s.snap.id = id;
+  s.snap.shape_digest = shape_;
+  s.snap.label = std::move(label);
+  s.num_flops = base.num_flops;
+  s.mem_depths = base.mem_depths;
+  s.logical_words = base.logical_words;
+  s.chunks = base.chunks;  // structural sharing: O(chunks) pointer copies
+  for (const auto& c : delta.chunks) {
+    if (c.space > s.mem_depths.size())
+      return InvalidArgument("delta chunk space out of range");
+    const size_t space_words =
+        c.space == 0 ? s.num_flops : s.mem_depths[c.space - 1];
+    const size_t start = size_t{c.index} * kChunkWords;
+    if (start >= space_words)
+      return InvalidArgument("delta chunk index out of range");
+    if (c.words.size() != std::min<size_t>(kChunkWords, space_words - start))
+      return InvalidArgument("delta chunk payload size mismatch");
+    s.chunks[LinearChunk(s.num_flops, s.mem_depths, c.space, c.index)] =
+        Intern(c.words);
+  }
+
+  // Content hash over the chunk walk (no materialization; same function
+  // as sim::HashState so delta base hashes keep chaining).
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  size_t ci = 0;
+  mix(s.num_flops);
+  for (uint32_t c = 0; c < NumChunks(s.num_flops); ++c, ++ci)
+    for (uint64_t w : *s.chunks[ci]) mix(w);
+  mix(s.mem_depths.size());
+  for (uint32_t depth : s.mem_depths) {
+    mix(depth);
+    for (uint32_t c = 0; c < NumChunks(depth); ++c, ++ci)
+      for (uint64_t w : *s.chunks[ci]) mix(w);
+  }
+  s.content_hash = h;
+  *out = std::move(s);
+  return Status::Ok();
+}
+
+Result<SnapshotId> SnapshotStore::PutDelta(SnapshotId base,
+                                           const sim::StateDelta& delta,
+                                           std::string label) {
+  auto it = snapshots_.find(base);
+  if (it == snapshots_.end())
+    return NotFound("base snapshot " + std::to_string(base) +
+                    " does not exist");
+  const SnapshotId id = next_id_++;
+  Stored s;
+  HS_RETURN_IF_ERROR(
+      ApplyDelta(it->second, delta, id, std::move(label), &s));
+  total_bytes_ += s.logical_words * 8;
+  snapshots_.emplace(id, std::move(s));
+  return id;
+}
+
+Status SnapshotStore::UpdateDelta(SnapshotId id, SnapshotId base,
+                                  const sim::StateDelta& delta) {
+  auto base_it = snapshots_.find(base);
+  if (base_it == snapshots_.end())
+    return NotFound("base snapshot " + std::to_string(base) +
+                    " does not exist");
+  auto it = snapshots_.find(id);
+  if (it == snapshots_.end())
+    return NotFound("snapshot " + std::to_string(id) + " does not exist");
+  Stored s;
+  HS_RETURN_IF_ERROR(ApplyDelta(base_it->second, delta, id,
+                                std::move(it->second.snap.label), &s));
+  total_bytes_ += s.logical_words * 8;
+  total_bytes_ -= it->second.logical_words * 8;
+  it->second = std::move(s);
+  return Status::Ok();
+}
+
+Result<sim::StateDelta> SnapshotStore::DeltaBetween(SnapshotId base,
+                                                    SnapshotId next) const {
+  auto bit = snapshots_.find(base);
+  if (bit == snapshots_.end())
+    return NotFound("base snapshot " + std::to_string(base) +
+                    " does not exist");
+  auto nit = snapshots_.find(next);
+  if (nit == snapshots_.end())
+    return NotFound("snapshot " + std::to_string(next) + " does not exist");
+  const Stored& b = bit->second;
+  const Stored& n = nit->second;
+  if (b.num_flops != n.num_flops || b.mem_depths != n.mem_depths)
+    return InvalidArgument("snapshots have different shapes");
+
+  sim::StateDelta d;
+  d.base_hash = b.content_hash;
+  d.num_flops = n.num_flops;
+  d.mem_depths = n.mem_depths;
+  size_t ci = 0;
+  auto diff_space = [&](uint32_t space, uint32_t words) {
+    for (uint32_t c = 0; c < NumChunks(words); ++c, ++ci) {
+      if (b.chunks[ci] == n.chunks[ci]) continue;  // structurally shared
+      if (*b.chunks[ci] == *n.chunks[ci]) continue;
+      d.chunks.push_back({space, c, *n.chunks[ci]});
+    }
+  };
+  diff_space(0, n.num_flops);
+  for (size_t m = 0; m < n.mem_depths.size(); ++m)
+    diff_space(static_cast<uint32_t>(1 + m), n.mem_depths[m]);
+  return d;
+}
+
+Result<uint64_t> SnapshotStore::ContentHash(SnapshotId id) const {
+  auto it = snapshots_.find(id);
+  if (it == snapshots_.end())
+    return NotFound("snapshot " + std::to_string(id) + " does not exist");
+  return it->second.content_hash;
+}
+
+size_t SnapshotStore::ResidentBytes() const {
   size_t bytes = 0;
-  for (const auto& [id, snap] : snapshots_) {
-    bytes += snap.state.flops.size() * 8;
-    for (const auto& mem : snap.state.memories) bytes += mem.size() * 8;
+  std::unordered_map<const void*, bool> seen;
+  seen.reserve(snapshots_.size() * 8);
+  for (const auto& [id, s] : snapshots_) {
+    for (const auto& chunk : s.chunks) {
+      if (seen.emplace(chunk.get(), true).second) bytes += chunk->size() * 8;
+    }
   }
   return bytes;
 }

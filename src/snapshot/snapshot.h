@@ -8,15 +8,25 @@
 // store hands out monotonically increasing SnapshotIds; id 0 is reserved
 // as "no snapshot" (the paper's initial state has "no corresponding
 // hardware snapshot").
+//
+// Internally the store is a content-addressed block store (blksnap-style):
+// every state is held as a vector of refcounted immutable chunks
+// (sim::kChunkWords words each), interned by content hash, so sibling
+// snapshots that differ in a few chunks share the rest. The legacy
+// full-state API (Put/Get/Update) is preserved — Get materializes lazily
+// and caches — and the delta API (PutDelta/UpdateDelta/DeltaBetween)
+// creates and extracts snapshots in O(changed chunks).
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "common/serde.h"
 #include "common/status.h"
 #include "rtl/ir.h"
+#include "sim/delta.h"
 #include "sim/simulator.h"
 
 namespace hardsnap::snapshot {
@@ -39,11 +49,33 @@ struct Snapshot {
 std::vector<uint8_t> SerializeState(const sim::HardwareState& state);
 Result<sim::HardwareState> DeserializeState(const std::vector<uint8_t>& bytes);
 
-// In-memory snapshot store with copy-on-write-free semantics: snapshots
-// are immutable once taken.
+// Delta encoding: only the chunks by which a state differs from a base
+// the receiver already holds (E6 multi-target transfer ships this instead
+// of the full state). Deserialization validates the chunk geometry; apply
+// with sim::ApplyDeltaToState against the receiver's copy of the base.
+std::vector<uint8_t> SerializeStateDelta(const sim::StateDelta& delta);
+Result<sim::StateDelta> DeserializeStateDelta(const std::vector<uint8_t>& bytes);
+
+// Refcounted immutable chunk payload (the store's unit of sharing).
+using ChunkPtr = std::shared_ptr<const std::vector<uint64_t>>;
+
+// In-memory snapshot store. Snapshots are immutable once taken (Update /
+// UpdateDelta rebind the id to new content, they never mutate chunks that
+// another snapshot may share).
 class SnapshotStore {
  public:
-  explicit SnapshotStore(uint64_t shape_digest) : shape_(shape_digest) {}
+  // Cumulative accounting of chunk ingestion (monotonic; the dedup ratio
+  // of a workload is bytes_shared / (bytes_copied + bytes_shared)).
+  struct Stats {
+    uint64_t chunks_stored = 0;   // chunks that had to be copied in
+    uint64_t chunks_shared = 0;   // chunks satisfied by an existing copy
+    uint64_t bytes_copied = 0;
+    uint64_t bytes_shared = 0;
+  };
+
+  explicit SnapshotStore(uint64_t shape_digest) : shape_(shape_digest) {
+    snapshots_.reserve(64);
+  }
 
   SnapshotId Put(sim::HardwareState state, std::string label = "");
 
@@ -55,16 +87,63 @@ class SnapshotStore {
 
   Status Drop(SnapshotId id);
 
+  // --- delta API (O(changed chunks)) -------------------------------------
+  // New snapshot whose content is `base`'s content with `delta` applied;
+  // unchanged chunks are shared with the base. delta.base_hash, when set,
+  // must match the base's content hash.
+  Result<SnapshotId> PutDelta(SnapshotId base, const sim::StateDelta& delta,
+                              std::string label = "");
+  // Rebind `id` to `base`'s content with `delta` applied (the delta-aware
+  // UpdateState: the hardware reported how the state moved since `base`).
+  Status UpdateDelta(SnapshotId id, SnapshotId base,
+                     const sim::StateDelta& delta);
+  // The chunks by which `next` differs from `base`. Chunks the two
+  // snapshots share structurally are skipped by pointer comparison.
+  Result<sim::StateDelta> DeltaBetween(SnapshotId base, SnapshotId next) const;
+  // Content hash of a stored snapshot (HashState of its materialization).
+  Result<uint64_t> ContentHash(SnapshotId id) const;
+
   size_t size() const { return snapshots_.size(); }
   uint64_t shape_digest() const { return shape_; }
 
-  // Total stored architectural bytes (for capacity accounting).
-  size_t TotalBytes() const;
+  // Total stored architectural bytes as the flat representation would
+  // occupy (logical capacity accounting; O(1) running counter).
+  size_t TotalBytes() const { return total_bytes_; }
+  // Bytes actually resident after structural sharing (walks the store).
+  size_t ResidentBytes() const;
+
+  const Stats& stats() const { return stats_; }
 
  private:
+  struct Stored {
+    mutable Snapshot snap;  // snap.state doubles as materialization cache
+    mutable bool materialized = false;
+    uint32_t num_flops = 0;
+    std::vector<uint32_t> mem_depths;
+    std::vector<ChunkPtr> chunks;  // flop chunks, then each memory's chunks
+    uint64_t content_hash = 0;
+    size_t logical_words = 0;
+  };
+
+  ChunkPtr Intern(std::vector<uint64_t> words);
+  Stored MakeStored(SnapshotId id, const sim::HardwareState& state,
+                    std::string label);
+  // Applies `delta` to a copy of `base`'s chunk vector; validates
+  // geometry and base_hash. On success fills `out`.
+  Status ApplyDelta(const Stored& base, const sim::StateDelta& delta,
+                    SnapshotId id, std::string label, Stored* out);
+  void Materialize(const Stored& s) const;
+
   uint64_t shape_;
   SnapshotId next_id_ = 1;
-  std::map<SnapshotId, Snapshot> snapshots_;
+  std::unordered_map<SnapshotId, Stored> snapshots_;
+  // Content-hash interning: hash -> live chunks with that hash (weak, so
+  // dropping the last snapshot using a chunk frees it).
+  std::unordered_map<uint64_t,
+                     std::vector<std::weak_ptr<const std::vector<uint64_t>>>>
+      intern_;
+  size_t total_bytes_ = 0;
+  Stats stats_;
 };
 
 }  // namespace hardsnap::snapshot

@@ -28,7 +28,7 @@ std::string Report::Summary() const {
   std::snprintf(buf, sizeof buf,
                 "paths=%llu (exited %llu) forks=%llu instr=%llu bugs=%zu "
                 "ctx-switches=%llu reboots=%llu replayed=%llu irqs=%llu "
-                "hw-time=%s replay-overhead=%s",
+                "hw-time=%s replay-overhead=%s snap-bytes=%llu dedup=%.2f",
                 static_cast<unsigned long long>(paths_completed),
                 static_cast<unsigned long long>(paths_exited),
                 static_cast<unsigned long long>(forks),
@@ -38,7 +38,9 @@ std::string Report::Summary() const {
                 static_cast<unsigned long long>(replayed_instructions),
                 static_cast<unsigned long long>(interrupts_served),
                 analysis_hw_time.ToString().c_str(),
-                replay_overhead.ToString().c_str());
+                replay_overhead.ToString().c_str(),
+                static_cast<unsigned long long>(snapshot_bytes_copied),
+                snapshot_dedup_ratio);
   return buf;
 }
 
@@ -84,6 +86,13 @@ std::string Report::ToJson() const {
   num("solver_queries", solver_queries);
   num("analysis_hw_time_ps", static_cast<uint64_t>(analysis_hw_time.picos()));
   num("covered_pcs", covered_pcs);
+  num("snapshot_bytes_copied", snapshot_bytes_copied);
+  num("snapshot_bytes_shared", snapshot_bytes_shared);
+  {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.4f", snapshot_dedup_ratio);
+    j += std::string("\"snapshot_dedup_ratio\":") + buf + ",";
+  }
   j += "\"bugs\":[";
   for (size_t i = 0; i < bugs.size(); ++i) {
     if (i) j += ",";
@@ -109,6 +118,8 @@ Executor::Executor(bus::HardwareTarget* target, ExecOptions options)
     slots_ = dynamic_cast<bus::SlotSnapshotter*>(target);
     if (slots_) slot_in_use_.assign(slots_->NumSlots(), false);
   }
+  if (options_.use_delta_snapshots)
+    delta_ = dynamic_cast<bus::DeltaSnapshotter*>(target);
   searcher_ = MakeSearcher(options_.search, options_.seed);
   initial_ = std::make_unique<State>();
   initial_->id = next_state_id_++;
@@ -240,34 +251,105 @@ void Executor::FreeSlot(int slot) {
     slot_in_use_[slot] = false;
 }
 
+void Executor::SetLiveBase(snapshot::SnapshotId id) {
+  if (retained_base_ != snapshot::kNoSnapshot && retained_base_ != id) {
+    (void)store_.Drop(retained_base_);
+    retained_base_ = snapshot::kNoSnapshot;
+  }
+  live_base_ = id;
+}
+
 Status Executor::UpdateState(State& s) {
   // Fast path: device-resident SRAM slot (paper's on-fabric snapshots).
+  // The scan into SRAM is non-destructive, so the delta base stays valid.
   if (slots_) {
     if (s.hw_slot < 0) s.hw_slot = AllocSlot();
     if (s.hw_slot >= 0)
       return slots_->SaveLiveToSlot(static_cast<unsigned>(s.hw_slot));
+  }
+  // Delta path: ship only the chunks dirtied since the sync point and
+  // apply them to the base snapshot in the store (unchanged chunks are
+  // shared structurally).
+  if (delta_ && live_base_ != snapshot::kNoSnapshot) {
+    auto d = delta_->SaveStateDelta();
+    if (!d.ok()) return d.status();
+    if (s.hw_snapshot == snapshot::kNoSnapshot) {
+      auto id = store_.PutDelta(live_base_, d.value(),
+                                "state-" + std::to_string(s.id));
+      if (id.ok()) {
+        s.hw_snapshot = id.value();
+        SetLiveBase(id.value());
+        return Status::Ok();
+      }
+    } else {
+      Status st = store_.UpdateDelta(s.hw_snapshot, live_base_, d.value());
+      if (st.ok()) {
+        SetLiveBase(s.hw_snapshot);
+        return Status::Ok();
+      }
+    }
+    // Base/delta mismatch (shouldn't happen when the invariant holds):
+    // fall through to a full transfer, which re-establishes coherence.
   }
   auto live = target_->SaveState();
   if (!live.ok()) return live.status();
   if (s.hw_snapshot == snapshot::kNoSnapshot) {
     s.hw_snapshot = store_.Put(std::move(live).value(),
                                "state-" + std::to_string(s.id));
+    SetLiveBase(s.hw_snapshot);
     return Status::Ok();
   }
-  return store_.Update(s.hw_snapshot, std::move(live).value());
+  HS_RETURN_IF_ERROR(store_.Update(s.hw_snapshot, std::move(live).value()));
+  SetLiveBase(s.hw_snapshot);
+  return Status::Ok();
 }
 
 Status Executor::RestoreState(State& s, Report* report) {
-  if (s.hw_slot >= 0)
+  if (s.hw_slot >= 0) {
+    // On-fabric load: the live state moves without crossing the host
+    // link, so the host-side delta base is gone.
+    SetLiveBase(snapshot::kNoSnapshot);
     return slots_->RestoreLiveFromSlot(static_cast<unsigned>(s.hw_slot));
+  }
   if (s.hw_snapshot == snapshot::kNoSnapshot) {
     // No snapshot yet: the state starts from power-on hardware.
     ++report->reboots;
+    SetLiveBase(snapshot::kNoSnapshot);
     return target_->ResetHardware();
+  }
+  // Delta path: restoring a sibling only writes the chunks by which the
+  // two snapshots differ.
+  if (delta_ && live_base_ != snapshot::kNoSnapshot &&
+      live_base_ != s.hw_snapshot) {
+    auto d = store_.DeltaBetween(live_base_, s.hw_snapshot);
+    if (d.ok()) {
+      Status st = delta_->RestoreStateDelta(d.value());
+      if (st.ok()) {
+        SetLiveBase(s.hw_snapshot);
+        return Status::Ok();
+      }
+    }
+    // fall through to a full restore
+  } else if (delta_ && live_base_ == s.hw_snapshot) {
+    // Restoring the sync point itself: an empty delta reverts whatever
+    // the hardware dirtied since (O(dirty) on the simulator target).
+    auto snap_hash = store_.ContentHash(s.hw_snapshot);
+    if (snap_hash.ok()) {
+      auto base = store_.Get(s.hw_snapshot);
+      if (base.ok()) {
+        sim::StateDelta empty = sim::EmptyDeltaFor(base.value()->state);
+        empty.base_hash = snap_hash.value();
+        Status st = delta_->RestoreStateDelta(empty);
+        if (st.ok()) return Status::Ok();
+      }
+    }
+    // fall through to a full restore
   }
   auto snap = store_.Get(s.hw_snapshot);
   if (!snap.ok()) return snap.status();
-  return target_->RestoreState(snap.value()->state);
+  HS_RETURN_IF_ERROR(target_->RestoreState(snap.value()->state));
+  SetLiveBase(s.hw_snapshot);
+  return Status::Ok();
 }
 
 Status Executor::CaptureForFork(State* forked) {
@@ -276,10 +358,23 @@ Status Executor::CaptureForFork(State* forked) {
     if (forked->hw_slot >= 0)
       return slots_->SaveLiveToSlot(static_cast<unsigned>(forked->hw_slot));
   }
+  if (delta_ && live_base_ != snapshot::kNoSnapshot) {
+    auto d = delta_->SaveStateDelta();
+    if (!d.ok()) return d.status();
+    auto id = store_.PutDelta(live_base_, d.value(),
+                              "state-" + std::to_string(forked->id));
+    if (id.ok()) {
+      forked->hw_snapshot = id.value();
+      SetLiveBase(id.value());
+      return Status::Ok();
+    }
+    // fall through to a full capture
+  }
   auto live = target_->SaveState();
   if (!live.ok()) return live.status();
   forked->hw_snapshot = store_.Put(std::move(live).value(),
                                    "state-" + std::to_string(forked->id));
+  SetLiveBase(forked->hw_snapshot);
   return Status::Ok();
 }
 
@@ -329,7 +424,17 @@ State* Executor::AddState(std::unique_ptr<State> state) {
 void Executor::RemoveState(State* state, Report* report) {
   searcher_->Remove(state);
   if (state->hw_snapshot != snapshot::kNoSnapshot) {
-    (void)store_.Drop(state->hw_snapshot);
+    if (state->hw_snapshot == live_base_) {
+      // The live base's path is done, but its chunks still describe the
+      // target's sync point — retain the snapshot so the next restore can
+      // ship a sibling delta instead of the full state.
+      if (retained_base_ != snapshot::kNoSnapshot &&
+          retained_base_ != state->hw_snapshot)
+        (void)store_.Drop(retained_base_);
+      retained_base_ = state->hw_snapshot;
+    } else {
+      (void)store_.Drop(state->hw_snapshot);
+    }
     state->hw_snapshot = snapshot::kNoSnapshot;
   }
   FreeSlot(state->hw_slot);
@@ -875,6 +980,14 @@ Result<Report> Executor::Run() {
   report.replay_overhead = replay_clock_.now();
   report.solver_queries += solver_.stats().queries;
   report.covered_pcs = covered_pcs_.size();
+  report.snapshot_bytes_copied = target_->stats().snapshot_bytes_copied;
+  const auto& ss = store_.stats();
+  report.snapshot_bytes_shared = ss.bytes_shared;
+  if (ss.bytes_copied + ss.bytes_shared > 0) {
+    report.snapshot_dedup_ratio =
+        static_cast<double>(ss.bytes_shared) /
+        static_cast<double>(ss.bytes_copied + ss.bytes_shared);
+  }
   return report;
 }
 

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "bus/delta_support.h"
 #include "bus/slot_support.h"
 #include "bus/target.h"
 #include "common/status.h"
@@ -95,6 +96,15 @@ struct ExecOptions {
   // run out or the target has none.
   bool use_device_slots = true;
 
+  // Route host-side snapshot traffic through the target's incremental
+  // interface (bus::DeltaSnapshotter) when it has one: UpdateState ships
+  // only the chunks dirtied since the last sync point, RestoreState of a
+  // sibling ships only the chunks by which the two snapshots differ, and
+  // the store shares unchanged chunks structurally. Falls back to full
+  // transfers whenever no usable base exists (first capture, after a
+  // reboot or an on-device slot restore).
+  bool use_delta_snapshots = true;
+
   // Modeled cost of a full device reboot (naive-consistent mode).
   Duration reboot_cost = Duration::Millis(250);
   // Modeled per-instruction cost of re-executing a prefix after a reboot.
@@ -128,6 +138,10 @@ struct Report {
   uint64_t concretizations = 0;
   uint64_t solver_queries = 0;
   uint64_t covered_pcs = 0;  // unique instruction addresses executed
+  // Snapshot traffic accounting (experiment: delta vs full transfers).
+  uint64_t snapshot_bytes_copied = 0;  // bytes that crossed the host link
+  uint64_t snapshot_bytes_shared = 0;  // store chunk bytes satisfied by dedup
+  double snapshot_dedup_ratio = 0.0;   // shared / (copied+shared) in the store
   Duration analysis_hw_time;   // target virtual time at end
   Duration replay_overhead;    // extra virtual time charged for replays
   std::string console;         // concatenated console output of all paths
@@ -209,6 +223,21 @@ class Executor {
   bus::HardwareTarget* target_;
   bus::SlotSnapshotter* slots_ = nullptr;  // non-null if the target has
                                            // device-resident slots
+  bus::DeltaSnapshotter* delta_ = nullptr;  // non-null if the target does
+                                            // incremental snapshots
+  // Snapshot whose stored content equals the target's last sync point —
+  // the base every delta is expressed against. kNoSnapshot whenever the
+  // live state moved without the host seeing it (reboot, slot restore);
+  // the next operation then does a full transfer.
+  snapshot::SnapshotId live_base_ = snapshot::kNoSnapshot;
+  // When the live base's state is removed (its path completed), its
+  // snapshot is kept alive here so the next sibling restore can still be
+  // expressed as a delta — otherwise every BFS leaf wave would pay a full
+  // restore. Dropped as soon as the live base moves elsewhere; the chunks
+  // are refcounted, so retention shares rather than copies.
+  snapshot::SnapshotId retained_base_ = snapshot::kNoSnapshot;
+  // Reassign live_base_, releasing any retained base it leaves behind.
+  void SetLiveBase(snapshot::SnapshotId id);
   std::vector<bool> slot_in_use_;
   ExecOptions options_;
   solver::BvContext ctx_;
