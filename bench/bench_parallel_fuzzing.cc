@@ -1,0 +1,123 @@
+// E10 (extension) — parallel campaign scaling: 1..N workers sharding one
+// snapshot-reset fuzzing campaign.
+//
+// Each worker owns a full simulated device (the deployment this models
+// is N boards / N simulator processes), so the modeled campaign time is
+// the MAX over worker device clocks, while a serial campaign pays the
+// SUM. With an even shard the modeled speedup approaches N; the table
+// verifies it alongside the result-equivalence claim: the N-worker
+// campaign's global coverage and de-duplicated crash set match a
+// single-worker campaign of the same total budget, and every finding
+// replays single-threaded from its derived worker seed.
+//
+// Host wall-clock is reported but machine-dependent (this container may
+// have a single core); the modeled device time is the paper-style
+// metric, consistent with E1–E9.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_json.h"
+#include "campaign/campaign.h"
+#include "firmware/corpus.h"
+#include "periph/periph.h"
+#include "rtl/elaborate.h"
+#include "vm/assembler.h"
+
+using namespace hardsnap;
+
+namespace {
+
+rtl::Design& Soc() {
+  static rtl::Design* d = [] {
+    auto r = rtl::CompileVerilog(periph::BuildSoc(periph::DefaultCorpus()),
+                                 "soc");
+    HS_CHECK_MSG(r.ok(), r.status().ToString());
+    return new rtl::Design(std::move(r).value());
+  }();
+  return *d;
+}
+
+vm::FirmwareImage ParserImage() {
+  auto img = vm::Assemble(firmware::VulnerableParserFirmware());
+  HS_CHECK(img.ok());
+  return img.value();
+}
+
+campaign::FuzzCampaignOptions Options(unsigned workers) {
+  campaign::FuzzCampaignOptions opts;
+  opts.workers = workers;
+  opts.total_execs = 800;
+  opts.seed = 42;
+  opts.fuzz.input_size = 2;
+  opts.fuzz.reset = fuzz::ResetStrategy::kSnapshotReset;
+  return opts;
+}
+
+void PrintTable() {
+  std::printf(
+      "E10: parallel campaign scaling, %llu execs of the vulnerable "
+      "parser (snapshot reset, simulator targets)\n"
+      "%-8s %16s %16s %10s %8s %8s %8s\n",
+      800ull, "workers", "modeled time", "modeled e/s", "speedup", "edges",
+      "crashes", "wall s");
+
+  double base_eps = 0.0;
+  for (unsigned workers : {1u, 2u, 4u, 8u}) {
+    campaign::FuzzCampaign c(Soc(), ParserImage(), Options(workers));
+    auto report = c.Run();
+    HS_CHECK_MSG(report.ok(), report.status().ToString());
+    const auto& r = report.value();
+    if (workers == 1) base_eps = r.modeled_execs_per_sec;
+    const double speedup =
+        base_eps > 0 ? r.modeled_execs_per_sec / base_eps : 0.0;
+    std::printf("%-8u %16s %16.1f %9.2fx %8llu %8llu %8.2f\n", workers,
+                r.modeled_campaign_time.ToString().c_str(),
+                r.modeled_execs_per_sec, speedup,
+                static_cast<unsigned long long>(r.edges_covered),
+                static_cast<unsigned long long>(r.unique_crashes),
+                r.wall_seconds);
+    const std::string p = "workers_" + std::to_string(workers);
+    benchjson::Add(p + ".modeled_time_ps",
+                   static_cast<uint64_t>(r.modeled_campaign_time.picos()));
+    benchjson::Add(p + ".modeled_execs_per_sec", r.modeled_execs_per_sec);
+    benchjson::Add(p + ".modeled_speedup_vs_1", speedup);
+    benchjson::Add(p + ".edges", r.edges_covered);
+    benchjson::Add(p + ".unique_crashes", r.unique_crashes);
+    benchjson::Add(p + ".wall_seconds", r.wall_seconds);
+
+    // Result equivalence: every finding must replay single-threaded.
+    unsigned replayed = 0;
+    for (const auto& finding : r.findings) {
+      auto replay = campaign::ReplayFinding(Soc(), ParserImage(),
+                                            Options(workers), finding);
+      HS_CHECK_MSG(replay.ok(), replay.status().ToString());
+      HS_CHECK(replay.value().pc == finding.crash.pc);
+      ++replayed;
+    }
+    benchjson::Add(p + ".findings_replayed", uint64_t{replayed});
+  }
+  std::printf("\n");
+}
+
+void BM_CampaignWorkers(benchmark::State& state) {
+  const auto workers = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    campaign::FuzzCampaign c(Soc(), ParserImage(), Options(workers));
+    auto report = c.Run();
+    HS_CHECK(report.ok());
+    benchmark::DoNotOptimize(report.value().edges_covered);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 800);
+}
+BENCHMARK(BM_CampaignWorkers)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchjson::Emit("parallel_fuzzing");
+  return 0;
+}

@@ -66,6 +66,7 @@ class RecordingTarget : public HardwareTarget {
   Status RestoreState(const sim::HardwareState& state) override {
     return inner_->RestoreState(state);
   }
+  Result<uint64_t> StateHash() override { return inner_->StateHash(); }
   const VirtualClock& clock() const override { return inner_->clock(); }
   const TargetStats& stats() const override { return inner_->stats(); }
 

@@ -107,6 +107,12 @@ Status SimulatorTarget::RestoreState(const sim::HardwareState& state) {
   return Status::Ok();
 }
 
+Result<uint64_t> SimulatorTarget::StateHash() {
+  // Device-local integrity probe: the simulator process hashes its own
+  // architectural state. No checkpoint happens, so no CRIU cost.
+  return sim::HashState(sim_->DumpState());
+}
+
 Result<sim::StateDelta> SimulatorTarget::SaveStateDelta() {
   sim::StateDelta delta = sim_->CaptureDelta();
   ++stats_.snapshots_saved;

@@ -57,6 +57,7 @@ class SimulatorTarget : public HardwareTarget, public DeltaSnapshotter {
 
   Result<sim::HardwareState> SaveState() override;
   Status RestoreState(const sim::HardwareState& state) override;
+  Result<uint64_t> StateHash() override;
 
   // DeltaSnapshotter: incremental CRIU (soft-dirty pre-dump). The
   // simulator's own chunk tracker supplies the dirty set, so capture cost

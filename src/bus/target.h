@@ -74,6 +74,20 @@ class HardwareTarget {
   virtual Result<sim::HardwareState> SaveState() = 0;
   virtual Status RestoreState(const sim::HardwareState& state) = 0;
 
+  // Content hash (sim::HashState) of the live architectural state — the
+  // integrity probe the orchestrator uses to verify that a migration
+  // destination still holds the delta base it is about to receive a delta
+  // against. Modeled as a device-local computation (the snapshot
+  // controller hashing its own bits): nothing crosses the host link, so
+  // concrete targets charge no transfer cost and record no snapshot
+  // stats. This default derives the hash from SaveState() and therefore
+  // DOES pay that mechanism's cost; both built-in targets override it.
+  virtual Result<uint64_t> StateHash() {
+    auto st = SaveState();
+    if (!st.ok()) return st.status();
+    return sim::HashState(st.value());
+  }
+
   // --- accounting ----------------------------------------------------------
   virtual const VirtualClock& clock() const = 0;
   virtual const TargetStats& stats() const = 0;

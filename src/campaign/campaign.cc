@@ -1,0 +1,178 @@
+#include "campaign/campaign.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace hardsnap::campaign {
+
+Status ValidateFuzzCampaignOptions(const FuzzCampaignOptions& options) {
+  if (options.workers == 0)
+    return InvalidArgument("campaign workers must be >= 1");
+  if (options.batch_execs == 0)
+    return InvalidArgument("campaign batch_execs must be >= 1");
+  return fuzz::ValidateFuzzOptions(options.fuzz);
+}
+
+std::string CampaignReport::Summary() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "campaign: %u workers, %llu execs, %llu edges, %llu unique crashes, "
+      "corpus %llu | modeled %s (serial %s, speedup %.2fx) | wall %.2fs",
+      static_cast<unsigned>(per_worker.size()),
+      static_cast<unsigned long long>(execs),
+      static_cast<unsigned long long>(edges_covered),
+      static_cast<unsigned long long>(unique_crashes),
+      static_cast<unsigned long long>(corpus_size),
+      modeled_campaign_time.ToString().c_str(),
+      modeled_serial_time.ToString().c_str(), modeled_speedup, wall_seconds);
+  return buf;
+}
+
+FuzzCampaign::FuzzCampaign(const rtl::Design& soc, vm::FirmwareImage image,
+                           FuzzCampaignOptions options)
+    : soc_(soc), image_(std::move(image)), options_(std::move(options)) {}
+
+namespace {
+
+// Worker i's share of the campaign budget (even split, remainder to the
+// low-numbered workers).
+uint64_t WorkerQuota(const FuzzCampaignOptions& o, unsigned worker) {
+  const uint64_t base = o.total_execs / o.workers;
+  return base + (worker < o.total_execs % o.workers ? 1 : 0);
+}
+
+Duration ModeledWorkerTime(const fuzz::FuzzStats& stats,
+                           const FuzzCampaignOptions& o) {
+  // Target clock time plus the off-device reboot cost the baseline
+  // strategy charges on its own clock.
+  return stats.hw_time +
+         o.fuzz.reboot_cost * static_cast<int64_t>(stats.reboots);
+}
+
+}  // namespace
+
+Status FuzzCampaign::RunWorker(unsigned worker) {
+  auto target = bus::SimulatorTarget::Create(soc_, options_.simulator_options);
+  if (!target.ok()) return target.status();
+
+  fuzz::FuzzOptions fopts = options_.fuzz;
+  const uint64_t worker_seed = DeriveWorkerSeed(options_.seed, worker);
+  fopts.seed = worker_seed;
+  fuzz::Fuzzer fuzzer(target.value().get(), image_, fopts);
+
+  const uint64_t quota = WorkerQuota(options_, worker);
+  uint64_t done = 0;
+  size_t offer_cursor = 0;   // into the shared offer log
+  size_t offered = 0;        // local corpus entries already shared
+  size_t crashes_seen = 0;
+
+  while (done < quota && !stop_.load(std::memory_order_relaxed)) {
+    if (options_.share_corpus)
+      fuzzer.ImportCorpus(shared_.TakeNewInputs(worker, &offer_cursor));
+
+    const uint64_t batch = std::min(options_.batch_execs, quota - done);
+    auto stats = fuzzer.Run(batch);
+    if (!stats.ok()) return stats.status();
+    done += batch;
+
+    // Sync point: publish coverage, inputs and crashes. Aggregation only
+    // (unless share_corpus) — nothing here changes the fuzzer's future.
+    shared_.MergeEdges(fuzzer.edges());
+    for (; offered < fuzzer.corpus().size(); ++offered)
+      shared_.OfferInput(worker, fuzzer.corpus()[offered]);
+    for (; crashes_seen < fuzzer.crashes().size(); ++crashes_seen) {
+      CampaignFinding finding;
+      finding.crash = fuzzer.crashes()[crashes_seen];
+      finding.worker = worker;
+      finding.worker_seed = worker_seed;
+      finding.execs_at_find = done;
+      const bool fresh = shared_.ReportCrash(std::move(finding));
+      if (fresh && options_.stop_on_first_crash)
+        stop_.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  WorkerResult& res = results_[worker];
+  res.worker = worker;
+  res.worker_seed = worker_seed;
+  res.stats = fuzzer.stats();
+  res.modeled_time = ModeledWorkerTime(fuzzer.stats(), options_);
+  return Status::Ok();
+}
+
+Result<CampaignReport> FuzzCampaign::Run() {
+  HS_RETURN_IF_ERROR(ValidateFuzzCampaignOptions(options_));
+  if (!results_.empty())
+    return FailedPrecondition("FuzzCampaign::Run is one-shot");
+  results_.resize(options_.workers);
+  worker_status_.assign(options_.workers, Status::Ok());
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(options_.workers);
+  for (unsigned w = 0; w < options_.workers; ++w)
+    threads.emplace_back([this, w] { worker_status_[w] = RunWorker(w); });
+  for (auto& t : threads) t.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  for (const Status& s : worker_status_)
+    if (!s.ok()) return s;
+
+  CampaignReport report;
+  report.per_worker = results_;
+  report.findings = shared_.findings();
+  report.edges_covered = shared_.edges_covered();
+  report.unique_crashes = report.findings.size();
+  report.corpus_size = shared_.corpus_size();
+  report.wall_seconds = wall_seconds;
+  for (const WorkerResult& r : results_) {
+    report.execs += r.stats.execs;
+    report.modeled_serial_time += r.modeled_time;
+    report.modeled_campaign_time =
+        std::max(report.modeled_campaign_time, r.modeled_time);
+  }
+  if (report.modeled_campaign_time > Duration()) {
+    report.modeled_speedup = report.modeled_serial_time.seconds() /
+                             report.modeled_campaign_time.seconds();
+    report.modeled_execs_per_sec =
+        static_cast<double>(report.execs) /
+        report.modeled_campaign_time.seconds();
+  }
+  return report;
+}
+
+Result<fuzz::Crash> ReplayFinding(const rtl::Design& soc,
+                                  const vm::FirmwareImage& image,
+                                  const FuzzCampaignOptions& options,
+                                  const CampaignFinding& finding) {
+  if (options.share_corpus)
+    return FailedPrecondition(
+        "seed-level replay needs share_corpus=false (cross-pollinated "
+        "campaigns replay findings at the input level: re-inject "
+        "finding.crash.input at the harness point)");
+  HS_RETURN_IF_ERROR(ValidateFuzzCampaignOptions(options));
+
+  auto target = bus::SimulatorTarget::Create(soc, options.simulator_options);
+  if (!target.ok()) return target.status();
+  fuzz::FuzzOptions fopts = options.fuzz;
+  fopts.seed = finding.worker_seed;
+  fuzz::Fuzzer fuzzer(target.value().get(), image, fopts);
+  // The worker ran in batches, but with no external perturbation the RNG
+  // stream and corpus evolve identically however the execs are sliced.
+  auto stats = fuzzer.Run(finding.execs_at_find);
+  if (!stats.ok()) return stats.status();
+  for (const fuzz::Crash& crash : fuzzer.crashes())
+    if (crash.pc == finding.crash.pc) return crash;
+  return NotFound("replay did not reproduce the crash at pc=" +
+                  std::to_string(finding.crash.pc));
+}
+
+}  // namespace hardsnap::campaign

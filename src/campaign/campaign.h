@@ -1,0 +1,117 @@
+// Parallel fuzzing campaigns: shard one campaign across N worker
+// threads, each driving its own hardware target.
+//
+// The paper evaluates HardSnap's snapshot-reset fuzzing on a single
+// target; a real deployment amortizes the (slow) device by running many
+// in parallel — N FPGA boards, or N simulator processes. This module
+// models that: every worker owns a full vertical slice (SimulatorTarget
+// built from the shared compiled design, concrete CPU, Fuzzer) and only
+// meets the others in the SharedCorpus between batches.
+//
+// Determinism contract (docs/parallel_campaigns.md):
+//   - worker i fuzzes with seed DeriveWorkerSeed(options.seed, i) — a
+//     splitmix-derived stream, statistically independent per worker;
+//   - with share_corpus=false (default) nothing flows back into a
+//     worker, so its executions are a pure function of its seed and
+//     every finding replays single-threaded (ReplayFinding);
+//   - with share_corpus=true workers adopt each other's discoveries as
+//     mutation parents; schedule-dependent, so findings replay at the
+//     input level (crash.input) rather than by seed.
+//
+// Wall-clock speedup depends on host cores; the modeled speedup
+// (modeled_serial_time / modeled_campaign_time) is the paper-style
+// metric: N devices run concurrently, so campaign time is the max over
+// worker device clocks instead of their sum.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bus/sim_target.h"
+#include "campaign/shared_corpus.h"
+#include "common/status.h"
+#include "common/virtual_clock.h"
+#include "fuzz/fuzzer.h"
+#include "rtl/ir.h"
+#include "vm/assembler.h"
+
+namespace hardsnap::campaign {
+
+struct FuzzCampaignOptions {
+  unsigned workers = 1;
+  uint64_t total_execs = 1000;  // across all workers (sharded evenly)
+  uint64_t batch_execs = 64;    // execs between SharedCorpus sync points
+  uint64_t seed = 1;            // campaign seed; workers derive from it
+  bool share_corpus = false;    // cross-pollinate (input-level replay only)
+  bool stop_on_first_crash = false;
+
+  // Per-worker fuzzer template. `fuzz.seed` is ignored — each worker
+  // uses DeriveWorkerSeed(seed, worker).
+  fuzz::FuzzOptions fuzz;
+  bus::SimulatorTargetOptions simulator_options;
+};
+
+Status ValidateFuzzCampaignOptions(const FuzzCampaignOptions& options);
+
+struct WorkerResult {
+  unsigned worker = 0;
+  uint64_t worker_seed = 0;
+  fuzz::FuzzStats stats;
+  // Modeled device time this worker consumed (its target clock plus
+  // reboot costs). N devices run concurrently, so the campaign's modeled
+  // duration is the max of these, not the sum.
+  Duration modeled_time;
+};
+
+struct CampaignReport {
+  uint64_t execs = 0;
+  uint64_t edges_covered = 0;   // global coverage map
+  uint64_t unique_crashes = 0;  // de-duplicated across workers by pc
+  uint64_t corpus_size = 0;     // distinct interesting inputs, all workers
+  std::vector<CampaignFinding> findings;
+  std::vector<WorkerResult> per_worker;
+  Duration modeled_campaign_time;  // max over worker modeled times
+  Duration modeled_serial_time;    // sum over worker modeled times
+  double modeled_speedup = 0.0;    // serial / campaign
+  double wall_seconds = 0.0;       // host wall-clock of Run()
+  double modeled_execs_per_sec = 0.0;
+
+  std::string Summary() const;
+};
+
+class FuzzCampaign {
+ public:
+  // `soc` must outlive the campaign. It is shared by all workers —
+  // SimulatorTarget::Create copies the design, so concurrent workers
+  // only ever read it.
+  FuzzCampaign(const rtl::Design& soc, vm::FirmwareImage image,
+               FuzzCampaignOptions options);
+
+  // Runs the whole campaign (spawns workers, joins them). One-shot.
+  Result<CampaignReport> Run();
+
+ private:
+  Status RunWorker(unsigned worker);
+
+  const rtl::Design& soc_;
+  vm::FirmwareImage image_;
+  FuzzCampaignOptions options_;
+  SharedCorpus shared_;
+  std::atomic<bool> stop_{false};
+  std::vector<WorkerResult> results_;   // slot per worker, disjoint writes
+  std::vector<Status> worker_status_;   // slot per worker
+};
+
+// Reproduce a campaign finding WITHOUT the campaign: run a
+// single-threaded Fuzzer with the finding's derived worker seed for
+// execs_at_find executions and return the matching crash. Only valid
+// for campaigns with share_corpus=false (the seed-replay guarantee);
+// returns FailedPrecondition otherwise.
+Result<fuzz::Crash> ReplayFinding(const rtl::Design& soc,
+                                  const vm::FirmwareImage& image,
+                                  const FuzzCampaignOptions& options,
+                                  const CampaignFinding& finding);
+
+}  // namespace hardsnap::campaign

@@ -1,0 +1,53 @@
+#include "campaign/shared_corpus.h"
+
+namespace hardsnap::campaign {
+
+size_t SharedCorpus::MergeEdges(const std::set<uint64_t>& edges) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t fresh = 0;
+  for (uint64_t e : edges)
+    if (edges_.insert(e).second) ++fresh;
+  return fresh;
+}
+
+void SharedCorpus::OfferInput(unsigned worker,
+                              const std::vector<uint8_t>& input) {
+  if (input.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!seen_inputs_.insert(input).second) return;
+  offers_.push_back({worker, input});
+}
+
+bool SharedCorpus::ReportCrash(CampaignFinding finding) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!crash_pcs_.insert(finding.crash.pc).second) return false;
+  findings_.push_back(std::move(finding));
+  return true;
+}
+
+std::vector<std::vector<uint8_t>> SharedCorpus::TakeNewInputs(
+    unsigned worker, size_t* cursor) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::vector<uint8_t>> fresh;
+  for (; *cursor < offers_.size(); ++*cursor)
+    if (offers_[*cursor].worker != worker)
+      fresh.push_back(offers_[*cursor].input);
+  return fresh;
+}
+
+size_t SharedCorpus::edges_covered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return edges_.size();
+}
+
+size_t SharedCorpus::corpus_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seen_inputs_.size();
+}
+
+std::vector<CampaignFinding> SharedCorpus::findings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return findings_;
+}
+
+}  // namespace hardsnap::campaign

@@ -1,0 +1,82 @@
+// Thread-safe shared state for parallel fuzzing campaigns.
+//
+// Each campaign worker runs its own Fuzzer on its own hardware target;
+// the SharedCorpus is the single point where their results meet:
+//
+//   - a global edge-coverage map (union of every worker's edges),
+//   - crash de-duplication by faulting pc ACROSS workers (two workers
+//     hitting the same bug yield one finding),
+//   - an append-only log of interesting inputs that workers may adopt
+//     as mutation parents when the campaign cross-pollinates.
+//
+// Everything here is aggregation-only by default: merging edges or
+// reporting a crash never feeds anything back into a worker, so a
+// worker's execution sequence stays a pure function of its derived seed
+// and every finding replays single-threaded (see
+// docs/parallel_campaigns.md for the determinism contract). Only
+// TakeNewInputs — used when FuzzCampaignOptions::share_corpus is on —
+// perturbs workers, and doing so deliberately trades seed-level replay
+// for input-level replay.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "fuzz/fuzzer.h"
+
+namespace hardsnap::campaign {
+
+// A crash with enough provenance to reproduce it without the campaign:
+// re-run a single-threaded Fuzzer with `worker_seed` for `execs_at_find`
+// executions (ReplayFinding does exactly that).
+struct CampaignFinding {
+  fuzz::Crash crash;
+  unsigned worker = 0;
+  uint64_t worker_seed = 0;
+  // Worker-local executions completed at the end of the batch in which
+  // the crash surfaced (batch granularity: the crash happened at or
+  // before this count).
+  uint64_t execs_at_find = 0;
+};
+
+class SharedCorpus {
+ public:
+  // Union `edges` into the global coverage map; returns how many were
+  // globally new.
+  size_t MergeEdges(const std::set<uint64_t>& edges);
+
+  // Offer an input that earned its keep locally (new coverage). Deduped
+  // by content; the offering worker never gets its own inputs back from
+  // TakeNewInputs.
+  void OfferInput(unsigned worker, const std::vector<uint8_t>& input);
+
+  // Record a crash; returns true iff its faulting pc was globally new
+  // (the finding was appended).
+  bool ReportCrash(CampaignFinding finding);
+
+  // Inputs offered by OTHER workers since this worker's last call.
+  // `cursor` is the caller-owned position into the offer log (start at 0).
+  std::vector<std::vector<uint8_t>> TakeNewInputs(unsigned worker,
+                                                  size_t* cursor) const;
+
+  size_t edges_covered() const;
+  size_t corpus_size() const;
+  std::vector<CampaignFinding> findings() const;
+
+ private:
+  struct Offer {
+    unsigned worker;
+    std::vector<uint8_t> input;
+  };
+
+  mutable std::mutex mu_;
+  std::set<uint64_t> edges_;
+  std::set<std::vector<uint8_t>> seen_inputs_;
+  std::vector<Offer> offers_;
+  std::set<uint32_t> crash_pcs_;
+  std::vector<CampaignFinding> findings_;
+};
+
+}  // namespace hardsnap::campaign

@@ -1,0 +1,87 @@
+#include "campaign/symex_campaign.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "common/rng.h"
+#include "symex/searcher.h"
+
+namespace hardsnap::campaign {
+
+std::string SymexCampaignReport::Summary() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf,
+      "symex portfolio: %u workers, %llu paths, %llu bugs | modeled %s "
+      "(serial %s) | wall %.2fs",
+      static_cast<unsigned>(per_worker.size()),
+      static_cast<unsigned long long>(paths_completed),
+      static_cast<unsigned long long>(bugs.size()),
+      modeled_campaign_time.ToString().c_str(),
+      modeled_serial_time.ToString().c_str(), wall_seconds);
+  return buf;
+}
+
+Result<SymexCampaignReport> RunSymexCampaign(
+    const core::Session& base, const SymexCampaignOptions& opts) {
+  if (opts.workers == 0)
+    return InvalidArgument("symex campaign workers must be >= 1");
+
+  static constexpr symex::SearchStrategy kRotation[] = {
+      symex::SearchStrategy::kBfs, symex::SearchStrategy::kDfs,
+      symex::SearchStrategy::kRandom, symex::SearchStrategy::kCoverage};
+
+  // Clone serially: compilation and solver setup are not thread-safe
+  // against each other by contract, and this keeps worker threads pure
+  // compute.
+  std::vector<std::unique_ptr<core::Session>> clones;
+  clones.reserve(opts.workers);
+  for (unsigned w = 0; w < opts.workers; ++w) {
+    symex::ExecOptions exec = base.exec_options();
+    exec.seed = DeriveWorkerSeed(opts.seed, w);
+    if (opts.vary_search)
+      exec.search = kRotation[w % (sizeof kRotation / sizeof kRotation[0])];
+    auto clone = base.Clone(exec);
+    if (!clone.ok()) return clone.status();
+    clones.push_back(std::move(clone).value());
+  }
+
+  std::vector<Result<symex::Report>> reports;
+  reports.reserve(opts.workers);
+  for (unsigned w = 0; w < opts.workers; ++w)
+    reports.emplace_back(Internal("worker did not run"));
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(opts.workers);
+  for (unsigned w = 0; w < opts.workers; ++w)
+    threads.emplace_back([&, w] { reports[w] = clones[w]->Run(); });
+  for (auto& t : threads) t.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  SymexCampaignReport out;
+  out.wall_seconds = wall_seconds;
+  std::set<std::pair<uint32_t, std::string>> seen;
+  for (unsigned w = 0; w < opts.workers; ++w) {
+    if (!reports[w].ok()) return reports[w].status();
+    const symex::Report& r = reports[w].value();
+    out.paths_completed += r.paths_completed;
+    out.instructions += r.instructions;
+    out.solver_queries += r.solver_queries;
+    out.modeled_serial_time += r.analysis_hw_time;
+    out.modeled_campaign_time =
+        std::max(out.modeled_campaign_time, r.analysis_hw_time);
+    for (const symex::Bug& bug : r.bugs)
+      if (seen.insert({bug.pc, bug.kind}).second) out.bugs.push_back(bug);
+    out.per_worker.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace hardsnap::campaign

@@ -1,0 +1,53 @@
+// Portfolio symbolic execution: N cloned sessions explore the same
+// firmware concurrently with different search strategies and seeds.
+//
+// Symbolic execution parallelizes poorly by state-splitting (the solver
+// context is shared), but well as a PORTFOLIO: each worker is a full
+// Session::Clone — its own compiled SoC, hardware target, solver and
+// executor — so workers share nothing mutable and the only coordination
+// is merging reports at the end. Workers differ in seed
+// (DeriveWorkerSeed) and, when vary_search is on, in search strategy
+// (BFS / DFS / random / coverage round-robin), so the portfolio covers
+// the state space from several directions at once.
+//
+// Bugs are de-duplicated across workers by (pc, kind); each surviving
+// bug carries its test case, which reproduces single-threaded on any
+// session with the same configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/virtual_clock.h"
+#include "core/session.h"
+
+namespace hardsnap::campaign {
+
+struct SymexCampaignOptions {
+  unsigned workers = 1;
+  uint64_t seed = 1;        // worker i runs with DeriveWorkerSeed(seed, i)
+  bool vary_search = true;  // round-robin search strategies across workers
+};
+
+struct SymexCampaignReport {
+  std::vector<symex::Bug> bugs;  // de-duplicated across workers (pc, kind)
+  uint64_t paths_completed = 0;
+  uint64_t instructions = 0;
+  uint64_t solver_queries = 0;
+  std::vector<symex::Report> per_worker;
+  Duration modeled_campaign_time;  // max over worker analysis_hw_time
+  Duration modeled_serial_time;    // sum over worker analysis_hw_time
+  double wall_seconds = 0.0;
+
+  std::string Summary() const;
+};
+
+// Clones `base` once per worker (serially, on the calling thread), then
+// runs the clones' executors on worker threads and merges the reports.
+// `base` itself is never run and stays reusable.
+Result<SymexCampaignReport> RunSymexCampaign(const core::Session& base,
+                                             const SymexCampaignOptions& opts);
+
+}  // namespace hardsnap::campaign

@@ -1,9 +1,11 @@
 // Minimal leveled logging. Quiet by default (benchmarks), verbose on demand
-// (examples, debugging). Not thread-safe by design: HardSnap's pipeline is
-// single-threaded per session, matching the determinism requirement.
+// (examples, debugging). Emission is serialized by a process-wide mutex so
+// parallel campaign workers never interleave partial lines; the threshold
+// is configured once at startup (before threads spawn) and only read after.
 #pragma once
 
 #include <cstdio>
+#include <mutex>
 #include <string>
 
 namespace hardsnap {
@@ -27,7 +29,14 @@ class Logger {
       case LogLevel::kError: tag = "E"; break;
       case LogLevel::kOff: return;
     }
+    std::lock_guard<std::mutex> lock(Mutex());
     std::fprintf(stderr, "[hardsnap %s] %s\n", tag, msg.c_str());
+  }
+
+ private:
+  static std::mutex& Mutex() {
+    static std::mutex mu;
+    return mu;
   }
 };
 

@@ -51,20 +51,25 @@ Status Session::LoadFirmwareAsm(const std::string& assembly) {
 
 Status Session::LoadFirmware(const vm::FirmwareImage& image) {
   image_ = image;
+  firmware_loaded_ = true;
   return executor_->LoadFirmware(image_);
 }
 
 solver::TermId Session::MakeSymbolicRegister(unsigned reg,
                                              const std::string& name) {
+  sym_regs_.push_back({reg, name});
   return executor_->MakeSymbolicRegister(reg, name);
 }
 
 Status Session::MakeSymbolicRegion(uint32_t addr, unsigned bytes,
                                    const std::string& name) {
-  return executor_->MakeSymbolicRegion(addr, bytes, name);
+  HS_RETURN_IF_ERROR(executor_->MakeSymbolicRegion(addr, bytes, name));
+  sym_regions_.push_back({addr, bytes, name});
+  return Status::Ok();
 }
 
 void Session::AddAssertion(symex::Executor::AssertionFn fn) {
+  raw_assertions_.push_back(fn);
   executor_->AddAssertion(std::move(fn));
 }
 
@@ -76,6 +81,7 @@ Status Session::AddHardwareInvariant(const std::string& property) {
         "trade-off); create the session with Target::kSimulator or kBoth");
   auto compiled = SignalProperty::Compile(property, *soc_);
   if (!compiled.ok()) return compiled.status();
+  invariant_sources_.push_back(property);
   sim::Simulator* simulator = sim_target_->simulator();
   executor_->AddAssertion(
       [prop = std::move(compiled).value(), simulator,
@@ -91,6 +97,23 @@ Status Session::AddHardwareInvariant(const std::string& property) {
 }
 
 Result<symex::Report> Session::Run() { return executor_->Run(); }
+
+Result<std::unique_ptr<Session>> Session::Clone(
+    std::optional<symex::ExecOptions> exec_override) const {
+  SessionConfig cfg = config_;
+  if (exec_override) cfg.exec = *exec_override;
+  auto clone = Create(cfg);
+  if (!clone.ok()) return clone.status();
+  Session& s = *clone.value();
+  if (firmware_loaded_) HS_RETURN_IF_ERROR(s.LoadFirmware(image_));
+  for (const auto& r : sym_regs_) s.MakeSymbolicRegister(r.reg, r.name);
+  for (const auto& r : sym_regions_)
+    HS_RETURN_IF_ERROR(s.MakeSymbolicRegion(r.addr, r.bytes, r.name));
+  for (const auto& src : invariant_sources_)
+    HS_RETURN_IF_ERROR(s.AddHardwareInvariant(src));
+  for (const auto& fn : raw_assertions_) s.AddAssertion(fn);
+  return clone;
+}
 
 Status Session::MoveToTarget(bus::TargetKind kind) {
   auto idx = orchestrator_->IndexOf(kind);

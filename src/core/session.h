@@ -56,13 +56,20 @@ class OrchestratedTarget : public bus::HardwareTarget,
   }
   Status Run(uint64_t cycles) override { return orch_->active().Run(cycles); }
   uint32_t IrqVector() override { return orch_->active().IrqVector(); }
-  Status ResetHardware() override { return orch_->active().ResetHardware(); }
+  Status ResetHardware() override {
+    // The reset moves the live state without a migration: the state the
+    // orchestrator last shipped here is gone, so the delta base must not
+    // be trusted for the next MoveTo.
+    orch_->InvalidateMirror(orch_->active_index());
+    return orch_->active().ResetHardware();
+  }
   Result<sim::HardwareState> SaveState() override {
     return orch_->active().SaveState();
   }
   Status RestoreState(const sim::HardwareState& state) override {
     return orch_->active().RestoreState(state);
   }
+  Result<uint64_t> StateHash() override { return orch_->active().StateHash(); }
   const VirtualClock& clock() const override {
     return orch_->active().clock();
   }
@@ -114,6 +121,17 @@ class Session {
  public:
   static Result<std::unique_ptr<Session>> Create(SessionConfig config);
 
+  // Independent session with the same configuration, firmware, symbolic
+  // declarations and properties — but its own compiled SoC, targets,
+  // solver context and executor, so clones may run on separate threads
+  // (campaign workers). `exec_override` lets each worker vary the search
+  // strategy / seed. Hardware invariants are recompiled from source
+  // against the clone's design; raw AddAssertion callbacks are copied
+  // as-is and therefore must be self-contained (capture no state of the
+  // session they were first added to).
+  Result<std::unique_ptr<Session>> Clone(
+      std::optional<symex::ExecOptions> exec_override = {}) const;
+
   // --- firmware ------------------------------------------------------
   Status LoadFirmwareAsm(const std::string& assembly);
   Status LoadFirmware(const vm::FirmwareImage& image);
@@ -144,6 +162,9 @@ class Session {
 
   // The compiled SoC (for inspection / custom simulators).
   const rtl::Design& soc() const { return *soc_; }
+  // Executor options the session was created with (Clone callers start
+  // from these when overriding seed / search strategy per worker).
+  const symex::ExecOptions& exec_options() const { return config_.exec; }
   HardwareInfo hardware_info() const;
 
   // Full-visibility handle when a simulator target exists (tracing).
@@ -153,7 +174,23 @@ class Session {
  private:
   Session() = default;
 
+  // Declarations recorded so Clone can replay them into a fresh session.
+  struct SymRegDecl {
+    unsigned reg;
+    std::string name;
+  };
+  struct SymRegionDecl {
+    uint32_t addr;
+    unsigned bytes;
+    std::string name;
+  };
+
   SessionConfig config_;
+  bool firmware_loaded_ = false;
+  std::vector<SymRegDecl> sym_regs_;
+  std::vector<SymRegionDecl> sym_regions_;
+  std::vector<std::string> invariant_sources_;
+  std::vector<symex::Executor::AssertionFn> raw_assertions_;
   std::unique_ptr<rtl::Design> soc_;
   std::unique_ptr<bus::SimulatorTarget> sim_target_;
   std::unique_ptr<fpga::FpgaTarget> fpga_target_;

@@ -180,6 +180,15 @@ Status FpgaTarget::RestoreState(const HardwareState& state) {
   return Status::Ok();
 }
 
+Result<uint64_t> FpgaTarget::StateHash() {
+  // Device-local integrity probe: the snapshot controller hashes the
+  // state bits on-fabric (a non-destructive scan loop), so only the
+  // 8-byte digest would cross the link — modeled as free.
+  auto state = scan_->Save();
+  if (!state.ok()) return state.status();
+  return sim::HashState(state.value());
+}
+
 Result<sim::StateDelta> FpgaTarget::SaveStateDelta() {
   // The scan chain has no random access: extracting ANY state costs one
   // full pass at fabric speed (E1's linear-in-bits shape). The saving is

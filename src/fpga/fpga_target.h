@@ -73,6 +73,7 @@ class FpgaTarget : public bus::HardwareTarget,
   // Full host transfer: scan pass + USB3 bulk download/upload.
   Result<sim::HardwareState> SaveState() override;
   Status RestoreState(const sim::HardwareState& state) override;
+  Result<uint64_t> StateHash() override;
 
   // bus::DeltaSnapshotter: the scan pass itself still reads/writes EVERY
   // state bit (a chain has no random access — E1's linear-in-bits latency

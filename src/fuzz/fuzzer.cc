@@ -10,6 +10,16 @@ const char* ResetStrategyName(ResetStrategy s) {
   return "?";
 }
 
+Status ValidateFuzzOptions(const FuzzOptions& options) {
+  if (options.input_size == 0)
+    return InvalidArgument("fuzz input_size must be >= 1");
+  if (options.max_instructions_per_exec == 0)
+    return InvalidArgument("fuzz max_instructions_per_exec must be >= 1");
+  if (options.cycles_per_instruction == 0)
+    return InvalidArgument("fuzz cycles_per_instruction must be >= 1");
+  return Status::Ok();
+}
+
 Fuzzer::Fuzzer(bus::HardwareTarget* target, const vm::FirmwareImage& image,
                FuzzOptions options)
     : target_(target),
@@ -17,11 +27,15 @@ Fuzzer::Fuzzer(bus::HardwareTarget* target, const vm::FirmwareImage& image,
       options_(options),
       rng_(options.seed),
       cpu_(target, options.cycles_per_instruction) {
-  HS_CHECK_MSG(options_.input_size > 0, "fuzzer input_size must be >= 1");
   HS_CHECK(cpu_.LoadFirmware(image_).ok());
   corpus_.push_back(std::vector<uint8_t>(options_.input_size, 0));
   if (options_.use_delta_snapshots)
     delta_ = dynamic_cast<bus::DeltaSnapshotter*>(target);
+}
+
+void Fuzzer::ImportCorpus(const std::vector<std::vector<uint8_t>>& inputs) {
+  for (const auto& input : inputs)
+    if (!input.empty()) corpus_.push_back(input);
 }
 
 Status Fuzzer::PrepareSnapshot() {
@@ -111,6 +125,7 @@ std::vector<uint8_t> Fuzzer::Mutate(const std::vector<uint8_t>& parent) {
 }
 
 Result<FuzzStats> Fuzzer::Run(uint64_t execs) {
+  HS_RETURN_IF_ERROR(ValidateFuzzOptions(options_));
   if (!snapshot_ready_) HS_RETURN_IF_ERROR(PrepareSnapshot());
 
   for (uint64_t e = 0; e < execs; ++e) {

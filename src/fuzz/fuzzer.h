@@ -56,6 +56,12 @@ struct FuzzOptions {
   bool use_delta_snapshots = true;
 };
 
+// Rejects unusable option combinations (an input_size of 0 would make
+// every mutation an empty-range draw — previously undefined behaviour in
+// Rng::Below). Checked by Fuzzer::Run and by campaign front-ends, so a
+// bad config is a reported error, not an abort.
+Status ValidateFuzzOptions(const FuzzOptions& options);
+
 struct Crash {
   uint32_t pc = 0;
   std::string reason;
@@ -90,6 +96,17 @@ class Fuzzer {
   const std::vector<Crash>& crashes() const { return crashes_; }
   const std::vector<std::vector<uint8_t>>& corpus() const { return corpus_; }
   const FuzzStats& stats() const { return stats_; }
+  const FuzzOptions& options() const { return options_; }
+  // Control-flow edges covered so far (hashed (from, to) pairs). Campaign
+  // workers merge these into the global coverage map between batches.
+  const std::set<uint64_t>& edges() const { return edges_; }
+
+  // Adopt inputs found by other campaign workers as mutation parents.
+  // Empty inputs are skipped. NOTE: imports change which parents the local
+  // RNG stream selects, so a campaign that cross-pollinates trades the
+  // replay-by-seed guarantee for input-level replay (see
+  // docs/parallel_campaigns.md).
+  void ImportCorpus(const std::vector<std::vector<uint8_t>>& inputs);
 
  private:
   Status PrepareSnapshot();

@@ -9,6 +9,7 @@ TargetOrchestrator::TargetOrchestrator(
     : targets_(std::move(targets)) {
   HS_CHECK_MSG(!targets_.empty(), "orchestrator needs at least one target");
   last_shipped_.resize(targets_.size());
+  last_shipped_hash_.assign(targets_.size(), 0);
   has_shipped_.assign(targets_.size(), false);
 }
 
@@ -17,28 +18,38 @@ Status TargetOrchestrator::MoveTo(size_t index) {
   if (index == active_) return Status::Ok();
   auto state = targets_[active_]->SaveState();
   if (!state.ok()) return state.status();
+  const uint64_t state_hash = sim::HashState(state.value());
 
   ++transfer_stats_.transfers;
-  transfer_stats_.full_bytes += SerializeState(state.value()).size();
+  // What a full-state blob would cost, computed from the geometry — no
+  // point serializing O(state) bytes just to take their size.
+  transfer_stats_.full_bytes += SerializedStateBytes(state.value());
   if (has_shipped_[index] &&
       sim::StateWords(last_shipped_[index]) ==
           sim::StateWords(state.value())) {
-    // The destination still holds the state we last left it with: ship
-    // only the chunks that changed since, through the real wire format.
-    auto delta = sim::DiffStates(last_shipped_[index], state.value());
-    if (delta.ok()) {
-      const std::vector<uint8_t> blob = SerializeStateDelta(delta.value());
-      transfer_stats_.shipped_bytes += blob.size();
-      auto decoded = DeserializeStateDelta(blob);
-      if (!decoded.ok()) return decoded.status();
-      HS_RETURN_IF_ERROR(
-          sim::ApplyDeltaToState(&last_shipped_[index], decoded.value()));
-      HS_RETURN_IF_ERROR(
-          targets_[index]->RestoreState(last_shipped_[index]));
-      last_shipped_[active_] = std::move(state).value();
-      has_shipped_[active_] = true;
-      active_ = index;
-      return Status::Ok();
+    // The mirror says the destination holds the state we last left it
+    // with — but the destination may have been driven directly (via
+    // target(i) or a hardware reset) since. Probe its live state hash;
+    // only ship a delta when it provably still sits on the delta's base.
+    auto dest_hash = targets_[index]->StateHash();
+    if (dest_hash.ok() && dest_hash.value() == last_shipped_hash_[index]) {
+      auto delta = sim::DiffStates(last_shipped_[index], state.value());
+      if (delta.ok()) {
+        const std::vector<uint8_t> blob = SerializeStateDelta(delta.value());
+        transfer_stats_.shipped_bytes += blob.size();
+        auto decoded = DeserializeStateDelta(blob);
+        if (!decoded.ok()) return decoded.status();
+        HS_RETURN_IF_ERROR(
+            sim::ApplyDeltaToState(&last_shipped_[index], decoded.value()));
+        HS_RETURN_IF_ERROR(
+            targets_[index]->RestoreState(last_shipped_[index]));
+        last_shipped_hash_[index] = state_hash;
+        last_shipped_[active_] = std::move(state).value();
+        last_shipped_hash_[active_] = state_hash;
+        has_shipped_[active_] = true;
+        active_ = index;
+        return Status::Ok();
+      }
     }
   }
   const std::vector<uint8_t> blob = SerializeState(state.value());
@@ -47,11 +58,19 @@ Status TargetOrchestrator::MoveTo(size_t index) {
   if (!decoded.ok()) return decoded.status();
   HS_RETURN_IF_ERROR(targets_[index]->RestoreState(decoded.value()));
   last_shipped_[index] = decoded.value();
+  last_shipped_hash_[index] = state_hash;
   has_shipped_[index] = true;
   last_shipped_[active_] = std::move(state).value();
+  last_shipped_hash_[active_] = state_hash;
   has_shipped_[active_] = true;
   active_ = index;
   return Status::Ok();
+}
+
+void TargetOrchestrator::InvalidateMirror(size_t index) {
+  if (index >= targets_.size()) return;
+  has_shipped_[index] = false;
+  last_shipped_hash_[index] = 0;
 }
 
 Result<size_t> TargetOrchestrator::IndexOf(bus::TargetKind kind) const {

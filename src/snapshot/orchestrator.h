@@ -35,11 +35,25 @@ class TargetOrchestrator {
 
   bus::HardwareTarget& active() { return *targets_[active_]; }
   const bus::HardwareTarget& active() const { return *targets_[active_]; }
+  size_t active_index() const { return active_; }
   size_t num_targets() const { return targets_.size(); }
   bus::HardwareTarget& target(size_t i) { return *targets_[i]; }
 
   // Live state migration. No-op if `index` is already active.
+  //
+  // Repeat migrations ship a delta against the state the destination last
+  // held — but only after probing (HardwareTarget::StateHash) that the
+  // destination still holds it. A destination driven behind the
+  // orchestrator's back (direct target(i) access, a hardware reset) has
+  // a diverged base; applying a delta to it would silently produce wrong
+  // state, so such migrations fall back to a full-state ship.
   Status MoveTo(size_t index);
+
+  // Forget the state last shipped to `index` (the delta base). Callers
+  // that move a target's live state without going through MoveTo — e.g.
+  // OrchestratedTarget::ResetHardware — invalidate the mirror so the next
+  // migration does not even need the probe to know a full ship is due.
+  void InvalidateMirror(size_t index);
 
   // Find a target by kind (first match).
   Result<size_t> IndexOf(bus::TargetKind kind) const;
@@ -54,8 +68,11 @@ class TargetOrchestrator {
   std::vector<bus::HardwareTarget*> targets_;
   size_t active_ = 0;
   // Per target: the architectural state it last held when the orchestrator
-  // left it (the base a delta blob can be expressed against).
+  // left it (the base a delta blob can be expressed against), plus its
+  // cached content hash (compared against the destination's live hash
+  // before a delta ship).
   std::vector<sim::HardwareState> last_shipped_;
+  std::vector<uint64_t> last_shipped_hash_;
   std::vector<bool> has_shipped_;
   TransferStats transfer_stats_;
 };

@@ -33,6 +33,12 @@ std::vector<uint8_t> SerializeState(const sim::HardwareState& state) {
   return w.Take();
 }
 
+size_t SerializedStateBytes(const sim::HardwareState& state) {
+  // magic u32 + flop-vector length u32 + memory-count u32, one length u32
+  // per memory, 8 bytes per word everywhere.
+  return 12 + state.memories.size() * 4 + sim::StateWords(state) * 8;
+}
+
 Result<sim::HardwareState> DeserializeState(
     const std::vector<uint8_t>& bytes) {
   ByteReader r(bytes);
@@ -225,6 +231,7 @@ void SnapshotStore::Materialize(const Stored& s) const {
 }
 
 SnapshotId SnapshotStore::Put(sim::HardwareState state, std::string label) {
+  std::lock_guard<std::mutex> lock(mu_);
   const SnapshotId id = next_id_++;
   Stored s = MakeStored(id, state, std::move(label));
   total_bytes_ += s.logical_words * 8;
@@ -235,6 +242,7 @@ SnapshotId SnapshotStore::Put(sim::HardwareState state, std::string label) {
 }
 
 Result<const Snapshot*> SnapshotStore::Get(SnapshotId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = snapshots_.find(id);
   if (it == snapshots_.end())
     return NotFound("snapshot " + std::to_string(id) + " does not exist");
@@ -243,6 +251,7 @@ Result<const Snapshot*> SnapshotStore::Get(SnapshotId id) const {
 }
 
 Status SnapshotStore::Update(SnapshotId id, sim::HardwareState state) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = snapshots_.find(id);
   if (it == snapshots_.end())
     return NotFound("snapshot " + std::to_string(id) + " does not exist");
@@ -256,6 +265,7 @@ Status SnapshotStore::Update(SnapshotId id, sim::HardwareState state) {
 }
 
 Status SnapshotStore::Drop(SnapshotId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = snapshots_.find(id);
   if (it == snapshots_.end())
     return NotFound("snapshot " + std::to_string(id) + " does not exist");
@@ -322,6 +332,7 @@ Status SnapshotStore::ApplyDelta(const Stored& base,
 Result<SnapshotId> SnapshotStore::PutDelta(SnapshotId base,
                                            const sim::StateDelta& delta,
                                            std::string label) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = snapshots_.find(base);
   if (it == snapshots_.end())
     return NotFound("base snapshot " + std::to_string(base) +
@@ -337,6 +348,7 @@ Result<SnapshotId> SnapshotStore::PutDelta(SnapshotId base,
 
 Status SnapshotStore::UpdateDelta(SnapshotId id, SnapshotId base,
                                   const sim::StateDelta& delta) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto base_it = snapshots_.find(base);
   if (base_it == snapshots_.end())
     return NotFound("base snapshot " + std::to_string(base) +
@@ -355,6 +367,7 @@ Status SnapshotStore::UpdateDelta(SnapshotId id, SnapshotId base,
 
 Result<sim::StateDelta> SnapshotStore::DeltaBetween(SnapshotId base,
                                                     SnapshotId next) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto bit = snapshots_.find(base);
   if (bit == snapshots_.end())
     return NotFound("base snapshot " + std::to_string(base) +
@@ -386,6 +399,7 @@ Result<sim::StateDelta> SnapshotStore::DeltaBetween(SnapshotId base,
 }
 
 Result<uint64_t> SnapshotStore::ContentHash(SnapshotId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = snapshots_.find(id);
   if (it == snapshots_.end())
     return NotFound("snapshot " + std::to_string(id) + " does not exist");
@@ -393,6 +407,7 @@ Result<uint64_t> SnapshotStore::ContentHash(SnapshotId id) const {
 }
 
 size_t SnapshotStore::ResidentBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t bytes = 0;
   std::unordered_map<const void*, bool> seen;
   seen.reserve(snapshots_.size() * 8);

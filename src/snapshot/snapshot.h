@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -49,6 +50,12 @@ struct Snapshot {
 std::vector<uint8_t> SerializeState(const sim::HardwareState& state);
 Result<sim::HardwareState> DeserializeState(const std::vector<uint8_t>& bytes);
 
+// Exact byte count SerializeState(state) would produce, computed
+// arithmetically from the state geometry (magic, length-prefixed flop
+// vector, memory count, length-prefixed memory vectors) — so hot paths
+// can account "what a full ship would cost" without serializing.
+size_t SerializedStateBytes(const sim::HardwareState& state);
+
 // Delta encoding: only the chunks by which a state differs from a base
 // the receiver already holds (E6 multi-target transfer ships this instead
 // of the full state). Deserialization validates the chunk geometry; apply
@@ -62,6 +69,14 @@ using ChunkPtr = std::shared_ptr<const std::vector<uint64_t>>;
 // In-memory snapshot store. Snapshots are immutable once taken (Update /
 // UpdateDelta rebind the id to new content, they never mutate chunks that
 // another snapshot may share).
+//
+// Thread safety: every public operation holds an internal mutex, so one
+// store may be shared by parallel campaign workers. The chunk payloads
+// themselves are immutable (`shared_ptr<const vector>`), so a pointer
+// returned by Get stays valid and readable while other threads Put/Drop
+// OTHER ids — but Update/UpdateDelta/Drop of the SAME id must not race a
+// reader of that id (the id-to-owner discipline is the caller's; each
+// campaign worker owns its own id range).
 class SnapshotStore {
  public:
   // Cumulative accounting of chunk ingestion (monotonic; the dedup ratio
@@ -103,16 +118,25 @@ class SnapshotStore {
   // Content hash of a stored snapshot (HashState of its materialization).
   Result<uint64_t> ContentHash(SnapshotId id) const;
 
-  size_t size() const { return snapshots_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return snapshots_.size();
+  }
   uint64_t shape_digest() const { return shape_; }
 
   // Total stored architectural bytes as the flat representation would
   // occupy (logical capacity accounting; O(1) running counter).
-  size_t TotalBytes() const { return total_bytes_; }
+  size_t TotalBytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_bytes_;
+  }
   // Bytes actually resident after structural sharing (walks the store).
   size_t ResidentBytes() const;
 
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
 
  private:
   struct Stored {
@@ -134,6 +158,8 @@ class SnapshotStore {
                     SnapshotId id, std::string label, Stored* out);
   void Materialize(const Stored& s) const;
 
+  // Serializes all public operations (private helpers run under it).
+  mutable std::mutex mu_;
   uint64_t shape_;
   SnapshotId next_id_ = 1;
   std::unordered_map<SnapshotId, Stored> snapshots_;

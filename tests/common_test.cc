@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "common/bitops.h"
 #include "common/rng.h"
 #include "common/serde.h"
@@ -112,6 +114,48 @@ TEST(RngTest, RangeInclusive) {
   }
   EXPECT_TRUE(saw_lo);
   EXPECT_TRUE(saw_hi);
+}
+
+// Regression: Below(0) used to compute Next() % 0 (UB); now it aborts
+// with a diagnostic instead of returning garbage.
+TEST(RngDeathTest, BelowZeroAborts) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.Below(0), "empty range");
+}
+
+// Regression: Range(lo, hi) with hi < lo used to wrap the span and draw
+// from an unrelated range.
+TEST(RngDeathTest, RangeInvertedBoundsAbort) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.Range(5, 3), "hi");
+}
+
+TEST(RngTest, RangeFullSpanCoversExtremes) {
+  // lo=0, hi=UINT64_MAX makes span wrap to 0 — must mean "any value",
+  // not a modulo-zero draw.
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i)
+    (void)rng.Range(0, ~uint64_t{0});
+  uint64_t v = rng.Range(7, 7);
+  EXPECT_EQ(v, 7u);  // degenerate range is a constant
+}
+
+TEST(RngTest, WorkerSeedsAreDistinctStreams) {
+  // Campaign workers derive their seed from (campaign seed, worker id);
+  // streams must differ from each other AND from the undecorated seed
+  // (worker 0 is not the single-threaded stream).
+  const uint64_t seed = 2026;
+  std::set<uint64_t> seeds{seed};
+  for (uint64_t w = 0; w < 16; ++w)
+    EXPECT_TRUE(seeds.insert(DeriveWorkerSeed(seed, w)).second)
+        << "collision at worker " << w;
+  EXPECT_NE(DeriveWorkerSeed(seed, 0), DeriveWorkerSeed(seed + 1, 0));
+
+  Rng a(DeriveWorkerSeed(seed, 0)), b(DeriveWorkerSeed(seed, 1));
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.Next() == b.Next()) ++same;
+  EXPECT_LT(same, 2);
 }
 
 TEST(DurationTest, Conversions) {

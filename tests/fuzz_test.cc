@@ -48,6 +48,32 @@ TEST(FuzzerTest, FindsTheOverflowBySnapshotFuzzing) {
   EXPECT_GE(fuzzer.crashes()[0].input[0], 16u);
 }
 
+// Regression: input_size == 0 used to reach Rng::Below(0) inside
+// Mutate — undefined behaviour (modulo by zero). It must surface as a
+// reported configuration error, not a crash or an abort.
+TEST(FuzzerTest, ZeroInputSizeIsAnErrorNotACrash) {
+  auto target = MakeTarget();
+  FuzzOptions opts;
+  opts.input_size = 0;
+  Fuzzer fuzzer(target.get(), ParserImage(), opts);
+  auto stats = fuzzer.Run(10);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FuzzerTest, ValidateFuzzOptionsRejectsZeroBudgets) {
+  FuzzOptions opts;
+  EXPECT_TRUE(ValidateFuzzOptions(opts).ok());
+  opts.input_size = 0;
+  EXPECT_FALSE(ValidateFuzzOptions(opts).ok());
+  opts = FuzzOptions{};
+  opts.max_instructions_per_exec = 0;
+  EXPECT_FALSE(ValidateFuzzOptions(opts).ok());
+  opts = FuzzOptions{};
+  opts.cycles_per_instruction = 0;
+  EXPECT_FALSE(ValidateFuzzOptions(opts).ok());
+}
+
 TEST(FuzzerTest, RebootStrategyFindsItTooButPaysReboots) {
   auto target = MakeTarget();
   FuzzOptions opts;

@@ -126,6 +126,103 @@ TEST(SessionTest, SecureBootBypassSynthesized) {
   EXPECT_EQ(exp0, digest[0]);
 }
 
+// Regression: repeat migrations used to trust the host-side mirror of
+// what the destination last held. A destination driven behind the
+// orchestrator's back (direct target handle) has a diverged base; the
+// migration must detect that and full-ship instead of delta-shipping.
+TEST(SessionTest, StaleDestinationBaseDetectedThroughSession) {
+  SessionConfig cfg;
+  cfg.target = SessionConfig::Target::kBoth;
+  auto session = MustCreate(std::move(cfg));
+
+  ASSERT_TRUE(session->hardware().Write32(0x0004, 456).ok());
+  // FPGA -> sim (full ship), sim -> FPGA (delta ship: base still good).
+  ASSERT_TRUE(session->MoveToTarget(bus::TargetKind::kSimulator).ok());
+  ASSERT_TRUE(session->MoveToTarget(bus::TargetKind::kFpga).ok());
+  {
+    const auto& ts = session->orchestrator().transfer_stats();
+    ASSERT_LT(ts.shipped_bytes, ts.full_bytes);
+  }
+
+  // Drive the INACTIVE simulator directly — its live state diverges
+  // from the mirror the next migration would delta against.
+  ASSERT_TRUE(session->simulator_target()->Write32(0x0004, 9999).ok());
+  ASSERT_TRUE(session->simulator_target()->Run(16).ok());
+
+  ASSERT_TRUE(session->hardware().Write32(0x0004, 789).ok());
+  const auto before = session->orchestrator().transfer_stats();
+  ASSERT_TRUE(session->MoveToTarget(bus::TargetKind::kSimulator).ok());
+  const auto after = session->orchestrator().transfer_stats();
+  EXPECT_EQ(after.shipped_bytes - before.shipped_bytes,
+            after.full_bytes - before.full_bytes)
+      << "migration onto a diverged destination must full-ship";
+  EXPECT_EQ(session->hardware().Read32(0x0004).value(), 789u);
+}
+
+// Resetting the active target through the executor's proxy invalidates
+// its delta base; state must stay consistent across the following
+// migrations (the next ship from the reset target carries the post-reset
+// state, never a delta against the pre-reset mirror).
+TEST(SessionTest, ResetThroughProxyKeepsMigrationsConsistent) {
+  SessionConfig cfg;
+  cfg.target = SessionConfig::Target::kBoth;
+  auto session = MustCreate(std::move(cfg));
+  OrchestratedTarget proxy(&session->orchestrator());
+
+  ASSERT_TRUE(proxy.Write32(0x0004, 456).ok());
+  ASSERT_TRUE(session->MoveToTarget(bus::TargetKind::kSimulator).ok());
+  ASSERT_TRUE(session->MoveToTarget(bus::TargetKind::kFpga).ok());
+
+  // Power-cycle the active FPGA through the proxy: its pre-reset mirror
+  // is dead.
+  ASSERT_TRUE(proxy.ResetHardware().ok());
+  EXPECT_EQ(proxy.Read32(0x0004).value(), 0u);
+  ASSERT_TRUE(session->MoveToTarget(bus::TargetKind::kSimulator).ok());
+  // The sim received the post-reset state, not stale 456.
+  EXPECT_EQ(proxy.Read32(0x0004).value(), 0u);
+  ASSERT_TRUE(proxy.Write32(0x0004, 789).ok());
+  ASSERT_TRUE(session->MoveToTarget(bus::TargetKind::kFpga).ok());
+  EXPECT_EQ(proxy.Read32(0x0004).value(), 789u);
+}
+
+TEST(SessionTest, CloneReproducesAnalysis) {
+  SessionConfig cfg;
+  auto session = MustCreate(std::move(cfg));
+  ASSERT_TRUE(
+      session->LoadFirmwareAsm(firmware::VulnerableParserFirmware()).ok());
+  ASSERT_TRUE(session->MakeSymbolicRegion(vm::kRamBase, 2, "packet").ok());
+
+  auto clone = session->Clone();
+  ASSERT_TRUE(clone.ok()) << clone.status().ToString();
+  auto report = clone.value()->Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_GE(report.value().bugs.size(), 1u);
+  EXPECT_EQ(report.value().bugs[0].kind, "out-of-bounds store");
+
+  // The original is untouched by the clone's run and still runnable.
+  auto original_report = session->Run();
+  ASSERT_TRUE(original_report.ok());
+  EXPECT_EQ(original_report.value().bugs.size(),
+            report.value().bugs.size());
+}
+
+TEST(SessionTest, CloneOverridesExecOptions) {
+  auto session = MustCreate();
+  ASSERT_TRUE(
+      session->LoadFirmwareAsm(firmware::VulnerableParserFirmware()).ok());
+  ASSERT_TRUE(session->MakeSymbolicRegion(vm::kRamBase, 2, "packet").ok());
+  symex::ExecOptions exec = session->exec_options();
+  exec.search = symex::SearchStrategy::kDfs;
+  exec.seed = 99;
+  auto clone = session->Clone(exec);
+  ASSERT_TRUE(clone.ok()) << clone.status().ToString();
+  EXPECT_EQ(clone.value()->exec_options().search,
+            symex::SearchStrategy::kDfs);
+  auto report = clone.value()->Run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_GE(report.value().bugs.size(), 1u);
+}
+
 TEST(SessionTest, BadFirmwareRejected) {
   auto session = MustCreate();
   EXPECT_FALSE(session->LoadFirmwareAsm("not actual assembly !!!").ok());

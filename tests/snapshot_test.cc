@@ -108,6 +108,80 @@ TEST(OrchestratorTest, MoveToTransfersLiveState) {
   EXPECT_EQ(orch.active().Read32(timer_load).value(), 777u);
 }
 
+TEST(SerializeTest, SerializedStateBytesMatchesEncoding) {
+  // The orchestrator accounts full-ship costs arithmetically; the formula
+  // must track the real encoder exactly.
+  EXPECT_EQ(SerializedStateBytes(SampleState()),
+            SerializeState(SampleState()).size());
+  sim::HardwareState empty;
+  EXPECT_EQ(SerializedStateBytes(empty), SerializeState(empty).size());
+  sim::HardwareState odd;
+  odd.flops = {1};
+  odd.memories = {{}, {5}, {6, 7, 8, 9, 10}};
+  EXPECT_EQ(SerializedStateBytes(odd), SerializeState(odd).size());
+}
+
+// Regression: repeat migrations used to ship a delta whenever the
+// host-side mirror existed, without checking what the destination
+// actually holds. A destination driven behind the orchestrator's back
+// has a diverged base, so the migration must fall back to a full ship.
+TEST(OrchestratorTest, StaleDestinationBaseForcesFullShip) {
+  auto soc = SocDesign();
+  auto st = bus::SimulatorTarget::Create(soc);
+  auto ft = fpga::FpgaTarget::Create(soc);
+  ASSERT_TRUE(st.ok() && ft.ok());
+  TargetOrchestrator orch({st.value().get(), ft.value().get()});
+  ASSERT_TRUE(orch.active().ResetHardware().ok());
+
+  const uint32_t timer_load = (0u << 8) | periph::timer_regs::kLoad;
+  ASSERT_TRUE(orch.active().Write32(timer_load, 777).ok());
+  ASSERT_TRUE(orch.MoveTo(1).ok());  // full ship sim -> fpga
+  ASSERT_TRUE(orch.MoveTo(0).ok());  // sim still on base: delta ship
+  {
+    const auto& ts = orch.transfer_stats();
+    EXPECT_LT(ts.shipped_bytes, ts.full_bytes)
+        << "second migration should have shipped a delta";
+  }
+
+  // Drive the INACTIVE destination directly — its state diverges from
+  // the mirror the orchestrator would delta against.
+  ASSERT_TRUE(orch.target(1).Write32(timer_load, 9999).ok());
+  ASSERT_TRUE(orch.target(1).Run(16).ok());
+
+  const auto before = orch.transfer_stats();
+  ASSERT_TRUE(orch.active().Write32(timer_load, 777).ok());
+  ASSERT_TRUE(orch.MoveTo(1).ok());
+  const auto after = orch.transfer_stats();
+  // The probe must have detected the diverged base and full-shipped:
+  // bytes on the wire equal the full-blob accounting for this transfer.
+  EXPECT_EQ(after.shipped_bytes - before.shipped_bytes,
+            after.full_bytes - before.full_bytes);
+  // And the destination holds the migrated state, not delta-corrupted mush.
+  EXPECT_EQ(orch.active().Read32(timer_load).value(), 777u);
+}
+
+TEST(OrchestratorTest, InvalidateMirrorForcesFullShip) {
+  auto soc = SocDesign();
+  auto st = bus::SimulatorTarget::Create(soc);
+  auto ft = fpga::FpgaTarget::Create(soc);
+  ASSERT_TRUE(st.ok() && ft.ok());
+  TargetOrchestrator orch({st.value().get(), ft.value().get()});
+  ASSERT_TRUE(orch.active().ResetHardware().ok());
+
+  const uint32_t timer_load = (0u << 8) | periph::timer_regs::kLoad;
+  ASSERT_TRUE(orch.active().Write32(timer_load, 42).ok());
+  ASSERT_TRUE(orch.MoveTo(1).ok());
+  ASSERT_TRUE(orch.MoveTo(0).ok());
+
+  orch.InvalidateMirror(1);
+  const auto before = orch.transfer_stats();
+  ASSERT_TRUE(orch.MoveTo(1).ok());
+  const auto after = orch.transfer_stats();
+  EXPECT_EQ(after.shipped_bytes - before.shipped_bytes,
+            after.full_bytes - before.full_bytes);
+  EXPECT_EQ(orch.active().Read32(timer_load).value(), 42u);
+}
+
 TEST(OrchestratorTest, MoveToSelfIsFree) {
   auto soc = SocDesign();
   auto st = bus::SimulatorTarget::Create(soc);

@@ -16,6 +16,13 @@
 //   --all-values                completeness concretization policy
 // fuzz options:
 //   --execs=N  --input-addr=A  --input-size=N  --reset=snapshot|reboot
+//   --seed=N                    campaign seed (default 1)
+//   --workers=N                 shard the campaign over N worker threads,
+//                               each with its own simulated target; every
+//                               finding reports the derived worker seed
+//                               that replays it single-threaded
+//   --share-corpus              let workers adopt each other's inputs
+//                               (faster coverage, input-level replay only)
 //
 // Example:
 //   hardsnap run driver.s --symbolic-reg=a0 --mode=hardsnap --target=fpga
@@ -27,9 +34,12 @@
 #include <vector>
 
 #include "bus/sim_target.h"
+#include "campaign/campaign.h"
 #include "core/session.h"
 #include "fpga/fpga_target.h"
 #include "fuzz/fuzzer.h"
+#include "periph/periph.h"
+#include "rtl/elaborate.h"
 #include "vm/cpu.h"
 
 using namespace hardsnap;
@@ -85,6 +95,9 @@ struct Cli {
   // fuzz
   uint64_t execs = 1000;
   fuzz::FuzzOptions fuzz;
+  unsigned workers = 1;
+  uint64_t seed = 1;
+  bool share_corpus = false;
 };
 
 bool ParseArgs(int argc, char** argv, Cli* cli) {
@@ -150,6 +163,12 @@ bool ParseArgs(int argc, char** argv, Cli* cli) {
       cli->fuzz.input_addr = static_cast<uint32_t>(ParseNum(v));
     } else if (OptValue(arg, "input-size", &v)) {
       cli->fuzz.input_size = static_cast<unsigned>(ParseNum(v));
+    } else if (OptValue(arg, "workers", &v)) {
+      cli->workers = static_cast<unsigned>(ParseNum(v));
+    } else if (OptValue(arg, "seed", &v)) {
+      cli->seed = ParseNum(v);
+    } else if (arg == "--share-corpus") {
+      cli->share_corpus = true;
     } else if (OptValue(arg, "reset", &v)) {
       if (v == "snapshot") cli->fuzz.reset = fuzz::ResetStrategy::kSnapshotReset;
       else if (v == "reboot") cli->fuzz.reset = fuzz::ResetStrategy::kRebootReset;
@@ -272,6 +291,41 @@ int CmdExec(const Cli& cli) {
   return out.status == vm::RunStatus::kBug ? 1 : 0;
 }
 
+// Parallel campaign path: N workers, each on its own simulated target.
+int CmdFuzzCampaign(const Cli& cli, const vm::FirmwareImage& image) {
+  auto soc =
+      rtl::CompileVerilog(periph::BuildSoc(periph::DefaultCorpus()), "soc");
+  if (!soc.ok()) {
+    std::fprintf(stderr, "%s\n", soc.status().ToString().c_str());
+    return 1;
+  }
+  campaign::FuzzCampaignOptions opts;
+  opts.workers = cli.workers;
+  opts.total_execs = cli.execs;
+  opts.seed = cli.seed;
+  opts.share_corpus = cli.share_corpus;
+  opts.fuzz = cli.fuzz;
+  campaign::FuzzCampaign campaign(soc.value(), image, opts);
+  auto report = campaign.Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", report.value().Summary().c_str());
+  for (const auto& finding : report.value().findings) {
+    std::printf(
+        "CRASH pc=0x%08x %s (worker %u; replay: seed=%llu execs=%llu) "
+        "input=[",
+        finding.crash.pc, finding.crash.reason.c_str(), finding.worker,
+        static_cast<unsigned long long>(finding.worker_seed),
+        static_cast<unsigned long long>(finding.execs_at_find));
+    for (size_t i = 0; i < finding.crash.input.size(); ++i)
+      std::printf("%s0x%02x", i ? " " : "", finding.crash.input[i]);
+    std::printf("]\n");
+  }
+  return 0;
+}
+
 int CmdFuzz(const Cli& cli) {
   std::string source;
   if (!ReadFile(cli.firmware_path, &source)) {
@@ -283,11 +337,22 @@ int CmdFuzz(const Cli& cli) {
     std::fprintf(stderr, "%s\n", img.status().ToString().c_str());
     return 1;
   }
+  if (cli.workers > 1) {
+    if (cli.target != core::SessionConfig::Target::kSimulator) {
+      std::fprintf(stderr,
+                   "--workers needs --target=sim (one simulated device "
+                   "per worker)\n");
+      return 1;
+    }
+    return CmdFuzzCampaign(cli, img.value());
+  }
   core::SessionConfig cfg;
   cfg.target = cli.target;
   auto session = core::Session::Create(cfg);
   if (!session.ok()) return 1;
-  fuzz::Fuzzer fuzzer(&session.value()->hardware(), img.value(), cli.fuzz);
+  fuzz::FuzzOptions fopts = cli.fuzz;
+  fopts.seed = cli.seed;
+  fuzz::Fuzzer fuzzer(&session.value()->hardware(), img.value(), fopts);
   auto stats = fuzzer.Run(cli.execs);
   if (!stats.ok()) {
     std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
