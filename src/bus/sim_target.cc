@@ -12,7 +12,9 @@ const char* TargetKindName(TargetKind kind) {
 
 SimulatorTarget::SimulatorTarget(std::unique_ptr<sim::Simulator> sim,
                                  SimulatorTargetOptions options)
-    : options_(options), sim_(std::move(sim)) {
+    : options_(options),
+      sim_(std::move(sim)),
+      link_(options.channel, options.link) {
   driver_ = std::make_unique<SocBusDriver>(sim_.get());
 }
 
@@ -42,68 +44,111 @@ Duration SimulatorTarget::CriuDeltaCost(size_t payload_bytes) const {
 }
 
 Result<uint32_t> SimulatorTarget::Read32(uint32_t addr) {
-  auto v = driver_->Read32(addr);
+  // The link charges the shared-memory round trip (per attempt, if faults
+  // force retries); the simulated bus cycle is charged only once the
+  // transaction actually reaches the device.
+  Duration link_cost;
+  auto v = link_.Read(
+      addr, [&] { return driver_->Read32(addr); }, &link_cost);
+  clock_.Advance(link_cost);
+  stats_.io_time += link_cost;
+  SyncLinkStats();
   if (!v.ok()) return v.status();
   ++stats_.mmio_reads;
-  const Duration cost =
-      options_.channel.per_transaction + PeriodOfHz(options_.sim_clock_hz);
-  clock_.Advance(cost);
-  stats_.io_time += cost;
+  const Duration dev = PeriodOfHz(options_.sim_clock_hz);
+  clock_.Advance(dev);
+  stats_.io_time += dev;
   return v;
 }
 
 Status SimulatorTarget::Write32(uint32_t addr, uint32_t value) {
-  HS_RETURN_IF_ERROR(driver_->Write32(addr, value));
+  Duration link_cost;
+  Status s = link_.Write(
+      addr, value, [&] { return driver_->Write32(addr, value); }, &link_cost);
+  clock_.Advance(link_cost);
+  stats_.io_time += link_cost;
+  SyncLinkStats();
+  HS_RETURN_IF_ERROR(s);
   ++stats_.mmio_writes;
-  const Duration cost =
-      options_.channel.per_transaction + PeriodOfHz(options_.sim_clock_hz);
-  clock_.Advance(cost);
-  stats_.io_time += cost;
+  const Duration dev = PeriodOfHz(options_.sim_clock_hz);
+  clock_.Advance(dev);
+  stats_.io_time += dev;
   return Status::Ok();
 }
 
 Status SimulatorTarget::Run(uint64_t cycles) {
-  sim_->Tick(static_cast<unsigned>(cycles));
-  stats_.cycles_run += cycles;
-  const Duration cost =
+  // The run command crosses the link too (a dead target cannot be told to
+  // run), but its clean cost is purely the simulation time — command
+  // latency is hidden behind the multi-cycle execution.
+  const Duration run_cost =
       PeriodOfHz(options_.sim_clock_hz) * static_cast<int64_t>(cycles);
+  Duration cost;
+  Status s = link_.Bulk(
+      run_cost,
+      [&] {
+        sim_->Tick(static_cast<unsigned>(cycles));
+        return Status::Ok();
+      },
+      &cost);
   clock_.Advance(cost);
   stats_.run_time += cost;
+  SyncLinkStats();
+  HS_RETURN_IF_ERROR(s);
+  stats_.cycles_run += cycles;
   return Status::Ok();
 }
 
 Status SimulatorTarget::ResetHardware() {
-  HS_RETURN_IF_ERROR(sim_->Reset());
   // A reboot of the simulated SoC still runs at simulation speed; charge a
   // couple of cycles (the expensive "reboot" in the naive-and-consistent
   // flow is re-running firmware init, which the VM accounts separately).
-  clock_.Advance(PeriodOfHz(options_.sim_clock_hz) * 2);
-  return Status::Ok();
+  Duration cost;
+  Status s = link_.Bulk(
+      PeriodOfHz(options_.sim_clock_hz) * 2, [&] { return sim_->Reset(); },
+      &cost);
+  clock_.Advance(cost);
+  SyncLinkStats();
+  return s;
 }
 
 Result<sim::HardwareState> SimulatorTarget::SaveState() {
   // CRIU flow: flush pending I/O (bus is idle between transactions by
   // construction), freeze, dump. The returned architectural state is what
   // other targets can consume; the full process image is modeled by cost.
-  ++stats_.snapshots_saved;
-  const Duration cost = CriuCost();
+  // The checkpoint command + image hand-off crosses the link as one bulk
+  // retry unit with the CRIU duration as its clean cost.
+  sim::HardwareState st;
+  Duration cost;
+  Status s = link_.Bulk(
+      CriuCost(),
+      [&] {
+        st = sim_->DumpState();
+        // A full checkpoint is a sync point for the delta tracker: the
+        // caller now holds exactly this state as a base for future deltas.
+        sim_->MarkSynced();
+        return Status::Ok();
+      },
+      &cost);
   clock_.Advance(cost);
   stats_.snapshot_time += cost;
-  sim::HardwareState st = sim_->DumpState();
+  SyncLinkStats();
+  if (!s.ok()) return s;
+  ++stats_.snapshots_saved;
   stats_.snapshot_bytes_copied += sim::StateWords(st) * 8;
-  // A full checkpoint is a sync point for the delta tracker: the caller
-  // now holds exactly this state as a base for future deltas.
-  sim_->MarkSynced();
   return st;
 }
 
 Status SimulatorTarget::RestoreState(const sim::HardwareState& state) {
-  HS_RETURN_IF_ERROR(sim_->RestoreState(state));  // sync point
-  ++stats_.snapshots_restored;
-  stats_.snapshot_bytes_copied += sim::StateWords(state) * 8;
-  const Duration cost = CriuCost();
+  Duration cost;
+  Status s = link_.Bulk(
+      CriuCost(), [&] { return sim_->RestoreState(state); },  // sync point
+      &cost);
   clock_.Advance(cost);
   stats_.snapshot_time += cost;
+  SyncLinkStats();
+  HS_RETURN_IF_ERROR(s);
+  ++stats_.snapshots_restored;
+  stats_.snapshot_bytes_copied += sim::StateWords(state) * 8;
   return Status::Ok();
 }
 
@@ -114,22 +159,33 @@ Result<uint64_t> SimulatorTarget::StateHash() {
 }
 
 Result<sim::StateDelta> SimulatorTarget::SaveStateDelta() {
+  // The capture (and its sync point) commits device-side before the image
+  // crosses the link; a failed hand-off models "device checkpointed but
+  // the host lost the reply". RestoreDelta's base-hash check catches any
+  // staleness that results, and callers fall back to a full restore.
   sim::StateDelta delta = sim_->CaptureDelta();
-  ++stats_.snapshots_saved;
-  stats_.snapshot_bytes_copied += delta.PayloadBytes();
-  const Duration cost = CriuDeltaCost(delta.PayloadBytes());
+  Duration cost;
+  Status s = link_.Bulk(CriuDeltaCost(delta.PayloadBytes()),
+                        [] { return Status::Ok(); }, &cost);
   clock_.Advance(cost);
   stats_.snapshot_time += cost;
+  SyncLinkStats();
+  if (!s.ok()) return s;
+  ++stats_.snapshots_saved;
+  stats_.snapshot_bytes_copied += delta.PayloadBytes();
   return delta;
 }
 
 Status SimulatorTarget::RestoreStateDelta(const sim::StateDelta& delta) {
-  HS_RETURN_IF_ERROR(sim_->RestoreDelta(delta));
-  ++stats_.snapshots_restored;
-  stats_.snapshot_bytes_copied += delta.PayloadBytes();
-  const Duration cost = CriuDeltaCost(delta.PayloadBytes());
+  Duration cost;
+  Status s = link_.Bulk(CriuDeltaCost(delta.PayloadBytes()),
+                        [&] { return sim_->RestoreDelta(delta); }, &cost);
   clock_.Advance(cost);
   stats_.snapshot_time += cost;
+  SyncLinkStats();
+  HS_RETURN_IF_ERROR(s);
+  ++stats_.snapshots_restored;
+  stats_.snapshot_bytes_copied += delta.PayloadBytes();
   return Status::Ok();
 }
 

@@ -14,6 +14,7 @@
 
 #include "bus/channel.h"
 #include "bus/delta_support.h"
+#include "bus/link.h"
 #include "bus/soc_driver.h"
 #include "bus/target.h"
 #include "common/status.h"
@@ -39,6 +40,11 @@ struct SimulatorTargetOptions {
   Duration criu_incremental_base = Duration::Millis(8);
 
   ChannelModel channel = SharedMemoryChannel();
+
+  // Framed-transport configuration (fault injection, retry policy,
+  // health monitor). Defaults to a clean link, where the framing layer
+  // charges exactly the same virtual time as the raw channel.
+  LinkConfig link;
 };
 
 class SimulatorTarget : public HardwareTarget, public DeltaSnapshotter {
@@ -66,6 +72,8 @@ class SimulatorTarget : public HardwareTarget, public DeltaSnapshotter {
   Result<sim::StateDelta> SaveStateDelta() override;
   Status RestoreStateDelta(const sim::StateDelta& delta) override;
 
+  bool responsive() const override { return link_.alive(); }
+
   const VirtualClock& clock() const override { return clock_; }
   const TargetStats& stats() const override { return stats_; }
 
@@ -73,6 +81,7 @@ class SimulatorTarget : public HardwareTarget, public DeltaSnapshotter {
   // for transferring state FPGA -> simulator to obtain traces).
   sim::Simulator* simulator() { return sim_.get(); }
   const SimulatorTargetOptions& options() const { return options_; }
+  FramedLink* link() { return &link_; }
 
   // Modeled duration of one CRIU checkpoint or restore.
   Duration CriuCost() const;
@@ -83,10 +92,15 @@ class SimulatorTarget : public HardwareTarget, public DeltaSnapshotter {
   SimulatorTarget(std::unique_ptr<sim::Simulator> sim,
                   SimulatorTargetOptions options);
 
+  // Copies the link's counters into stats_ so TargetStats is always a
+  // complete picture of this target.
+  void SyncLinkStats() { stats_.link = link_.stats(); }
+
   std::string name_ = "simulator";
   SimulatorTargetOptions options_;
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<SocBusDriver> driver_;
+  FramedLink link_;
   VirtualClock clock_;
   TargetStats stats_;
 };

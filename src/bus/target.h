@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <string>
 
+#include "bus/link.h"
 #include "common/status.h"
 #include "common/virtual_clock.h"
 #include "sim/simulator.h"
@@ -42,6 +43,9 @@ struct TargetStats {
   Duration io_time;        // virtual time spent forwarding MMIO
   Duration run_time;       // virtual time spent executing
   Duration snapshot_time;  // virtual time spent saving/restoring state
+  // Transport health: retry/fault counters from the framed link this
+  // target talks through (bus/link.h). All zeros on a clean link.
+  LinkStats link;
 };
 
 class HardwareTarget {
@@ -87,6 +91,12 @@ class HardwareTarget {
     if (!st.ok()) return st.status();
     return sim::HashState(st.value());
   }
+
+  // Health probe: false once this target's link has been declared dead by
+  // the health monitor (consecutive deadline breaches / exhausted
+  // retries). The orchestrator consults this when picking a failover
+  // destination; a dead target fails every operation with kUnavailable.
+  virtual bool responsive() const { return true; }
 
   // --- accounting ----------------------------------------------------------
   virtual const VirtualClock& clock() const = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
+#include <optional>
 #include <thread>
 
 #include "common/rng.h"
@@ -30,7 +32,18 @@ std::string CampaignReport::Summary() const {
       static_cast<unsigned long long>(corpus_size),
       modeled_campaign_time.ToString().c_str(),
       modeled_serial_time.ToString().c_str(), modeled_speedup, wall_seconds);
-  return buf;
+  std::string out = buf;
+  if (link.retransmits > 0 || reprovisions > 0) {
+    std::snprintf(buf, sizeof buf,
+                  " | link: %llu retransmits, %llu drops, %llu crc rejects, "
+                  "%llu reprovisions",
+                  static_cast<unsigned long long>(link.retransmits),
+                  static_cast<unsigned long long>(link.drops),
+                  static_cast<unsigned long long>(link.crc_rejects),
+                  static_cast<unsigned long long>(reprovisions));
+    out += buf;
+  }
+  return out;
 }
 
 FuzzCampaign::FuzzCampaign(const rtl::Design& soc, vm::FirmwareImage image,
@@ -57,37 +70,112 @@ Duration ModeledWorkerTime(const fuzz::FuzzStats& stats,
 }  // namespace
 
 Status FuzzCampaign::RunWorker(unsigned worker) {
-  auto target = bus::SimulatorTarget::Create(soc_, options_.simulator_options);
-  if (!target.ok()) return target.status();
-
-  fuzz::FuzzOptions fopts = options_.fuzz;
   const uint64_t worker_seed = DeriveWorkerSeed(options_.seed, worker);
-  fopts.seed = worker_seed;
-  fuzz::Fuzzer fuzzer(target.value().get(), image_, fopts);
-
   const uint64_t quota = WorkerQuota(options_, worker);
-  uint64_t done = 0;
+
+  uint64_t done = 0;         // quota-credited execs (survive re-provision)
   size_t offer_cursor = 0;   // into the shared offer log
   size_t offered = 0;        // local corpus entries already shared
   size_t crashes_seen = 0;
 
+  uint64_t reprovisions = 0;
+  uint64_t replayed_execs = 0;
+  Duration dead_device_time;   // device clocks of incarnations that died
+  Duration catchup_time;       // survivors' time spent replaying old execs
+  bus::LinkStats dead_links;   // counters from incarnations that died
+  fuzz::FuzzStats dead_stats;  // reboot/restore work from dead incarnations
+
+  std::unique_ptr<bus::SimulatorTarget> target;
+  std::optional<fuzz::Fuzzer> fuzzer;
+
+  // Builds a fresh vertical slice. Each incarnation re-derives the link's
+  // fault seed so a replacement device does not replay the exact fault
+  // schedule that killed its predecessor.
+  auto provision = [&]() -> Status {
+    bus::SimulatorTargetOptions topts = options_.simulator_options;
+    if (topts.link.faults.enabled())
+      topts.link.faults.seed = DeriveWorkerSeed(
+          topts.link.faults.seed + reprovisions, worker);
+    auto t = bus::SimulatorTarget::Create(soc_, topts);
+    if (!t.ok()) return t.status();
+    target = std::move(t).value();
+    fuzz::FuzzOptions fopts = options_.fuzz;
+    fopts.seed = worker_seed;
+    fuzzer.emplace(target.get(), image_, fopts);
+    // Catch up: with no cross-pollination the fuzzer is a pure function
+    // of its seed, so replaying the credited execs reconstructs the
+    // corpus, RNG position and coverage exactly. (With share_corpus the
+    // original import timing is gone — the replacement simply fuzzes on
+    // from scratch, which that mode's input-level replay contract
+    // already allows.)
+    if (done > 0 && !options_.share_corpus) {
+      auto s = fuzzer->Run(done);
+      if (!s.ok()) return s.status();
+      replayed_execs += done;
+      catchup_time += target->clock().now();
+    }
+    return Status::Ok();
+  };
+
+  // A dead slice costs us its device: record what it spent, drop it, and
+  // let the next loop iteration provision a replacement.
+  auto abandon_slice = [&] {
+    if (target) {
+      dead_links += target->stats().link;
+      dead_device_time += target->clock().now();
+    }
+    if (fuzzer) {
+      dead_stats.reboots += fuzzer->stats().reboots;
+      dead_stats.snapshot_restores += fuzzer->stats().snapshot_restores;
+      dead_stats.delta_restores += fuzzer->stats().delta_restores;
+      dead_stats.total_instructions += fuzzer->stats().total_instructions;
+    }
+    fuzzer.reset();
+    target.reset();
+    // Re-publishing after catch-up is idempotent (SharedCorpus dedups
+    // inputs by content and crashes by pc), so just rewind the cursors.
+    offered = 0;
+    crashes_seen = 0;
+  };
+
   while (done < quota && !stop_.load(std::memory_order_relaxed)) {
+    if (!fuzzer) {
+      Status s = provision();
+      if (!s.ok()) {
+        if (!IsInfrastructureFailure(s.code())) return s;
+        if (reprovisions >= options_.max_reprovisions) return s;
+        ++reprovisions;
+        abandon_slice();
+        continue;  // catch-up itself hit a dead link: try a fresh slice
+      }
+    }
+
     if (options_.share_corpus)
-      fuzzer.ImportCorpus(shared_.TakeNewInputs(worker, &offer_cursor));
+      fuzzer->ImportCorpus(shared_.TakeNewInputs(worker, &offer_cursor));
 
     const uint64_t batch = std::min(options_.batch_execs, quota - done);
-    auto stats = fuzzer.Run(batch);
-    if (!stats.ok()) return stats.status();
+    auto stats = fuzzer->Run(batch);
+    if (!stats.ok()) {
+      if (!IsInfrastructureFailure(stats.status().code()))
+        return stats.status();
+      // The target's link died mid-batch. Re-provision the slice and
+      // replay up to the last credited exec instead of failing the
+      // campaign; give up only after max_reprovisions replacements.
+      if (reprovisions >= options_.max_reprovisions) return stats.status();
+      ++reprovisions;
+      abandon_slice();
+      continue;
+    }
     done += batch;
 
     // Sync point: publish coverage, inputs and crashes. Aggregation only
     // (unless share_corpus) — nothing here changes the fuzzer's future.
-    shared_.MergeEdges(fuzzer.edges());
-    for (; offered < fuzzer.corpus().size(); ++offered)
-      shared_.OfferInput(worker, fuzzer.corpus()[offered]);
-    for (; crashes_seen < fuzzer.crashes().size(); ++crashes_seen) {
+    shared_.MergeEdges(fuzzer->edges());
+    for (; offered < fuzzer->corpus().size(); ++offered)
+      shared_.OfferInput(worker, fuzzer->corpus()[offered]);
+    for (; crashes_seen < fuzzer->crashes().size(); ++crashes_seen) {
       CampaignFinding finding;
-      finding.crash = fuzzer.crashes()[crashes_seen];
+      finding.crash = fuzzer->crashes()[crashes_seen];
       finding.worker = worker;
       finding.worker_seed = worker_seed;
       finding.execs_at_find = done;
@@ -100,8 +188,27 @@ Status FuzzCampaign::RunWorker(unsigned worker) {
   WorkerResult& res = results_[worker];
   res.worker = worker;
   res.worker_seed = worker_seed;
-  res.stats = fuzzer.stats();
-  res.modeled_time = ModeledWorkerTime(fuzzer.stats(), options_);
+  if (fuzzer) {
+    res.stats = fuzzer->stats();
+    res.modeled_time = ModeledWorkerTime(fuzzer->stats(), options_);
+  }
+  // Fold in what the dead incarnations spent: their device time, reset
+  // work and off-device reboot costs all happened even though their
+  // progress had to be replayed on a replacement. The survivor's own
+  // clock already contains its catch-up time, so only dead-incarnation
+  // time is added here.
+  res.stats.execs = done;  // quota-credited, excludes catch-up replays
+  res.stats.link += dead_links;
+  res.stats.reboots += dead_stats.reboots;
+  res.stats.snapshot_restores += dead_stats.snapshot_restores;
+  res.stats.delta_restores += dead_stats.delta_restores;
+  res.stats.total_instructions += dead_stats.total_instructions;
+  res.modeled_time +=
+      dead_device_time +
+      options_.fuzz.reboot_cost * static_cast<int64_t>(dead_stats.reboots);
+  res.reprovisions = reprovisions;
+  res.replayed_execs = replayed_execs;
+  res.lost_device_time = dead_device_time + catchup_time;
   return Status::Ok();
 }
 
@@ -135,6 +242,8 @@ Result<CampaignReport> FuzzCampaign::Run() {
   report.wall_seconds = wall_seconds;
   for (const WorkerResult& r : results_) {
     report.execs += r.stats.execs;
+    report.reprovisions += r.reprovisions;
+    report.link += r.stats.link;
     report.modeled_serial_time += r.modeled_time;
     report.modeled_campaign_time =
         std::max(report.modeled_campaign_time, r.modeled_time);

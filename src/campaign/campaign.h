@@ -47,6 +47,13 @@ struct FuzzCampaignOptions {
   bool share_corpus = false;    // cross-pollinate (input-level replay only)
   bool stop_on_first_crash = false;
 
+  // How many times a worker may re-provision its slice (fresh target +
+  // fuzzer) after its target's link dies before giving up and failing the
+  // campaign. With share_corpus=false the replacement catches up by
+  // replaying the credited execs from the worker seed (pure-function
+  // contract), so findings are unchanged by a mid-campaign failover.
+  unsigned max_reprovisions = 4;
+
   // Per-worker fuzzer template. `fuzz.seed` is ignored — each worker
   // uses DeriveWorkerSeed(seed, worker).
   fuzz::FuzzOptions fuzz;
@@ -63,6 +70,12 @@ struct WorkerResult {
   // reboot costs). N devices run concurrently, so the campaign's modeled
   // duration is the max of these, not the sum.
   Duration modeled_time;
+  // Link-resilience accounting: slice re-provisions after a dead target,
+  // catch-up execs replayed on replacements (not quota-credited), and
+  // modeled device time that produced no credited progress.
+  uint64_t reprovisions = 0;
+  uint64_t replayed_execs = 0;
+  Duration lost_device_time;
 };
 
 struct CampaignReport {
@@ -72,6 +85,8 @@ struct CampaignReport {
   uint64_t corpus_size = 0;     // distinct interesting inputs, all workers
   std::vector<CampaignFinding> findings;
   std::vector<WorkerResult> per_worker;
+  uint64_t reprovisions = 0;     // slice failovers across all workers
+  bus::LinkStats link;           // transport counters summed over workers
   Duration modeled_campaign_time;  // max over worker modeled times
   Duration modeled_serial_time;    // sum over worker modeled times
   double modeled_speedup = 0.0;    // serial / campaign

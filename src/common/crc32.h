@@ -1,0 +1,44 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used as the end-to-end integrity check on everything that crosses an
+// unreliable host<->target link: framed MMIO transactions (bus/link.h)
+// and serialized snapshot blobs (snapshot/snapshot.cc). CRC32 detects all
+// single-bit errors and all burst errors up to 32 bits, which covers the
+// fault model of bus::FaultProfile exactly.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hardsnap {
+
+inline const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+// Streamable: pass the previous return value as `seed` to continue.
+inline uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  const auto& table = Crc32Table();
+  uint32_t c = seed ^ 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) c = table[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+inline uint32_t Crc32(const std::vector<uint8_t>& bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
+}  // namespace hardsnap

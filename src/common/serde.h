@@ -78,6 +78,11 @@ class ByteReader {
   Result<std::vector<uint64_t>> GetU64Vector() {
     auto n = GetU32();
     if (!n.ok()) return n.status();
+    // Validate the declared element count against the bytes actually
+    // present BEFORE reserving: a corrupt blob advertising 2^32-1 elements
+    // must fail as truncated, not OOM the host trying to allocate 32 GB.
+    if (remaining() < size_t{n.value()} * 8)
+      return Truncated("u64 vector body").status();
     std::vector<uint64_t> v;
     v.reserve(n.value());
     for (uint32_t i = 0; i < n.value(); ++i) {

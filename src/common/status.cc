@@ -13,6 +13,9 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kParseError: return "PARSE_ERROR";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

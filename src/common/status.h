@@ -25,9 +25,32 @@ enum class StatusCode {
   kParseError,        // Verilog / assembly front-end rejection
   kInternal,          // invariant broken inside HardSnap
   kResourceExhausted, // budget / capacity exceeded
+  kUnavailable,       // link/target down; the operation itself was fine
+  kDeadlineExceeded,  // operation blew its modeled deadline
+  kDataLoss,          // integrity check (CRC) rejected a payload
 };
 
 const char* StatusCodeName(StatusCode code);
+
+// Transient-vs-permanent classifier for the retry layer (bus/link.h): a
+// transient failure is a property of the transport, not of the request —
+// retransmitting the same frames (or re-fetching the same blob) may well
+// succeed. Permanent errors arrived in a well-formed reply from the far
+// side; retrying them verbatim is pointless.
+inline bool IsTransientFailure(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kDataLoss;
+}
+
+// The subset of transient failures that indicate the *target* (not one
+// payload) is in trouble — what the health monitor counts and what makes
+// the orchestrator fail over to a standby target. A kDataLoss is excluded:
+// a corrupt blob quarantines that payload, it does not condemn the device.
+inline bool IsInfrastructureFailure(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded;
+}
 
 // Status: result of an operation that produces no value.
 class Status {
@@ -73,6 +96,15 @@ inline Status Internal(std::string msg) {
 }
 inline Status ResourceExhausted(std::string msg) {
   return Status{StatusCode::kResourceExhausted, std::move(msg)};
+}
+inline Status Unavailable(std::string msg) {
+  return Status{StatusCode::kUnavailable, std::move(msg)};
+}
+inline Status DeadlineExceeded(std::string msg) {
+  return Status{StatusCode::kDeadlineExceeded, std::move(msg)};
+}
+inline Status DataLoss(std::string msg) {
+  return Status{StatusCode::kDataLoss, std::move(msg)};
 }
 
 // Result<T>: either a value or a Status explaining why there is none.

@@ -41,6 +41,13 @@ namespace hardsnap::core {
 // Forwards the DeltaSnapshotter capability too — without this the
 // executor's dynamic_cast sees only the proxy and every context switch
 // silently pays the full-copy price.
+//
+// The proxy is also where mid-analysis failover happens: when an operation
+// fails because the active target's link died (IsInfrastructureFailure),
+// the proxy asks the orchestrator to FailOver() to a responsive standby
+// and retries the operation once there. Analysis code above sees either a
+// successful operation on the survivor or the original failure when no
+// standby exists — never a crash.
 class OrchestratedTarget : public bus::HardwareTarget,
                            public bus::DeltaSnapshotter {
  public:
@@ -49,27 +56,43 @@ class OrchestratedTarget : public bus::HardwareTarget,
   bus::TargetKind kind() const override { return orch_->active().kind(); }
   const std::string& name() const override { return orch_->active().name(); }
   Result<uint32_t> Read32(uint32_t addr) override {
+    auto r = orch_->active().Read32(addr);
+    if (!ShouldFailOver(r.status())) return r;
     return orch_->active().Read32(addr);
   }
   Status Write32(uint32_t addr, uint32_t value) override {
+    Status s = orch_->active().Write32(addr, value);
+    if (!ShouldFailOver(s)) return s;
     return orch_->active().Write32(addr, value);
   }
-  Status Run(uint64_t cycles) override { return orch_->active().Run(cycles); }
+  Status Run(uint64_t cycles) override {
+    Status s = orch_->active().Run(cycles);
+    if (!ShouldFailOver(s)) return s;
+    return orch_->active().Run(cycles);
+  }
   uint32_t IrqVector() override { return orch_->active().IrqVector(); }
   Status ResetHardware() override {
     // The reset moves the live state without a migration: the state the
     // orchestrator last shipped here is gone, so the delta base must not
     // be trusted for the next MoveTo.
     orch_->InvalidateMirror(orch_->active_index());
+    Status s = orch_->active().ResetHardware();
+    if (!ShouldFailOver(s)) return s;
+    orch_->InvalidateMirror(orch_->active_index());
     return orch_->active().ResetHardware();
   }
   Result<sim::HardwareState> SaveState() override {
+    auto r = orch_->active().SaveState();
+    if (!ShouldFailOver(r.status())) return r;
     return orch_->active().SaveState();
   }
   Status RestoreState(const sim::HardwareState& state) override {
+    Status s = orch_->active().RestoreState(state);
+    if (!ShouldFailOver(s)) return s;
     return orch_->active().RestoreState(state);
   }
   Result<uint64_t> StateHash() override { return orch_->active().StateHash(); }
+  bool responsive() const override { return orch_->active().responsive(); }
   const VirtualClock& clock() const override {
     return orch_->active().clock();
   }
@@ -94,6 +117,17 @@ class OrchestratedTarget : public bus::HardwareTarget,
   }
 
  private:
+  // True when `s` says the active target's link is gone AND failover to a
+  // responsive standby succeeded — i.e. the caller should retry the
+  // operation once on the new active target. Delta ops deliberately do
+  // NOT fail over here: after a failover the survivor's delta sync point
+  // is gone, and their callers (fuzzer, executor) already carry a
+  // full-restore fallback that re-establishes one.
+  bool ShouldFailOver(const Status& s) {
+    if (s.ok() || !IsInfrastructureFailure(s.code())) return false;
+    return orch_->FailOver().ok();
+  }
+
   snapshot::TargetOrchestrator* orch_;
 };
 

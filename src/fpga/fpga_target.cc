@@ -6,7 +6,9 @@ using sim::HardwareState;
 
 FpgaTarget::FpgaTarget(std::unique_ptr<scanchain::InstrumentedDesign> inst,
                        FpgaTargetOptions options)
-    : options_(options), inst_(std::move(inst)) {
+    : options_(options),
+      inst_(std::move(inst)),
+      link_(options.channel, options.link) {
   sram_.resize(options_.sram_slots);
 }
 
@@ -34,42 +36,69 @@ Result<std::unique_ptr<FpgaTarget>> FpgaTarget::Create(
   return target;
 }
 
-void FpgaTarget::ChargeIo(unsigned transactions) {
-  const Duration cost = options_.channel.CostOf(transactions) +
-                        FabricCycles(transactions);
-  clock_.Advance(cost);
-  stats_.io_time += cost;
-}
-
 Result<uint32_t> FpgaTarget::Read32(uint32_t addr) {
-  auto v = driver_->Read32(addr);
+  // The USB3 round trip goes through the framed link (paying per attempt
+  // under faults); the AXI bus cycle on the fabric is charged only once
+  // the transaction actually lands.
+  Duration link_cost;
+  auto v = link_.Read(
+      addr, [&] { return driver_->Read32(addr); }, &link_cost);
+  clock_.Advance(link_cost);
+  stats_.io_time += link_cost;
+  SyncLinkStats();
   if (!v.ok()) return v.status();
   ++stats_.mmio_reads;
-  ChargeIo(1);
+  const Duration dev = FabricCycles(1);
+  clock_.Advance(dev);
+  stats_.io_time += dev;
   return v;
 }
 
 Status FpgaTarget::Write32(uint32_t addr, uint32_t value) {
-  HS_RETURN_IF_ERROR(driver_->Write32(addr, value));
+  Duration link_cost;
+  Status s = link_.Write(
+      addr, value, [&] { return driver_->Write32(addr, value); }, &link_cost);
+  clock_.Advance(link_cost);
+  stats_.io_time += link_cost;
+  SyncLinkStats();
+  HS_RETURN_IF_ERROR(s);
   ++stats_.mmio_writes;
-  ChargeIo(1);
+  const Duration dev = FabricCycles(1);
+  clock_.Advance(dev);
+  stats_.io_time += dev;
   return Status::Ok();
 }
 
 Status FpgaTarget::Run(uint64_t cycles) {
-  fabric_->Tick(static_cast<unsigned>(cycles));
-  stats_.cycles_run += cycles;
-  const Duration cost = FabricCycles(cycles);
+  Duration cost;
+  Status s = link_.Bulk(
+      FabricCycles(cycles),
+      [&] {
+        fabric_->Tick(static_cast<unsigned>(cycles));
+        return Status::Ok();
+      },
+      &cost);
   clock_.Advance(cost);
   stats_.run_time += cost;
+  SyncLinkStats();
+  HS_RETURN_IF_ERROR(s);
+  stats_.cycles_run += cycles;
   return Status::Ok();
 }
 
 Status FpgaTarget::ResetHardware() {
-  HS_RETURN_IF_ERROR(fabric_->Reset());
-  mirror_valid_ = false;  // live state moved without crossing the host link
-  clock_.Advance(FabricCycles(2));
-  return Status::Ok();
+  Duration cost;
+  Status s = link_.Bulk(
+      FabricCycles(2),
+      [&] {
+        HS_RETURN_IF_ERROR(fabric_->Reset());
+        mirror_valid_ = false;  // live state moved without crossing the link
+        return Status::Ok();
+      },
+      &cost);
+  clock_.Advance(cost);
+  SyncLinkStats();
+  return s;
 }
 
 Duration FpgaTarget::ScanPassCost() const {
@@ -101,40 +130,68 @@ Duration FpgaTarget::ReadbackCost() const {
 
 Status FpgaTarget::SaveToSlot(unsigned slot) {
   if (slot >= sram_.size()) return OutOfRange("no such SRAM slot");
-  auto state = scan_->Save();
-  if (!state.ok()) return state.status();
-  sram_[slot] = std::make_unique<HardwareState>(std::move(state).value());
-  ++stats_.snapshots_saved;
-  const Duration cost = ScanPassCost();
+  // The scan pass itself is on-fabric; what crosses the link is the
+  // controller command exchange. The pass (and the SRAM write) only
+  // happens if the command actually reaches the device.
+  Duration cost;
+  Status s = link_.Bulk(
+      ScanPassCost(),
+      [&]() -> Status {
+        auto state = scan_->Save();
+        if (!state.ok()) return state.status();
+        sram_[slot] =
+            std::make_unique<HardwareState>(std::move(state).value());
+        return Status::Ok();
+      },
+      &cost);
   clock_.Advance(cost);
   stats_.snapshot_time += cost;
+  SyncLinkStats();
+  HS_RETURN_IF_ERROR(s);
+  ++stats_.snapshots_saved;
   return Status::Ok();
 }
 
 Status FpgaTarget::RestoreFromSlot(unsigned slot) {
   if (slot >= sram_.size()) return OutOfRange("no such SRAM slot");
   if (!sram_[slot]) return FailedPrecondition("SRAM slot is empty");
-  HS_RETURN_IF_ERROR(scan_->Restore(*sram_[slot]));
-  mirror_valid_ = false;  // on-fabric load: the host never saw these bits
-  ++stats_.snapshots_restored;
-  const Duration cost = ScanPassCost();
+  Duration cost;
+  Status s = link_.Bulk(
+      ScanPassCost(),
+      [&]() -> Status {
+        HS_RETURN_IF_ERROR(scan_->Restore(*sram_[slot]));
+        mirror_valid_ = false;  // on-fabric load: host never saw these bits
+        return Status::Ok();
+      },
+      &cost);
   clock_.Advance(cost);
   stats_.snapshot_time += cost;
+  SyncLinkStats();
+  HS_RETURN_IF_ERROR(s);
+  ++stats_.snapshots_restored;
   return Status::Ok();
 }
 
 Status FpgaTarget::SwapWithSlot(unsigned slot) {
   if (slot >= sram_.size()) return OutOfRange("no such SRAM slot");
   if (!sram_[slot]) return FailedPrecondition("SRAM slot is empty");
-  auto old = scan_->SaveRestore(*sram_[slot]);
-  if (!old.ok()) return old.status();
-  *sram_[slot] = std::move(old).value();
-  mirror_valid_ = false;  // on-fabric swap: the host never saw these bits
-  ++stats_.snapshots_saved;
-  ++stats_.snapshots_restored;
-  const Duration cost = ScanPassCost();
+  Duration cost;
+  Status s = link_.Bulk(
+      ScanPassCost(),
+      [&]() -> Status {
+        auto old = scan_->SaveRestore(*sram_[slot]);
+        if (!old.ok()) return old.status();
+        *sram_[slot] = std::move(old).value();
+        mirror_valid_ = false;  // on-fabric swap: host never saw these bits
+        return Status::Ok();
+      },
+      &cost);
   clock_.Advance(cost);
   stats_.snapshot_time += cost;
+  SyncLinkStats();
+  HS_RETURN_IF_ERROR(s);
+  ++stats_.snapshots_saved;
+  ++stats_.snapshots_restored;
   return Status::Ok();
 }
 
@@ -145,19 +202,32 @@ bool FpgaTarget::SlotOccupied(unsigned slot) const {
 Result<HardwareState> FpgaTarget::DownloadSlot(unsigned slot) {
   if (slot >= sram_.size()) return OutOfRange("no such SRAM slot");
   if (!sram_[slot]) return FailedPrecondition("SRAM slot is empty");
-  const Duration cost = BulkTransferCost();
+  Duration cost;
+  Status s =
+      link_.Bulk(BulkTransferCost(), [] { return Status::Ok(); }, &cost);
   clock_.Advance(cost);
   stats_.snapshot_time += cost;
+  SyncLinkStats();
+  if (!s.ok()) return s;
   stats_.snapshot_bytes_copied += sim::StateWords(*sram_[slot]) * 8;
   return *sram_[slot];
 }
 
 Status FpgaTarget::UploadSlot(unsigned slot, const HardwareState& state) {
   if (slot >= sram_.size()) return OutOfRange("no such SRAM slot");
-  sram_[slot] = std::make_unique<HardwareState>(state);
-  const Duration cost = BulkTransferCost();
+  // The slot only takes the new content once the upload survives the link.
+  Duration cost;
+  Status s = link_.Bulk(
+      BulkTransferCost(),
+      [&] {
+        sram_[slot] = std::make_unique<HardwareState>(state);
+        return Status::Ok();
+      },
+      &cost);
   clock_.Advance(cost);
   stats_.snapshot_time += cost;
+  SyncLinkStats();
+  HS_RETURN_IF_ERROR(s);
   stats_.snapshot_bytes_copied += sim::StateWords(state) * 8;
   return Status::Ok();
 }
@@ -203,13 +273,23 @@ Result<sim::StateDelta> FpgaTarget::SaveStateDelta() {
   } else {
     delta = sim::FullDelta(state.value());  // no base: ship everything
   }
-  mirror_ = std::move(state).value();
-  mirror_valid_ = true;
-  ++stats_.snapshots_saved;
-  stats_.snapshot_bytes_copied += delta.PayloadBytes();
-  const Duration cost = ScanPassCost() + BulkDeltaCost(delta.PayloadBytes());
+  // The mirror (the host's view of the sync point) only advances once the
+  // delta payload survives the link — a failed ship must not desync it.
+  Duration cost;
+  Status s = link_.Bulk(
+      ScanPassCost() + BulkDeltaCost(delta.PayloadBytes()),
+      [&] {
+        mirror_ = std::move(state).value();
+        mirror_valid_ = true;
+        return Status::Ok();
+      },
+      &cost);
   clock_.Advance(cost);
   stats_.snapshot_time += cost;
+  SyncLinkStats();
+  if (!s.ok()) return s;
+  ++stats_.snapshots_saved;
+  stats_.snapshot_bytes_copied += delta.PayloadBytes();
   return delta;
 }
 
@@ -221,13 +301,21 @@ Status FpgaTarget::RestoreStateDelta(const sim::StateDelta& delta) {
   HS_RETURN_IF_ERROR(sim::ApplyDeltaToState(&next, delta));
   // Writing the chain is still a full pass; the delta only shrank the
   // host->fabric upload.
-  HS_RETURN_IF_ERROR(scan_->Restore(next));
-  mirror_ = std::move(next);
-  ++stats_.snapshots_restored;
-  stats_.snapshot_bytes_copied += delta.PayloadBytes();
-  const Duration cost = ScanPassCost() + BulkDeltaCost(delta.PayloadBytes());
+  Duration cost;
+  Status s = link_.Bulk(
+      ScanPassCost() + BulkDeltaCost(delta.PayloadBytes()),
+      [&]() -> Status {
+        HS_RETURN_IF_ERROR(scan_->Restore(next));
+        mirror_ = std::move(next);
+        return Status::Ok();
+      },
+      &cost);
   clock_.Advance(cost);
   stats_.snapshot_time += cost;
+  SyncLinkStats();
+  HS_RETURN_IF_ERROR(s);
+  ++stats_.snapshots_restored;
+  stats_.snapshot_bytes_copied += delta.PayloadBytes();
   return Status::Ok();
 }
 

@@ -26,6 +26,7 @@
 
 #include "bus/channel.h"
 #include "bus/delta_support.h"
+#include "bus/link.h"
 #include "bus/slot_support.h"
 #include "bus/soc_driver.h"
 #include "bus/target.h"
@@ -51,6 +52,11 @@ struct FpgaTargetOptions {
   Duration readback_setup = Duration::Millis(5);
 
   scanchain::ScanOptions scan;  // scope restriction, if any
+
+  // Framed-transport configuration for the USB3 debugger link (fault
+  // injection, retry policy, health monitor). Clean by default; the
+  // framing layer then charges exactly the raw channel costs.
+  bus::LinkConfig link;
 };
 
 class FpgaTarget : public bus::HardwareTarget,
@@ -86,8 +92,12 @@ class FpgaTarget : public bus::HardwareTarget,
   Result<sim::StateDelta> SaveStateDelta() override;
   Status RestoreStateDelta(const sim::StateDelta& delta) override;
 
+  bool responsive() const override { return link_.alive(); }
+
   const VirtualClock& clock() const override { return clock_; }
   const bus::TargetStats& stats() const override { return stats_; }
+
+  bus::FramedLink* link() { return &link_; }
 
   // --- snapshot controller IP (on-fabric, fast path) ---------------------
   // Scan the live state into SRAM slot `slot` (previous content replaced).
@@ -131,7 +141,7 @@ class FpgaTarget : public bus::HardwareTarget,
   Duration FabricCycles(uint64_t cycles) const {
     return PeriodOfHz(options_.fabric_hz) * static_cast<int64_t>(cycles);
   }
-  void ChargeIo(unsigned transactions);
+  void SyncLinkStats() { stats_.link = link_.stats(); }
 
   std::string name_ = "fpga";
   FpgaTargetOptions options_;
@@ -139,6 +149,7 @@ class FpgaTarget : public bus::HardwareTarget,
   std::unique_ptr<sim::Simulator> fabric_;  // private: bitstream execution
   std::unique_ptr<bus::SocBusDriver> driver_;
   std::unique_ptr<scanchain::ScanController> scan_;
+  bus::FramedLink link_;
   std::vector<std::unique_ptr<sim::HardwareState>> sram_;
   // Host-side mirror of the architectural state at the last full-transfer
   // sync point (what the delta path diffs against). Invalidated whenever

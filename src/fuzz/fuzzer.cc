@@ -44,6 +44,8 @@ Status Fuzzer::PrepareSnapshot() {
   HS_RETURN_IF_ERROR(cpu_.LoadFirmware(image_));
   if (options_.init_instructions > 0) {
     auto out = cpu_.Run(options_.init_instructions);
+    if (out.status == vm::RunStatus::kHardwareError)
+      return Unavailable("target failed during init: " + out.reason);
     if (out.status != vm::RunStatus::kRunning)
       return FailedPrecondition(
           "firmware terminated during init (before the harness point): " +
@@ -138,6 +140,15 @@ Result<FuzzStats> Fuzzer::Run(uint64_t execs) {
     cpu_.ClearCoverageLog();
     const uint64_t icount_before = cpu_.state().icount;
     auto out = cpu_.Run(options_.max_instructions_per_exec);
+    if (out.status == vm::RunStatus::kHardwareError) {
+      // Infrastructure failure, NOT a finding: the input did nothing
+      // wrong, the link to the target died. Surface it so the campaign
+      // layer can fail over / re-provision. The interrupted exec is not
+      // counted and its partial coverage is not recorded — a fresh
+      // Fuzzer with the same seed replays the credited prefix exactly.
+      stats_.link = target_->stats().link;
+      return Unavailable("target failed mid-execution: " + out.reason);
+    }
     stats_.total_instructions += cpu_.state().icount - icount_before;
     ++stats_.execs;
 
@@ -166,6 +177,7 @@ Result<FuzzStats> Fuzzer::Run(uint64_t execs) {
   stats_.crashes = crashes_.size();
   stats_.hw_time = target_->clock().now();
   stats_.snapshot_bytes_copied = target_->stats().snapshot_bytes_copied;
+  stats_.link = target_->stats().link;
   return stats_;
 }
 

@@ -82,6 +82,11 @@ struct FuzzStats {
   uint64_t snapshot_bytes_copied = 0;
   Duration reset_overhead;         // modeled time spent resetting state
   Duration hw_time;                // total modeled hardware time
+  // Transport retry/fault counters from the target's framed link. Under
+  // fault injection these grow while findings stay identical to a clean
+  // run (retries draw from the link's own RNG stream, never this
+  // fuzzer's mutation stream).
+  bus::LinkStats link;
 };
 
 class Fuzzer {

@@ -13,9 +13,83 @@ TargetOrchestrator::TargetOrchestrator(
   has_shipped_.assign(targets_.size(), false);
 }
 
+std::vector<uint8_t> TargetOrchestrator::MaybeCorrupt(
+    std::vector<uint8_t> blob) {
+  if (migration_.blob_corrupt_rate > 0 && !blob.empty() &&
+      fault_rng_.Chance(migration_.blob_corrupt_rate)) {
+    ++transfer_stats_.corrupt_blobs;
+    const uint64_t bit = fault_rng_.Below(blob.size() * 8);
+    blob[bit / 8] ^= static_cast<uint8_t>(uint8_t{1} << (bit % 8));
+  }
+  return blob;
+}
+
+Status TargetOrchestrator::ShipFull(size_t index,
+                                    const sim::HardwareState& state,
+                                    uint64_t state_hash) {
+  Status last = Internal("ShipFull: no attempt ran");
+  for (uint32_t attempt = 0; attempt < migration_.max_ship_attempts;
+       ++attempt) {
+    if (attempt > 0) ++transfer_stats_.blob_retries;
+    const std::vector<uint8_t> blob = MaybeCorrupt(SerializeState(state));
+    transfer_stats_.shipped_bytes += blob.size();
+    auto decoded = DeserializeState(blob);
+    if (!decoded.ok()) {
+      // CRC (or structural validation) rejected the received copy: the
+      // corrupt blob is quarantined, never restored. The source still
+      // holds the intact state — re-serialize and re-send.
+      last = decoded.status();
+      if (IsTransientFailure(last.code())) continue;
+      return last;
+    }
+    Status restored = targets_[index]->RestoreState(decoded.value());
+    if (!restored.ok()) {
+      // The destination may hold anything now; drop its delta base.
+      InvalidateMirror(index);
+      return restored;
+    }
+    last_shipped_[index] = std::move(decoded).value();
+    last_shipped_hash_[index] = state_hash;
+    has_shipped_[index] = true;
+    return Status::Ok();
+  }
+  return last;
+}
+
+Status TargetOrchestrator::ShipDelta(size_t index,
+                                     const sim::StateDelta& delta,
+                                     uint64_t state_hash) {
+  Status last = Internal("ShipDelta: no attempt ran");
+  for (uint32_t attempt = 0; attempt < migration_.max_ship_attempts;
+       ++attempt) {
+    if (attempt > 0) ++transfer_stats_.blob_retries;
+    const std::vector<uint8_t> blob =
+        MaybeCorrupt(SerializeStateDelta(delta));
+    transfer_stats_.shipped_bytes += blob.size();
+    auto decoded = DeserializeStateDelta(blob);
+    if (!decoded.ok()) {
+      last = decoded.status();
+      if (IsTransientFailure(last.code())) continue;
+      return last;
+    }
+    HS_RETURN_IF_ERROR(
+        sim::ApplyDeltaToState(&last_shipped_[index], decoded.value()));
+    Status restored = targets_[index]->RestoreState(last_shipped_[index]);
+    if (!restored.ok()) {
+      InvalidateMirror(index);
+      return restored;
+    }
+    last_shipped_hash_[index] = state_hash;
+    return Status::Ok();
+  }
+  return last;
+}
+
 Status TargetOrchestrator::MoveTo(size_t index) {
   if (index >= targets_.size()) return OutOfRange("no such target");
   if (index == active_) return Status::Ok();
+  if (!targets_[index]->responsive())
+    return Unavailable("migration destination target is unresponsive");
   auto state = targets_[active_]->SaveState();
   if (!state.ok()) return state.status();
   const uint64_t state_hash = sim::HashState(state.value());
@@ -35,36 +109,57 @@ Status TargetOrchestrator::MoveTo(size_t index) {
     if (dest_hash.ok() && dest_hash.value() == last_shipped_hash_[index]) {
       auto delta = sim::DiffStates(last_shipped_[index], state.value());
       if (delta.ok()) {
-        const std::vector<uint8_t> blob = SerializeStateDelta(delta.value());
-        transfer_stats_.shipped_bytes += blob.size();
-        auto decoded = DeserializeStateDelta(blob);
-        if (!decoded.ok()) return decoded.status();
-        HS_RETURN_IF_ERROR(
-            sim::ApplyDeltaToState(&last_shipped_[index], decoded.value()));
-        HS_RETURN_IF_ERROR(
-            targets_[index]->RestoreState(last_shipped_[index]));
-        last_shipped_hash_[index] = state_hash;
-        last_shipped_[active_] = std::move(state).value();
-        last_shipped_hash_[active_] = state_hash;
-        has_shipped_[active_] = true;
-        active_ = index;
-        return Status::Ok();
+        Status shipped = ShipDelta(index, delta.value(), state_hash);
+        if (shipped.ok()) {
+          last_shipped_[active_] = std::move(state).value();
+          last_shipped_hash_[active_] = state_hash;
+          has_shipped_[active_] = true;
+          active_ = index;
+          return Status::Ok();
+        }
+        if (!IsTransientFailure(shipped.code())) return shipped;
+        // Every delta copy arrived corrupt: abandon the delta path and
+        // fall back to shipping the (intact) full state below.
+        ++transfer_stats_.delta_fallbacks;
       }
     }
   }
-  const std::vector<uint8_t> blob = SerializeState(state.value());
-  transfer_stats_.shipped_bytes += blob.size();
-  auto decoded = DeserializeState(blob);
-  if (!decoded.ok()) return decoded.status();
-  HS_RETURN_IF_ERROR(targets_[index]->RestoreState(decoded.value()));
-  last_shipped_[index] = decoded.value();
-  last_shipped_hash_[index] = state_hash;
-  has_shipped_[index] = true;
+  HS_RETURN_IF_ERROR(ShipFull(index, state.value(), state_hash));
   last_shipped_[active_] = std::move(state).value();
   last_shipped_hash_[active_] = state_hash;
   has_shipped_[active_] = true;
   active_ = index;
   return Status::Ok();
+}
+
+Result<size_t> TargetOrchestrator::FailOver() {
+  const size_t dead = active_;
+  size_t next = targets_.size();
+  for (size_t i = 0; i < targets_.size(); ++i) {
+    if (i == dead) continue;
+    if (targets_[i]->responsive()) {
+      next = i;
+      break;
+    }
+  }
+  if (next == targets_.size())
+    return Unavailable("failover: no responsive standby target");
+  // Re-provision the standby with the nearest intact state we hold for
+  // the dead target: the mirror from the last orchestrated transfer. The
+  // standby cannot be refreshed from the dead target itself (its link is
+  // gone), so work since that transfer is lost — the analysis layer
+  // replays it. With no mirror at all, power-on reset and start fresh.
+  if (has_shipped_[dead]) {
+    HS_RETURN_IF_ERROR(
+        ShipFull(next, last_shipped_[dead], last_shipped_hash_[dead]));
+  } else {
+    HS_RETURN_IF_ERROR(targets_[next]->ResetHardware());
+    InvalidateMirror(next);
+  }
+  InvalidateMirror(dead);
+  ++transfer_stats_.failovers;
+  active_ = next;
+  return next;
 }
 
 void TargetOrchestrator::InvalidateMirror(size_t index) {

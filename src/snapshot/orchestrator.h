@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bus/target.h"
+#include "common/rng.h"
 #include "common/status.h"
 #include "sim/delta.h"
 
@@ -27,6 +28,21 @@ class TargetOrchestrator {
     uint64_t transfers = 0;
     uint64_t full_bytes = 0;     // what full-state blobs would have cost
     uint64_t shipped_bytes = 0;  // what actually crossed the link
+    uint64_t corrupt_blobs = 0;    // injected blob corruptions
+    uint64_t blob_retries = 0;     // re-ships after a CRC quarantine
+    uint64_t delta_fallbacks = 0;  // delta ships abandoned for a full ship
+    uint64_t failovers = 0;        // FailOver() switches completed
+  };
+
+  // Deterministic fault injection on the serialized blobs a migration
+  // ships (the snapshot-integrity soak). Every corruption is caught by
+  // the blob CRC: the corrupt copy is quarantined and the ship retried
+  // from the intact source state, up to max_ship_attempts; a delta ship
+  // that keeps failing falls back to a full-state ship.
+  struct MigrationFaults {
+    double blob_corrupt_rate = 0.0;  // per-blob probability of one bit flip
+    uint64_t seed = 0x6d696772ull;   // dedicated stream, like bus faults
+    uint32_t max_ship_attempts = 3;
   };
 
   // The orchestrator does not own the targets; they must outlive it.
@@ -55,6 +71,20 @@ class TargetOrchestrator {
   // migration does not even need the probe to know a full ship is due.
   void InvalidateMirror(size_t index);
 
+  void SetMigrationFaults(const MigrationFaults& faults) {
+    migration_ = faults;
+    fault_rng_ = Rng(faults.seed);
+  }
+
+  // Target failover: abandon the active target (its link has been declared
+  // dead by the health monitor) and switch to the first responsive standby,
+  // re-provisioning it with the nearest intact state this orchestrator
+  // holds for the dead target — the mirror from the last orchestrated
+  // transfer — or, with no mirror, a power-on reset (the analysis then
+  // re-runs its init path and re-captures fresh snapshots). Returns the
+  // new active index; kUnavailable when no standby is responsive.
+  Result<size_t> FailOver();
+
   // Find a target by kind (first match).
   Result<size_t> IndexOf(bus::TargetKind kind) const;
 
@@ -65,6 +95,16 @@ class TargetOrchestrator {
   const TransferStats& transfer_stats() const { return transfer_stats_; }
 
  private:
+  // One bounded-retry ship of `state` (or a delta against the
+  // destination's mirror) to target `index`: serialize, run the injector,
+  // deserialize (CRC verification), restore, update the destination
+  // mirror. Corrupt blobs are quarantined and re-shipped.
+  Status ShipFull(size_t index, const sim::HardwareState& state,
+                  uint64_t state_hash);
+  Status ShipDelta(size_t index, const sim::StateDelta& delta,
+                   uint64_t state_hash);
+  std::vector<uint8_t> MaybeCorrupt(std::vector<uint8_t> blob);
+
   std::vector<bus::HardwareTarget*> targets_;
   size_t active_ = 0;
   // Per target: the architectural state it last held when the orchestrator
@@ -75,6 +115,8 @@ class TargetOrchestrator {
   std::vector<uint64_t> last_shipped_hash_;
   std::vector<bool> has_shipped_;
   TransferStats transfer_stats_;
+  MigrationFaults migration_;
+  Rng fault_rng_{migration_.seed};
 };
 
 }  // namespace hardsnap::snapshot

@@ -2,10 +2,35 @@
 
 #include <algorithm>
 
+#include "common/crc32.h"
+
 namespace hardsnap::snapshot {
 
 using sim::kChunkWords;
 using sim::NumChunks;
+
+namespace {
+
+// End-to-end integrity: every serialized blob carries a trailing CRC32
+// over everything before it. Computed once at serialization, verified
+// FIRST at deserialization — a bit flipped anywhere in transit (lossy
+// link, bad storage) fails as kDataLoss before any field is trusted.
+void AppendCrc(ByteWriter* w) {
+  w->PutU32(Crc32(w->bytes().data(), w->bytes().size()));
+}
+
+Status VerifyCrc(const std::vector<uint8_t>& bytes, const char* what) {
+  if (bytes.size() < 4)
+    return DataLoss(std::string(what) + ": too short for a CRC trailer");
+  const size_t body = bytes.size() - 4;
+  uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) stored |= uint32_t{bytes[body + i]} << (8 * i);
+  if (stored != Crc32(bytes.data(), body))
+    return DataLoss(std::string(what) + ": CRC mismatch (corrupt blob)");
+  return Status::Ok();
+}
+
+}  // namespace
 
 uint64_t StateShapeDigest(const rtl::Design& design) {
   // FNV-1a over the flop widths and memory geometry.
@@ -30,17 +55,19 @@ std::vector<uint8_t> SerializeState(const sim::HardwareState& state) {
   w.PutU64Vector(state.flops);
   w.PutU32(static_cast<uint32_t>(state.memories.size()));
   for (const auto& mem : state.memories) w.PutU64Vector(mem);
+  AppendCrc(&w);
   return w.Take();
 }
 
 size_t SerializedStateBytes(const sim::HardwareState& state) {
-  // magic u32 + flop-vector length u32 + memory-count u32, one length u32
-  // per memory, 8 bytes per word everywhere.
-  return 12 + state.memories.size() * 4 + sim::StateWords(state) * 8;
+  // magic u32 + flop-vector length u32 + memory-count u32 + CRC32 trailer,
+  // one length u32 per memory, 8 bytes per word everywhere.
+  return 16 + state.memories.size() * 4 + sim::StateWords(state) * 8;
 }
 
 Result<sim::HardwareState> DeserializeState(
     const std::vector<uint8_t>& bytes) {
+  HS_RETURN_IF_ERROR(VerifyCrc(bytes, "state blob"));
   ByteReader r(bytes);
   auto magic = r.GetU32();
   if (!magic.ok()) return magic.status();
@@ -58,7 +85,8 @@ Result<sim::HardwareState> DeserializeState(
     if (!mem.ok()) return mem.status();
     st.memories.push_back(std::move(mem).value());
   }
-  if (!r.AtEnd()) return InvalidArgument("trailing bytes in state blob");
+  if (r.remaining() != 4)  // exactly the CRC trailer must remain
+    return InvalidArgument("trailing bytes in state blob");
   return st;
 }
 
@@ -76,11 +104,13 @@ std::vector<uint8_t> SerializeStateDelta(const sim::StateDelta& delta) {
     w.PutU32(c.index);
     w.PutU64Vector(c.words);
   }
+  AppendCrc(&w);
   return w.Take();
 }
 
 Result<sim::StateDelta> DeserializeStateDelta(
     const std::vector<uint8_t>& bytes) {
+  HS_RETURN_IF_ERROR(VerifyCrc(bytes, "delta blob"));
   ByteReader r(bytes);
   auto magic = r.GetU32();
   if (!magic.ok()) return magic.status();
@@ -133,7 +163,8 @@ Result<sim::StateDelta> DeserializeStateDelta(
       return InvalidArgument("delta blob chunk payload size mismatch");
     d.chunks.push_back(std::move(c));
   }
-  if (!r.AtEnd()) return InvalidArgument("trailing bytes in delta blob");
+  if (r.remaining() != 4)  // exactly the CRC trailer must remain
+    return InvalidArgument("trailing bytes in delta blob");
   return d;
 }
 

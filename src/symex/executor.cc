@@ -88,6 +88,9 @@ std::string Report::ToJson() const {
   num("covered_pcs", covered_pcs);
   num("snapshot_bytes_copied", snapshot_bytes_copied);
   num("snapshot_bytes_shared", snapshot_bytes_shared);
+  num("link_retransmits", link.retransmits);
+  num("link_crc_rejects", link.crc_rejects);
+  num("link_deadline_breaches", link.deadline_breaches);
   {
     char buf[32];
     std::snprintf(buf, sizeof buf, "%.4f", snapshot_dedup_ratio);
@@ -981,6 +984,7 @@ Result<Report> Executor::Run() {
   report.solver_queries += solver_.stats().queries;
   report.covered_pcs = covered_pcs_.size();
   report.snapshot_bytes_copied = target_->stats().snapshot_bytes_copied;
+  report.link = target_->stats().link;
   const auto& ss = store_.stats();
   report.snapshot_bytes_shared = ss.bytes_shared;
   if (ss.bytes_copied + ss.bytes_shared > 0) {

@@ -144,6 +144,10 @@ struct Report {
   double snapshot_dedup_ratio = 0.0;   // shared / (copied+shared) in the store
   Duration analysis_hw_time;   // target virtual time at end
   Duration replay_overhead;    // extra virtual time charged for replays
+  // Transport retry/fault counters from the target's framed link: how
+  // hard the host had to work to keep the analysis running on an
+  // unreliable channel (zero on a clean link).
+  bus::LinkStats link;
   std::string console;         // concatenated console output of all paths
 
   std::string Summary() const;

@@ -161,7 +161,19 @@ RunOutcome Cpu::Step() {
       if (InMmio(addr)) {
         if (!target_) { bug("MMIO access without hardware", state_.pc); return out; }
         auto r = target_->Read32(addr & 0xffff);
-        if (!r.ok()) { bug("MMIO read failed", state_.pc); return out; }
+        if (!r.ok()) {
+          // A dead/timed-out link is the host's problem, not firmware's:
+          // report it as a hardware error so analyses can re-provision
+          // instead of logging a bogus crash finding.
+          if (IsInfrastructureFailure(r.status().code())) {
+            out.status = RunStatus::kHardwareError;
+            out.fault_pc = state_.pc;
+            out.reason = "MMIO read failed: " + r.status().ToString();
+            return out;
+          }
+          bug("MMIO read failed", state_.pc);
+          return out;
+        }
         v = r.value();
       } else {
         auto r = Load(addr, bytes);
@@ -195,7 +207,13 @@ RunOutcome Cpu::Step() {
       }
       if (InMmio(addr)) {
         if (!target_) { bug("MMIO access without hardware", state_.pc); return out; }
-        if (!target_->Write32(addr & 0xffff, rs2).ok()) {
+        if (Status ws = target_->Write32(addr & 0xffff, rs2); !ws.ok()) {
+          if (IsInfrastructureFailure(ws.code())) {
+            out.status = RunStatus::kHardwareError;
+            out.fault_pc = state_.pc;
+            out.reason = "MMIO write failed: " + ws.ToString();
+            return out;
+          }
           bug("MMIO write failed", state_.pc);
           return out;
         }
@@ -296,7 +314,12 @@ RunOutcome Cpu::Step() {
       break;
     case Opcode::kWfi:
       if (target_ && target_->IrqVector() == 0) {
-        HS_CHECK(target_->Run(16).ok());
+        if (Status rs = target_->Run(16); !rs.ok()) {
+          out.status = RunStatus::kHardwareError;
+          out.fault_pc = state_.pc;
+          out.reason = "hardware run failed: " + rs.ToString();
+          return out;
+        }
         if (target_->IrqVector() == 0) {
           if ((state_.mstatus & kMstatusMie) == 0) {
             out.status = RunStatus::kWaiting;
@@ -313,7 +336,16 @@ RunOutcome Cpu::Step() {
       break;
   }
 
-  if (target_) HS_CHECK(target_->Run(cycles_per_instruction_).ok());
+  if (target_) {
+    if (Status rs = target_->Run(cycles_per_instruction_); !rs.ok()) {
+      // Losing the target mid-instruction is an infrastructure event, not
+      // a firmware bug and not a VM invariant violation: surface it so
+      // the analysis layer can fail over / re-provision.
+      out.status = RunStatus::kHardwareError;
+      out.fault_pc = state_.pc;
+      out.reason = "hardware run failed: " + rs.ToString();
+    }
+  }
   return out;
 }
 

@@ -34,10 +34,13 @@ struct CpuState {
 };
 
 enum class RunStatus : uint8_t {
-  kRunning,     // budget exhausted, resumable
-  kExited,      // firmware wrote kHostExit
-  kBug,         // memory violation / ebreak / illegal instruction
-  kWaiting,     // wfi with interrupts disabled: cannot make progress
+  kRunning,        // budget exhausted, resumable
+  kExited,         // firmware wrote kHostExit
+  kBug,            // memory violation / ebreak / illegal instruction
+  kWaiting,        // wfi with interrupts disabled: cannot make progress
+  kHardwareError,  // the hardware target's link failed (kUnavailable /
+                   // kDeadlineExceeded): an infrastructure fault, NOT a
+                   // firmware bug — fuzzers must not report it as a finding
 };
 
 struct RunOutcome {

@@ -1,0 +1,397 @@
+// Unreliable-link resilience: the framed transport retries through
+// injected faults without changing results, the health monitor declares
+// dead links, the orchestrator quarantines corrupt snapshot blobs and
+// fails analyses over to a standby target, and campaigns re-provision
+// worker slices instead of crashing — all deterministically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bus/link.h"
+#include "bus/sim_target.h"
+#include "campaign/campaign.h"
+#include "core/session.h"
+#include "firmware/corpus.h"
+#include "fpga/fpga_target.h"
+#include "periph/periph.h"
+#include "rtl/elaborate.h"
+#include "snapshot/orchestrator.h"
+#include "vm/assembler.h"
+
+namespace hardsnap {
+namespace {
+
+rtl::Design& Soc() {
+  static rtl::Design* d = [] {
+    auto r =
+        rtl::CompileVerilog(periph::BuildSoc(periph::DefaultCorpus()), "soc");
+    HS_CHECK_MSG(r.ok(), r.status().ToString());
+    return new rtl::Design(std::move(r).value());
+  }();
+  return *d;
+}
+
+uint32_t TimerAddr(uint32_t reg) { return (0u << 8) | reg; }
+
+// --- Frame -----------------------------------------------------------------
+
+TEST(FrameTest, RoundTrip) {
+  bus::Frame f;
+  f.kind = bus::Frame::kWrite;
+  f.seq = 42;
+  f.addr = 0x1234;
+  f.value = 0xdeadbeef;
+  auto bytes = f.Encode();
+  ASSERT_EQ(bytes.size(), bus::Frame::kWireBytes);
+  auto back = bus::Frame::Decode(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().seq, 42u);
+  EXPECT_EQ(back.value().value, 0xdeadbeefu);
+}
+
+TEST(FrameTest, CrcCatchesEverySingleBitFlip) {
+  bus::Frame f;
+  f.kind = bus::Frame::kRead;
+  f.seq = 7;
+  f.addr = 0x100;
+  const auto bytes = f.Encode();
+  for (size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+    auto corrupt = bytes;
+    corrupt[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(bus::Frame::Decode(corrupt).ok())
+        << "bit flip at " << bit << " accepted";
+  }
+}
+
+// --- FramedLink ------------------------------------------------------------
+
+TEST(FramedLinkTest, CleanLinkChargesExactlyTheUnframedCost) {
+  const bus::ChannelModel ch = bus::Usb3Channel();
+  bus::FramedLink link(ch, {});
+  Duration cost;
+  auto r = link.Read(0x10, [] { return Result<uint32_t>(5u); }, &cost);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 5u);
+  EXPECT_EQ(cost, ch.per_transaction);
+
+  ASSERT_TRUE(
+      link.Command(2, [] { return Status::Ok(); }, &cost).ok());
+  EXPECT_EQ(cost, ch.CostOf(2));
+
+  const Duration bulk = Duration::Micros(123);
+  ASSERT_TRUE(link.Bulk(bulk, [] { return Status::Ok(); }, &cost).ok());
+  EXPECT_EQ(cost, bulk);
+
+  EXPECT_EQ(link.stats().retransmits, 0u);
+  EXPECT_EQ(link.stats().failed_ops, 0u);
+}
+
+TEST(FramedLinkTest, RetriesMaskFaultsAndDeviceRunsOncePerOp) {
+  bus::LinkConfig cfg;
+  cfg.faults.drop_rate = 0.2;
+  cfg.faults.corrupt_rate = 0.2;
+  cfg.faults.seed = 99;
+  cfg.dead_after = 1u << 30;  // keep the link up however unlucky it gets
+  bus::FramedLink link(bus::Usb3Channel(), cfg);
+
+  uint64_t successes = 0;
+  for (uint32_t i = 0; i < 300; ++i) {
+    uint64_t execs_this_op = 0;
+    auto r = link.Read(i, [&]() -> Result<uint32_t> {
+      ++execs_this_op;
+      return i * 3;
+    }, nullptr);
+    // Idempotency: however many retransmits the faults forced, the device
+    // ran at most once per operation — replies lost after the execution
+    // are served from the sequence-number cache, duplicate requests never
+    // re-execute.
+    EXPECT_LE(execs_this_op, 1u) << "op " << i << " re-executed";
+    if (r.ok()) {
+      ++successes;
+      EXPECT_EQ(r.value(), i * 3);  // never stale or garbled data
+    } else {
+      // At 20%+20% per-hop fault rates a few ops legitimately exhaust
+      // their retry budget; they must fail transiently, not corrupt.
+      EXPECT_TRUE(IsTransientFailure(r.status().code()));
+    }
+  }
+  EXPECT_GT(successes, 290u);  // retries mask the vast majority of faults
+  EXPECT_GT(link.stats().retransmits, 0u);
+  EXPECT_GT(link.stats().crc_rejects, 0u);
+  EXPECT_GT(link.stats().dedup_hits, 0u);
+  EXPECT_TRUE(link.alive());
+}
+
+TEST(FramedLinkTest, FaultScheduleIsDeterministic) {
+  bus::LinkConfig cfg;
+  cfg.faults.drop_rate = 0.3;
+  cfg.faults.corrupt_rate = 0.1;
+  cfg.faults.seed = 1234;
+  bus::FramedLink a(bus::Usb3Channel(), cfg);
+  bus::FramedLink b(bus::Usb3Channel(), cfg);
+  Duration cost_a, cost_b;
+  for (uint32_t i = 0; i < 200; ++i) {
+    auto ra = a.Read(i, [&] { return Result<uint32_t>(i); }, &cost_a);
+    auto rb = b.Read(i, [&] { return Result<uint32_t>(i); }, &cost_b);
+    ASSERT_EQ(ra.ok(), rb.ok());
+    EXPECT_EQ(cost_a, cost_b);
+  }
+  EXPECT_EQ(a.stats().retransmits, b.stats().retransmits);
+  EXPECT_EQ(a.stats().drops, b.stats().drops);
+  EXPECT_EQ(a.stats().crc_rejects, b.stats().crc_rejects);
+}
+
+TEST(FramedLinkTest, PermanentDeviceErrorsAreNotRetried) {
+  bus::FramedLink link(bus::SharedMemoryChannel(), {});
+  uint64_t device_execs = 0;
+  auto s = link.Write(0x10, 1, [&] {
+    ++device_execs;
+    return InvalidArgument("no such register");
+  }, nullptr);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(device_execs, 1u);
+  EXPECT_EQ(link.stats().retransmits, 0u);
+  // A well-formed error reply means the LINK worked: not a health strike.
+  EXPECT_TRUE(link.alive());
+}
+
+TEST(FramedLinkTest, HealthMonitorDeclaresDeathAfterConsecutiveFailures) {
+  bus::LinkConfig cfg;
+  cfg.faults.drop_rate = 1.0;  // nothing ever gets through
+  cfg.dead_after = 3;
+  bus::FramedLink link(bus::Usb3Channel(), cfg);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(link.alive());
+    auto s = link.Write(0, 0, [] { return Status::Ok(); }, nullptr);
+    EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  }
+  EXPECT_FALSE(link.alive());
+  // Dead link: fail fast, no frames on the wire.
+  const uint64_t frames_before = link.stats().frames_sent;
+  auto s = link.Read(0, [] { return Result<uint32_t>(1u); }, nullptr);
+  EXPECT_EQ(s.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(link.stats().frames_sent, frames_before);
+}
+
+TEST(FramedLinkTest, StallsBeyondTheDeadlineFailAsDeadlineExceeded) {
+  bus::LinkConfig cfg;
+  cfg.faults.stall_rate = 1.0;
+  cfg.faults.stall = Duration::Millis(10);
+  cfg.retry.deadline = Duration::Millis(4);
+  bus::FramedLink link(bus::Usb3Channel(), cfg);
+  auto s = link.Write(0, 0, [] { return Status::Ok(); }, nullptr);
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GT(link.stats().deadline_breaches, 0u);
+  EXPECT_TRUE(IsTransientFailure(s.code()));
+}
+
+// --- targets over a faulty link --------------------------------------------
+
+TEST(FaultyTargetTest, SimulatorMmioResultsIdenticalUnderFaults) {
+  auto clean = bus::SimulatorTarget::Create(Soc());
+  bus::SimulatorTargetOptions fopts;
+  fopts.link.faults.drop_rate = 0.1;
+  fopts.link.faults.corrupt_rate = 0.1;
+  auto faulty = bus::SimulatorTarget::Create(Soc(), fopts);
+  ASSERT_TRUE(clean.ok() && faulty.ok());
+
+  for (uint32_t i = 1; i <= 50; ++i) {
+    ASSERT_TRUE(clean.value()->Write32(TimerAddr(periph::timer_regs::kLoad),
+                                       i).ok());
+    ASSERT_TRUE(faulty.value()->Write32(TimerAddr(periph::timer_regs::kLoad),
+                                        i).ok());
+    auto rc = clean.value()->Read32(TimerAddr(periph::timer_regs::kLoad));
+    auto rf = faulty.value()->Read32(TimerAddr(periph::timer_regs::kLoad));
+    ASSERT_TRUE(rc.ok() && rf.ok());
+    EXPECT_EQ(rc.value(), rf.value());
+  }
+  // The faults were really injected — and really masked.
+  EXPECT_GT(faulty.value()->stats().link.retransmits, 0u);
+  // Retries cost virtual time: the faulty link can only be slower.
+  EXPECT_GE(faulty.value()->clock().now(), clean.value()->clock().now());
+}
+
+// --- orchestrator: blob integrity + failover --------------------------------
+
+TEST(MigrationIntegrityTest, CorruptBlobsAreQuarantinedAndReshipped) {
+  auto a = bus::SimulatorTarget::Create(Soc());
+  auto b = bus::SimulatorTarget::Create(Soc());
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(a.value()->ResetHardware().ok());
+  ASSERT_TRUE(b.value()->ResetHardware().ok());
+  ASSERT_TRUE(
+      a.value()->Write32(TimerAddr(periph::timer_regs::kLoad), 77).ok());
+  ASSERT_TRUE(a.value()->Run(4).ok());
+
+  snapshot::TargetOrchestrator orch({a.value().get(), b.value().get()});
+  snapshot::TargetOrchestrator::MigrationFaults faults;
+  faults.blob_corrupt_rate = 0.6;
+  faults.max_ship_attempts = 16;
+  faults.seed = 7;
+  orch.SetMigrationFaults(faults);
+
+  // Migrate back and forth enough that corruptions certainly hit.
+  for (size_t round = 0; round < 6; ++round) {
+    ASSERT_TRUE(orch.MoveTo(1 - orch.active_index()).ok());
+  }
+  const auto& ts = orch.transfer_stats();
+  EXPECT_GT(ts.corrupt_blobs, 0u);
+  EXPECT_GT(ts.blob_retries, 0u);
+  // Every corruption was caught before restore: the migrated state is
+  // exactly the source state, wherever the shuttle ended up.
+  auto v = orch.active().Read32(TimerAddr(periph::timer_regs::kLoad));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 77u);
+}
+
+TEST(MigrationIntegrityTest, UnrecoverableCorruptionReportsDataLoss) {
+  auto a = bus::SimulatorTarget::Create(Soc());
+  auto b = bus::SimulatorTarget::Create(Soc());
+  ASSERT_TRUE(a.ok() && b.ok());
+  snapshot::TargetOrchestrator orch({a.value().get(), b.value().get()});
+  snapshot::TargetOrchestrator::MigrationFaults faults;
+  faults.blob_corrupt_rate = 1.0;  // every copy of every ship corrupt
+  faults.max_ship_attempts = 3;
+  orch.SetMigrationFaults(faults);
+  auto s = orch.MoveTo(1);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss) << s.ToString();
+  EXPECT_EQ(orch.active_index(), 0u);  // never switched onto corrupt state
+}
+
+TEST(FailoverTest, ProxyFailsOverFromFpgaToSimulatorMidAnalysis) {
+  auto fpga = fpga::FpgaTarget::Create(Soc());
+  auto sim = bus::SimulatorTarget::Create(Soc());
+  ASSERT_TRUE(fpga.ok() && sim.ok());
+  ASSERT_TRUE(fpga.value()->ResetHardware().ok());
+  ASSERT_TRUE(sim.value()->ResetHardware().ok());
+
+  snapshot::TargetOrchestrator orch({fpga.value().get(), sim.value().get()});
+  core::OrchestratedTarget proxy(&orch);
+
+  // Build up state on the FPGA, then migrate round-trip so the
+  // orchestrator holds a mirror of the FPGA's state.
+  ASSERT_TRUE(proxy.Write32(TimerAddr(periph::timer_regs::kLoad), 5).ok());
+  ASSERT_TRUE(orch.MoveTo(1).ok());
+  ASSERT_TRUE(orch.MoveTo(0).ok());
+  ASSERT_EQ(orch.active_index(), 0u);
+
+  // The debugger cable falls out.
+  fpga.value()->link()->Sever();
+  EXPECT_FALSE(proxy.responsive());
+
+  // The next operation transparently lands on the simulator, re-provisioned
+  // from the mirror — the analysis sees a plain successful read.
+  auto v = proxy.Read32(TimerAddr(periph::timer_regs::kLoad));
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v.value(), 5u);
+  EXPECT_EQ(orch.active_index(), 1u);
+  EXPECT_EQ(orch.transfer_stats().failovers, 1u);
+  EXPECT_TRUE(proxy.responsive());
+}
+
+TEST(FailoverTest, NoStandbyMeansTheFailureSurfaces) {
+  auto sim = bus::SimulatorTarget::Create(Soc());
+  ASSERT_TRUE(sim.ok());
+  snapshot::TargetOrchestrator orch({sim.value().get()});
+  core::OrchestratedTarget proxy(&orch);
+  sim.value()->link()->Sever();
+  auto v = proxy.Read32(TimerAddr(periph::timer_regs::kLoad));
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kUnavailable);
+}
+
+// --- campaigns on faulty links ----------------------------------------------
+
+vm::FirmwareImage ParserImage() {
+  auto img = vm::Assemble(firmware::VulnerableParserFirmware());
+  EXPECT_TRUE(img.ok());
+  return img.value_or(vm::FirmwareImage{});
+}
+
+campaign::FuzzCampaignOptions ParserOptions(unsigned workers,
+                                            uint64_t execs = 800) {
+  campaign::FuzzCampaignOptions opts;
+  opts.workers = workers;
+  opts.total_execs = execs;
+  opts.seed = 2026;
+  opts.fuzz.input_size = 2;
+  return opts;
+}
+
+std::vector<uint32_t> CrashPcs(const campaign::CampaignReport& report) {
+  std::vector<uint32_t> pcs;
+  for (const auto& f : report.findings) pcs.push_back(f.crash.pc);
+  std::sort(pcs.begin(), pcs.end());
+  return pcs;
+}
+
+// Satellite acceptance: a campaign fuzzing through 1% injected frame
+// drops/corruptions reports the same coverage and the same crashes as a
+// clean-link campaign with the same seed — retries draw from the link's
+// own RNG stream, never the fuzzers' mutation streams.
+TEST(FaultyCampaignTest, FindingsIdenticalToCleanRunAtOnePercentFaults) {
+  auto image = ParserImage();
+
+  campaign::FuzzCampaign clean_campaign(Soc(), image, ParserOptions(4));
+  auto clean = clean_campaign.Run();
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+  auto opts = ParserOptions(4);
+  opts.simulator_options.link.faults.drop_rate = 0.01;
+  opts.simulator_options.link.faults.corrupt_rate = 0.01;
+  campaign::FuzzCampaign faulty_campaign(Soc(), image, opts);
+  auto faulty = faulty_campaign.Run();
+  ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+
+  EXPECT_GT(faulty.value().link.retransmits, 0u);  // faults really flowed
+  EXPECT_EQ(CrashPcs(faulty.value()), CrashPcs(clean.value()));
+  EXPECT_EQ(faulty.value().edges_covered, clean.value().edges_covered);
+  EXPECT_EQ(faulty.value().corpus_size, clean.value().corpus_size);
+  EXPECT_EQ(faulty.value().execs, clean.value().execs);
+}
+
+// Re-provision soak: outages long enough to kill worker links outright.
+// Workers replace their slice, replay the credited prefix from the worker
+// seed, and the campaign completes with clean-run findings.
+TEST(FaultyCampaignTest, WorkersReprovisionThroughLinkDeaths) {
+  auto image = ParserImage();
+
+  campaign::FuzzCampaign clean_campaign(Soc(), image, ParserOptions(2, 400));
+  auto clean = clean_campaign.Run();
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+  auto opts = ParserOptions(2, 400);
+  opts.max_reprovisions = 50;
+  opts.simulator_options.link.faults.outage_rate = 2e-5;
+  opts.simulator_options.link.faults.outage_frames = 64;
+  campaign::FuzzCampaign faulty_campaign(Soc(), image, opts);
+  auto faulty = faulty_campaign.Run();
+  ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+
+  uint64_t replayed = 0;
+  for (const auto& w : faulty.value().per_worker)
+    replayed += w.replayed_execs;
+  EXPECT_GT(faulty.value().reprovisions, 0u);  // links really died
+  EXPECT_GT(replayed, 0u);                     // catch-up really ran
+  EXPECT_EQ(CrashPcs(faulty.value()), CrashPcs(clean.value()));
+  EXPECT_EQ(faulty.value().edges_covered, clean.value().edges_covered);
+  EXPECT_EQ(faulty.value().execs, clean.value().execs);
+}
+
+// A hopeless link (every frame dropped forever) must fail the campaign
+// with the transport error once the re-provision budget is spent — not
+// hang, not crash, not report fake findings.
+TEST(FaultyCampaignTest, HopelessLinkFailsTheCampaignCleanly) {
+  auto opts = ParserOptions(1, 100);
+  opts.max_reprovisions = 2;
+  opts.simulator_options.link.faults.drop_rate = 1.0;
+  campaign::FuzzCampaign campaign(Soc(), ParserImage(), opts);
+  auto report = campaign.Run();
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(IsInfrastructureFailure(report.status().code()))
+      << report.status().ToString();
+}
+
+}  // namespace
+}  // namespace hardsnap

@@ -1,0 +1,138 @@
+// Deserializer robustness: a snapshot blob that was truncated, bit-flipped
+// or forged in transit must come back as an error — never a crash, never a
+// silently wrong state. Exercises every byte offset of both wire formats
+// (HSSS full states, HSSD deltas) plus the ByteReader primitives the
+// decoders are built on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/serde.h"
+#include "sim/delta.h"
+#include "snapshot/snapshot.h"
+
+namespace hardsnap::snapshot {
+namespace {
+
+sim::HardwareState SampleState() {
+  sim::HardwareState st;
+  st.flops = {1, 2, 3, 0xdeadbeef, 0x12345678};
+  st.memories = {{10, 20, 30, 40}, {}, {7}};
+  return st;
+}
+
+sim::StateDelta SampleDelta() {
+  auto base = SampleState();
+  auto next = base;
+  next.flops[0] = 0xfeedface;
+  next.memories[0][3] = 99;
+  auto delta = sim::DiffStates(base, next);
+  HS_CHECK_MSG(delta.ok(), delta.status().ToString());
+  return std::move(delta).value();
+}
+
+// --- full-state blobs ------------------------------------------------------
+
+TEST(SerdeRobustnessTest, StateSurvivesTruncationAtEveryLength) {
+  const auto bytes = SerializeState(SampleState());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<uint8_t> cut(bytes.begin(), bytes.begin() + len);
+    auto r = DeserializeState(cut);
+    EXPECT_FALSE(r.ok()) << "truncation to " << len << " bytes accepted";
+  }
+}
+
+TEST(SerdeRobustnessTest, StateDetectsEverySingleBitFlip) {
+  const auto bytes = SerializeState(SampleState());
+  const auto original = DeserializeState(bytes);
+  ASSERT_TRUE(original.ok());
+  for (size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+    auto corrupt = bytes;
+    corrupt[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    auto r = DeserializeState(corrupt);
+    // CRC-32 detects every single-bit error, so no flip may decode — not
+    // even to the correct state, and especially not to a different one.
+    EXPECT_FALSE(r.ok()) << "bit flip at " << bit << " accepted";
+  }
+}
+
+TEST(SerdeRobustnessTest, StateRejectsTrailingBytes) {
+  auto bytes = SerializeState(SampleState());
+  bytes.push_back(0);
+  EXPECT_FALSE(DeserializeState(bytes).ok());
+}
+
+// A forged blob that advertises a huge element count (with a CRC computed
+// over the forgery so the integrity check passes) must fail as truncated
+// instead of OOM-ing the host on the advertised allocation.
+TEST(SerdeRobustnessTest, ForgedHugeLengthFailsWithoutAllocating) {
+  ByteWriter w;
+  w.PutU32(0x48535353);             // HSSS magic
+  w.PutU32(0xffffffffu);            // forged flop count: ~34 GB of u64s
+  auto body = w.Take();
+  const uint32_t crc = Crc32(body.data(), body.size());
+  ByteWriter t;
+  t.PutU32(crc);
+  for (uint8_t b : t.Take()) body.push_back(b);
+  auto r = DeserializeState(body);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange)
+      << r.status().ToString();
+}
+
+// --- delta blobs -----------------------------------------------------------
+
+TEST(SerdeRobustnessTest, DeltaSurvivesTruncationAtEveryLength) {
+  const auto bytes = SerializeStateDelta(SampleDelta());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<uint8_t> cut(bytes.begin(), bytes.begin() + len);
+    auto r = DeserializeStateDelta(cut);
+    EXPECT_FALSE(r.ok()) << "truncation to " << len << " bytes accepted";
+  }
+}
+
+TEST(SerdeRobustnessTest, DeltaDetectsEverySingleBitFlip) {
+  const auto bytes = SerializeStateDelta(SampleDelta());
+  ASSERT_TRUE(DeserializeStateDelta(bytes).ok());
+  for (size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+    auto corrupt = bytes;
+    corrupt[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(DeserializeStateDelta(corrupt).ok())
+        << "bit flip at " << bit << " accepted";
+  }
+}
+
+TEST(SerdeRobustnessTest, CorruptBlobsReportDataLoss) {
+  auto bytes = SerializeState(SampleState());
+  bytes[bytes.size() / 2] ^= 0x01;
+  auto r = DeserializeState(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+// --- ByteReader primitives -------------------------------------------------
+
+TEST(SerdeRobustnessTest, ByteReaderBoundsChecksVectorLengthBeforeAlloc) {
+  ByteWriter w;
+  w.PutU32(0xffffffffu);  // declared count far beyond the payload
+  w.PutU64(1);
+  auto bytes = w.Take();
+  ByteReader r(bytes);
+  auto v = r.GetU64Vector();
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerdeRobustnessTest, ByteReaderBoundsChecksStringLength) {
+  ByteWriter w;
+  w.PutU32(100);  // declared string length, only 2 bytes follow
+  w.PutU8('h');
+  w.PutU8('i');
+  auto bytes = w.Take();
+  ByteReader r(bytes);
+  EXPECT_FALSE(r.GetString().ok());
+}
+
+}  // namespace
+}  // namespace hardsnap::snapshot

@@ -23,6 +23,13 @@
 //                               that replays it single-threaded
 //   --share-corpus              let workers adopt each other's inputs
 //                               (faster coverage, input-level replay only)
+// link options (any command that talks to hardware):
+//   --fault-rate=P              inject frame drops AND corruptions, each
+//                               with probability P (e.g. 0.01), on the
+//                               host<->target link; retries mask them
+//   --fault-seed=N              RNG seed for the injected fault schedule
+//   --mmio-deadline=USEC        per-operation retry budget beyond the
+//                               clean transfer cost, in microseconds
 //
 // Example:
 //   hardsnap run driver.s --symbolic-reg=a0 --mode=hardsnap --target=fpga
@@ -98,6 +105,8 @@ struct Cli {
   unsigned workers = 1;
   uint64_t seed = 1;
   bool share_corpus = false;
+  // host<->target transport (applied to every target the command builds)
+  bus::LinkConfig link;
 };
 
 bool ParseArgs(int argc, char** argv, Cli* cli) {
@@ -169,6 +178,18 @@ bool ParseArgs(int argc, char** argv, Cli* cli) {
       cli->seed = ParseNum(v);
     } else if (arg == "--share-corpus") {
       cli->share_corpus = true;
+    } else if (OptValue(arg, "fault-rate", &v)) {
+      const double rate = std::stod(v);
+      if (rate < 0.0 || rate > 1.0) {
+        std::fprintf(stderr, "--fault-rate must be in [0,1]\n");
+        return false;
+      }
+      cli->link.faults.drop_rate = rate;
+      cli->link.faults.corrupt_rate = rate;
+    } else if (OptValue(arg, "fault-seed", &v)) {
+      cli->link.faults.seed = ParseNum(v);
+    } else if (OptValue(arg, "mmio-deadline", &v)) {
+      cli->link.retry.deadline = Duration::Micros(std::stod(v));
     } else if (OptValue(arg, "reset", &v)) {
       if (v == "snapshot") cli->fuzz.reset = fuzz::ResetStrategy::kSnapshotReset;
       else if (v == "reboot") cli->fuzz.reset = fuzz::ResetStrategy::kRebootReset;
@@ -217,6 +238,8 @@ int CmdRun(const Cli& cli) {
   core::SessionConfig cfg;
   cfg.target = cli.target;
   cfg.exec = cli.exec;
+  cfg.simulator_options.link = cli.link;
+  cfg.fpga_options.link = cli.link;
   auto session = core::Session::Create(cfg);
   if (!session.ok()) {
     std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
@@ -271,6 +294,8 @@ int CmdExec(const Cli& cli) {
   }
   core::SessionConfig cfg;
   cfg.target = cli.target;
+  cfg.simulator_options.link = cli.link;
+  cfg.fpga_options.link = cli.link;
   auto session = core::Session::Create(cfg);
   if (!session.ok()) return 1;
   vm::Cpu cpu(&session.value()->hardware());
@@ -279,15 +304,21 @@ int CmdExec(const Cli& cli) {
   std::printf("status: %s\n",
               out.status == vm::RunStatus::kExited ? "exited"
               : out.status == vm::RunStatus::kBug ? "BUG"
-              : out.status == vm::RunStatus::kWaiting ? "waiting" : "budget");
+              : out.status == vm::RunStatus::kWaiting ? "waiting"
+              : out.status == vm::RunStatus::kHardwareError ? "HW-ERROR"
+                                                            : "budget");
   if (out.status == vm::RunStatus::kExited)
     std::printf("exit code: %u\n", out.exit_code);
   if (out.status == vm::RunStatus::kBug)
     std::printf("fault: %s at pc=0x%08x\n", out.reason.c_str(), out.fault_pc);
+  if (out.status == vm::RunStatus::kHardwareError)
+    std::printf("hardware: %s at pc=0x%08x\n", out.reason.c_str(),
+                out.fault_pc);
   std::printf("instructions: %llu\n",
               static_cast<unsigned long long>(cpu.state().icount));
   if (!cpu.console().empty())
     std::printf("console: %s\n", cpu.console().c_str());
+  if (out.status == vm::RunStatus::kHardwareError) return 1;
   return out.status == vm::RunStatus::kBug ? 1 : 0;
 }
 
@@ -305,6 +336,7 @@ int CmdFuzzCampaign(const Cli& cli, const vm::FirmwareImage& image) {
   opts.seed = cli.seed;
   opts.share_corpus = cli.share_corpus;
   opts.fuzz = cli.fuzz;
+  opts.simulator_options.link = cli.link;
   campaign::FuzzCampaign campaign(soc.value(), image, opts);
   auto report = campaign.Run();
   if (!report.ok()) {
@@ -348,6 +380,8 @@ int CmdFuzz(const Cli& cli) {
   }
   core::SessionConfig cfg;
   cfg.target = cli.target;
+  cfg.simulator_options.link = cli.link;
+  cfg.fpga_options.link = cli.link;
   auto session = core::Session::Create(cfg);
   if (!session.ok()) return 1;
   fuzz::FuzzOptions fopts = cli.fuzz;
