@@ -1,0 +1,277 @@
+// E12 — durability overhead: what does crash-safe checkpointing cost?
+//
+// The write-ahead journal puts an fsync on every batch acknowledgment and
+// a compacted checkpoint every `checkpoint_every` records, all on the
+// campaign's worker threads' ack path. This bench prices that against the
+// identical campaign with persistence off:
+//
+//   - throughput overhead at compaction intervals 1/4/16/64 (16 is the
+//     default; the acceptance bar is <5% there),
+//   - the same interval with sync=false, isolating the fsync itself from
+//     the serialization work,
+//   - a microbenchmark of one acknowledged batch (journal append+fsync).
+//
+// The primary overhead number is metered, not differenced: the
+// persistence layer times its own durability path
+// (PersistStats::durability_seconds — serialization, mirror fold,
+// journal append+fsync, checkpoint write), which does not run at all
+// with persistence off, so overhead = durability_seconds / baseline
+// cost. On shared CI hosts both wall clock AND CPU seconds jitter
+// several percent run to run (preemption, frequency scaling) — an
+// order of magnitude above the ~1% cost being priced — so an A-B
+// difference of end-to-end timings cannot resolve it; the meter can.
+// A bracketed A-B-A end-to-end ratio is still reported per config as
+// `measured_overhead_pct` to cross-check that the meter is not missing
+// some indirect cost (it should agree within host noise).
+//
+// Expected shape: overhead is dominated by fsync count, so it falls
+// roughly linearly with the interval; serialization alone (sync=false)
+// is noise.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "campaign/campaign.h"
+#include "firmware/corpus.h"
+#include "periph/periph.h"
+#include "persist/campaign_persistence.h"
+#include "rtl/elaborate.h"
+#include "vm/assembler.h"
+
+using namespace hardsnap;
+
+namespace {
+
+rtl::Design& Soc() {
+  static rtl::Design* d = [] {
+    auto r = rtl::CompileVerilog(periph::BuildSoc(periph::DefaultCorpus()),
+                                 "soc");
+    HS_CHECK_MSG(r.ok(), r.status().ToString());
+    return new rtl::Design(std::move(r).value());
+  }();
+  return *d;
+}
+
+vm::FirmwareImage ParserImage() {
+  static vm::FirmwareImage* img = [] {
+    auto r = vm::Assemble(firmware::VulnerableParserFirmware());
+    HS_CHECK_MSG(r.ok(), r.status().ToString());
+    return new vm::FirmwareImage(std::move(r).value());
+  }();
+  return *img;
+}
+
+class ScratchDir {
+ public:
+  ScratchDir() {
+    char tmpl[] = "/tmp/hs_bench_ckpt_XXXXXX";
+    char* d = mkdtemp(tmpl);
+    HS_CHECK(d != nullptr);
+    path_ = d;
+  }
+  ~ScratchDir() {
+    std::string cmd = "rm -rf '" + path_ + "'";
+    if (std::system(cmd.c_str()) != 0) {
+      // best-effort cleanup
+    }
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// One worker: on small CI hosts extra worker threads oversubscribe the
+// cores and wall-clock variance swamps the durability cost being priced.
+// Per-ack cost is identical for every worker, so one is representative.
+constexpr uint64_t kExecs = 2000;
+constexpr unsigned kWorkers = 1;
+
+campaign::FuzzCampaignOptions Options() {
+  campaign::FuzzCampaignOptions opts;
+  opts.workers = kWorkers;
+  opts.total_execs = kExecs;
+  opts.seed = 2026;
+  opts.fuzz.input_size = 2;
+  return opts;
+}
+
+struct Sample {
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;  // process CPU time across Run()
+  persist::PersistStats stats;
+  uint64_t findings = 0;
+  // End-to-end cost: work done plus time blocked on durability I/O
+  // (fsync wait is not CPU time). Used for the A-B-A cross-check.
+  double cost_seconds() const {
+    return cpu_seconds + stats.durability_seconds;
+  }
+};
+
+double ProcessCpuSeconds() {
+  timespec ts{};
+  HS_CHECK(clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+}
+
+Sample RunConfig(uint64_t checkpoint_every, bool sync) {
+  campaign::FuzzCampaignOptions opts = Options();
+  ScratchDir dir;  // fresh directory: never resumes, always a cold run
+  if (checkpoint_every != 0) {
+    opts.persist.dir = dir.path();
+    opts.persist.checkpoint_every = checkpoint_every;
+    opts.persist.sync = sync;
+  }
+  campaign::FuzzCampaign c(Soc(), ParserImage(), opts);
+  const double cpu_start = ProcessCpuSeconds();
+  auto report = c.Run();
+  const double cpu_end = ProcessCpuSeconds();
+  HS_CHECK_MSG(report.ok(), report.status().ToString());
+  Sample s;
+  s.wall_seconds = report.value().wall_seconds;
+  s.cpu_seconds = cpu_end - cpu_start;
+  s.stats = report.value().persist_stats;
+  s.findings = report.value().findings.size();
+  return s;
+}
+
+struct Config {
+  const char* name;
+  uint64_t checkpoint_every;  // 0 = persistence off
+  bool sync;
+};
+
+// Primary metric: metered durability time over baseline cost (see file
+// header). Cross-check: A-B-A bracketed end-to-end ratios — each config
+// run is sandwiched between two baseline runs and compared against the
+// MEAN of its brackets, so linear host drift across the triplet cancels
+// exactly; the median over rounds discards the odd round where the host
+// jumped mid-triplet.
+void PrintTable() {
+  constexpr int kRounds = 3;
+  static constexpr Config kConfigs[] = {
+      {"persist_every_1", 1, true},   {"persist_every_4", 4, true},
+      {"persist_every_16", 16, true}, {"persist_every_64", 64, true},
+      {"persist_16_nosync", 16, false},
+  };
+  constexpr size_t kN = sizeof kConfigs / sizeof kConfigs[0];
+
+  std::printf("E12: durability overhead (%u workers, %llu execs/run, "
+              "median of %d A-B-A bracketed rounds)\n\n",
+              kWorkers, static_cast<unsigned long long>(kExecs), kRounds);
+
+  // Warm-up: first touch of the compiled design and page cache.
+  (void)RunConfig(0, true);
+
+  Sample samples[kN][kRounds];
+  double ratio[kN][kRounds];
+  std::vector<double> base_costs;
+  Sample base_sample;
+  for (int round = 0; round < kRounds; ++round) {
+    for (size_t i = 0; i < kN; ++i) {
+      const Sample a1 = RunConfig(0, true);
+      const Sample b = RunConfig(kConfigs[i].checkpoint_every,
+                                 kConfigs[i].sync);
+      const Sample a2 = RunConfig(0, true);
+      const double bracket =
+          0.5 * (a1.cost_seconds() + a2.cost_seconds());
+      samples[i][round] = b;
+      ratio[i][round] = b.cost_seconds() / bracket;
+      base_costs.push_back(a1.cost_seconds());
+      base_costs.push_back(a2.cost_seconds());
+      base_sample = a2;
+    }
+  }
+
+  std::printf("  %-22s %10s %12s %10s %10s %9s %8s\n", "config", "cost_s",
+              "durability_s", "overhead", "measured", "journal", "ckpts");
+
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const double base_cost = median(base_costs);
+  std::printf("  %-22s %10.3f %12s %10s %10s %9s %8s\n", "persist_off",
+              base_cost, "-", "-", "-", "-", "-");
+  benchjson::Add("persist_off.cost_seconds", base_cost);
+  benchjson::Add("persist_off.wall_seconds", base_sample.wall_seconds);
+  benchjson::Add("persist_off.findings", base_sample.findings);
+
+  for (size_t i = 0; i < kN; ++i) {
+    std::vector<double> costs, ratios, waits;
+    for (int r = 0; r < kRounds; ++r) {
+      costs.push_back(samples[i][r].cost_seconds());
+      ratios.push_back(ratio[i][r]);
+      waits.push_back(samples[i][r].stats.durability_seconds);
+    }
+    // Primary: the durability path's own meter over the baseline cost.
+    const double pct = 100.0 * median(waits) / base_cost;
+    // Cross-check: bracketed end-to-end difference (noisy on shared
+    // hosts; should agree with `pct` within that noise).
+    const double measured_pct = 100.0 * (median(ratios) - 1.0);
+    const Sample& s = samples[i][0];  // counters are run-invariant
+    std::printf("  %-22s %10.3f %12.4f %9.2f%% %9.2f%% %9llu %8llu\n",
+                kConfigs[i].name, median(costs), median(waits), pct,
+                measured_pct,
+                static_cast<unsigned long long>(s.stats.journal_records),
+                static_cast<unsigned long long>(s.stats.checkpoints_written));
+    const std::string p = kConfigs[i].name;
+    benchjson::Add(p + ".cost_seconds", median(costs));
+    benchjson::Add(p + ".durability_seconds", median(waits));
+    benchjson::Add(p + ".overhead_pct", pct);
+    benchjson::Add(p + ".measured_overhead_pct", measured_pct);
+    benchjson::Add(p + ".journal_records", s.stats.journal_records);
+    benchjson::Add(p + ".journal_bytes", s.stats.journal_bytes);
+    benchjson::Add(p + ".checkpoints", s.stats.checkpoints_written);
+    if (kConfigs[i].checkpoint_every == 16 && kConfigs[i].sync) {
+      // The acceptance bar (ISSUE/EXPERIMENTS E12): default interval
+      // must stay under 5% overhead.
+      benchjson::Add("default_interval.overhead_pct", pct);
+      benchjson::Add("default_interval.findings", s.findings);
+    }
+  }
+  std::printf("\n");
+}
+
+// Microbenchmark: one acknowledged batch — serialize, fold, append,
+// fsync. This is the incremental durability cost a worker pays at every
+// sync point.
+void BM_AckFuzzBatch(benchmark::State& state) {
+  const bool sync = state.range(0) != 0;
+  ScratchDir dir;
+  persist::PersistOptions popts;
+  popts.dir = dir.path();
+  popts.checkpoint_every = 1u << 30;  // never compact inside the loop
+  popts.sync = sync;
+  auto p = persist::CampaignPersistence::Open(
+      popts, persist::kCampaignKindFuzz, /*fingerprint=*/1, /*workers=*/2);
+  HS_CHECK(p.ok());
+  persist::FuzzBatchAck ack;
+  ack.worker = 0;
+  ack.fresh_edges = {1, 2, 3};
+  ack.new_inputs = {{0xaa, 0xbb}};
+  uint64_t done = 0;
+  for (auto _ : state) {
+    ack.done = done += 64;
+    ack.rng_digest = done * 0x9e3779b97f4a7c15ull;
+    HS_CHECK(p.value()->AckFuzzBatch(ack).ok());
+  }
+  state.SetLabel(sync ? "fsync per ack" : "no fsync");
+}
+BENCHMARK(BM_AckFuzzBatch)->Arg(1)->Arg(0)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchjson::Emit("checkpoint");
+  return 0;
+}

@@ -16,7 +16,43 @@ Status ValidateFuzzCampaignOptions(const FuzzCampaignOptions& options) {
     return InvalidArgument("campaign workers must be >= 1");
   if (options.batch_execs == 0)
     return InvalidArgument("campaign batch_execs must be >= 1");
+  if (!options.persist.dir.empty()) {
+    if (options.persist.checkpoint_every == 0)
+      return InvalidArgument("persist.checkpoint_every must be >= 1");
+    if (options.share_corpus)
+      return InvalidArgument(
+          "durable persistence requires share_corpus=false: exact resume "
+          "relies on the pure-function seed replay, which "
+          "cross-pollination is defined to break");
+  }
   return fuzz::ValidateFuzzOptions(options.fuzz);
+}
+
+uint64_t FuzzCampaignFingerprint(const FuzzCampaignOptions& o,
+                                 const vm::FirmwareImage& image) {
+  persist::Fingerprint fp;
+  fp.Mix(persist::kCampaignKindFuzz);
+  fp.Mix(o.seed);
+  fp.Mix(o.workers);
+  fp.Mix(o.batch_execs);
+  fp.Mix(o.share_corpus ? 1 : 0);
+  fp.Mix(static_cast<uint64_t>(o.fuzz.reset));
+  fp.Mix(o.fuzz.input_addr);
+  fp.Mix(o.fuzz.input_size);
+  fp.Mix(o.fuzz.max_instructions_per_exec);
+  fp.Mix(o.fuzz.init_instructions);
+  fp.Mix(o.fuzz.cycles_per_instruction);
+  fp.Mix(o.fuzz.use_delta_snapshots ? 1 : 0);
+  // The firmware is part of the campaign's identity: resuming a directory
+  // with a different image would replay seeds against a different program
+  // and silently mix two campaigns' findings. (The harness-snapshot hash
+  // cannot catch this alone — firmware lives in the host VM, and a code
+  // change that alters no MMIO traffic leaves the hardware state
+  // identical.)
+  fp.Mix(image.base);
+  fp.Mix(image.bytes.size());
+  for (uint8_t b : image.bytes) fp.Mix(b);
+  return fp.digest();
 }
 
 std::string CampaignReport::Summary() const {
@@ -73,7 +109,11 @@ Status FuzzCampaign::RunWorker(unsigned worker) {
   const uint64_t worker_seed = DeriveWorkerSeed(options_.seed, worker);
   const uint64_t quota = WorkerQuota(options_, worker);
 
-  uint64_t done = 0;         // quota-credited execs (survive re-provision)
+  // Resume: start from the recovered acknowledgment frontier. provision()
+  // below replays these execs on the fresh slice (the same pure-function
+  // catch-up a link failover uses), reconstructing corpus, coverage and
+  // RNG position exactly.
+  uint64_t done = persist_ ? resume_done_[worker] : 0;
   size_t offer_cursor = 0;   // into the shared offer log
   size_t offered = 0;        // local corpus entries already shared
   size_t crashes_seen = 0;
@@ -114,6 +154,29 @@ Status FuzzCampaign::RunWorker(unsigned worker) {
       replayed_execs += done;
       catchup_time += target->clock().now();
     }
+    if (persist_) {
+      // Exact-resume proof: the replayed worker must have reached the
+      // recorded RNG stream position. A mismatch means the replay did not
+      // reproduce the original run (changed firmware, changed mutator) —
+      // continuing would silently corrupt the findings' provenance.
+      if (done == resume_done_[worker] && done > 0 &&
+          resume_rng_digest_[worker] != 0 &&
+          fuzzer->RngDigest() != resume_rng_digest_[worker])
+        return DataLoss(
+            "resume replay diverged from the checkpointed RNG stream "
+            "position (worker " + std::to_string(worker) + ")");
+      // Harness drift check: the recovered snapshot store holds the
+      // harness-point hardware state of the original run; the recomputed
+      // harness must match it (same SoC, same firmware, same init).
+      HS_RETURN_IF_ERROR(fuzzer->EnsureSnapshotReady());
+      if (persist_->resumed() && persist_->HasHarnessSnapshots() &&
+          !persist_->HarnessHashKnown(fuzzer->harness_hash()))
+        return DataLoss(
+            "resume harness drift: the recomputed harness snapshot does "
+            "not match any checkpointed one (firmware or SoC changed?)");
+      HS_RETURN_IF_ERROR(persist_->RecordHarnessSnapshot(
+          fuzzer->harness_state(), "harness"));
+    }
     return Status::Ok();
   };
 
@@ -138,7 +201,13 @@ Status FuzzCampaign::RunWorker(unsigned worker) {
     crashes_seen = 0;
   };
 
-  while (done < quota && !stop_.load(std::memory_order_relaxed)) {
+  auto externally_stopped = [&] {
+    return options_.external_stop != nullptr &&
+           options_.external_stop->load(std::memory_order_relaxed);
+  };
+
+  while (done < quota && !stop_.load(std::memory_order_relaxed) &&
+         !externally_stopped()) {
     if (!fuzzer) {
       Status s = provision();
       if (!s.ok()) {
@@ -170,18 +239,33 @@ Status FuzzCampaign::RunWorker(unsigned worker) {
 
     // Sync point: publish coverage, inputs and crashes. Aggregation only
     // (unless share_corpus) — nothing here changes the fuzzer's future.
-    shared_.MergeEdges(fuzzer->edges());
-    for (; offered < fuzzer->corpus().size(); ++offered)
+    persist::FuzzBatchAck ack;  // filled only when persisting
+    shared_.MergeEdges(fuzzer->edges(),
+                       persist_ ? &ack.fresh_edges : nullptr);
+    for (; offered < fuzzer->corpus().size(); ++offered) {
       shared_.OfferInput(worker, fuzzer->corpus()[offered]);
+      if (persist_) ack.new_inputs.push_back(fuzzer->corpus()[offered]);
+    }
     for (; crashes_seen < fuzzer->crashes().size(); ++crashes_seen) {
       CampaignFinding finding;
       finding.crash = fuzzer->crashes()[crashes_seen];
       finding.worker = worker;
       finding.worker_seed = worker_seed;
       finding.execs_at_find = done;
+      if (persist_) ack.new_findings.push_back(finding);
       const bool fresh = shared_.ReportCrash(std::move(finding));
       if (fresh && options_.stop_on_first_crash)
         stop_.store(true, std::memory_order_relaxed);
+    }
+    if (persist_) {
+      // Acknowledgment point: the batch only counts once the journal
+      // fsync returns. A crash anywhere before this line loses nothing —
+      // the batch simply replays identically on resume (same seed, same
+      // stream position, same findings with the same execs_at_find).
+      ack.worker = worker;
+      ack.done = done;
+      ack.rng_digest = fuzzer->RngDigest();
+      HS_RETURN_IF_ERROR(persist_->AckFuzzBatch(ack));
     }
   }
 
@@ -219,6 +303,25 @@ Result<CampaignReport> FuzzCampaign::Run() {
   results_.resize(options_.workers);
   worker_status_.assign(options_.workers, Status::Ok());
 
+  if (!options_.persist.dir.empty()) {
+    HS_ASSIGN_OR_RETURN(
+        persist_, persist::CampaignPersistence::Open(
+                      options_.persist, persist::kCampaignKindFuzz,
+                      FuzzCampaignFingerprint(options_, image_),
+                      options_.workers));
+    const persist::CampaignDurableState recovered = persist_->state();
+    resume_done_ = recovered.worker_done;
+    resume_rng_digest_ = recovered.worker_rng_digest;
+    // Seed the shared corpus with everything already acknowledged, in
+    // the original order, so a resumed campaign's findings list is the
+    // uninterrupted run's list.
+    std::vector<std::pair<unsigned, std::vector<uint8_t>>> offers;
+    offers.reserve(recovered.offers.size());
+    for (const persist::DurableOffer& o : recovered.offers)
+      offers.emplace_back(o.worker, o.input);
+    shared_.Restore(recovered.edges, offers, recovered.findings);
+  }
+
   const auto wall_start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   threads.reserve(options_.workers);
@@ -230,8 +333,14 @@ Result<CampaignReport> FuzzCampaign::Run() {
                                     wall_start)
           .count();
 
+  // Final flush before error propagation: whatever the workers managed to
+  // acknowledge is compacted into a checkpoint even if one of them failed.
+  Status final_flush = Status::Ok();
+  if (persist_) final_flush = persist_->Checkpoint();
+
   for (const Status& s : worker_status_)
     if (!s.ok()) return s;
+  HS_RETURN_IF_ERROR(final_flush);
 
   CampaignReport report;
   report.per_worker = results_;
@@ -240,6 +349,12 @@ Result<CampaignReport> FuzzCampaign::Run() {
   report.unique_crashes = report.findings.size();
   report.corpus_size = shared_.corpus_size();
   report.wall_seconds = wall_seconds;
+  if (persist_) {
+    report.resumed = persist_->resumed();
+    report.persist_stats = persist_->stats();
+  }
+  report.interrupted = options_.external_stop != nullptr &&
+                       options_.external_stop->load(std::memory_order_relaxed);
   for (const WorkerResult& r : results_) {
     report.execs += r.stats.execs;
     report.reprovisions += r.reprovisions;

@@ -29,11 +29,14 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "bus/sim_target.h"
 #include "campaign/shared_corpus.h"
 #include "common/status.h"
 #include "common/virtual_clock.h"
 #include "fuzz/fuzzer.h"
+#include "persist/campaign_persistence.h"
 #include "rtl/ir.h"
 #include "vm/assembler.h"
 
@@ -58,6 +61,19 @@ struct FuzzCampaignOptions {
   // uses DeriveWorkerSeed(seed, worker).
   fuzz::FuzzOptions fuzz;
   bus::SimulatorTargetOptions simulator_options;
+
+  // Durable checkpointing (persist.dir non-empty enables it): every batch
+  // acknowledgment is journaled before it counts, so a killed campaign
+  // resumes from the same directory with findings identical to an
+  // uninterrupted run. Requires share_corpus=false (the exact-resume
+  // contract is the pure-function seed replay; cross-pollination is
+  // schedule-dependent). See docs/checkpoint_resume.md.
+  persist::PersistOptions persist;
+
+  // Cooperative shutdown: when non-null and set, workers finish their
+  // current batch (acknowledging it durably when persisting) and stop.
+  // The CLI's SIGINT/SIGTERM handler sets this.
+  std::atomic<bool>* external_stop = nullptr;
 };
 
 Status ValidateFuzzCampaignOptions(const FuzzCampaignOptions& options);
@@ -93,6 +109,11 @@ struct CampaignReport {
   double wall_seconds = 0.0;       // host wall-clock of Run()
   double modeled_execs_per_sec = 0.0;
 
+  // Persistence provenance (campaigns with persist.dir set).
+  bool resumed = false;       // started from recovered durable state
+  bool interrupted = false;   // stopped by external_stop before the budget
+  persist::PersistStats persist_stats;
+
   std::string Summary() const;
 };
 
@@ -117,7 +138,21 @@ class FuzzCampaign {
   std::atomic<bool> stop_{false};
   std::vector<WorkerResult> results_;   // slot per worker, disjoint writes
   std::vector<Status> worker_status_;   // slot per worker
+
+  // Durable persistence (null when options_.persist.dir is empty).
+  std::unique_ptr<persist::CampaignPersistence> persist_;
+  std::vector<uint64_t> resume_done_;        // recovered credited execs
+  std::vector<uint64_t> resume_rng_digest_;  // recovered RNG positions
 };
+
+// Fingerprint of everything that determines WHAT a fuzz campaign finds
+// (seed, workers, batching, fuzzer config, firmware image). Deliberately
+// excludes total_execs (extending the budget on resume is a feature),
+// modeled-cost knobs and link fault profiles (they change
+// timing/accounting, never findings). Open() refuses a directory whose
+// fingerprint differs.
+uint64_t FuzzCampaignFingerprint(const FuzzCampaignOptions& options,
+                                 const vm::FirmwareImage& image);
 
 // Reproduce a campaign finding WITHOUT the campaign: run a
 // single-threaded Fuzzer with the finding's derived worker seed for

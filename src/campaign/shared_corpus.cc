@@ -2,12 +2,16 @@
 
 namespace hardsnap::campaign {
 
-size_t SharedCorpus::MergeEdges(const std::set<uint64_t>& edges) {
+size_t SharedCorpus::MergeEdges(const std::set<uint64_t>& edges,
+                                std::vector<uint64_t>* fresh) {
   std::lock_guard<std::mutex> lock(mu_);
-  size_t fresh = 0;
-  for (uint64_t e : edges)
-    if (edges_.insert(e).second) ++fresh;
-  return fresh;
+  size_t count = 0;
+  for (uint64_t e : edges) {
+    if (!edges_.insert(e).second) continue;
+    ++count;
+    if (fresh != nullptr) fresh->push_back(e);
+  }
+  return count;
 }
 
 void SharedCorpus::OfferInput(unsigned worker,
@@ -48,6 +52,27 @@ size_t SharedCorpus::corpus_size() const {
 std::vector<CampaignFinding> SharedCorpus::findings() const {
   std::lock_guard<std::mutex> lock(mu_);
   return findings_;
+}
+
+void SharedCorpus::Restore(
+    const std::set<uint64_t>& edges,
+    const std::vector<std::pair<unsigned, std::vector<uint8_t>>>& offers,
+    const std::vector<CampaignFinding>& findings) {
+  std::lock_guard<std::mutex> lock(mu_);
+  edges_ = edges;
+  seen_inputs_.clear();
+  offers_.clear();
+  for (const auto& [worker, input] : offers) {
+    if (input.empty()) continue;
+    if (!seen_inputs_.insert(input).second) continue;
+    offers_.push_back({worker, input});
+  }
+  crash_pcs_.clear();
+  findings_.clear();
+  for (const CampaignFinding& f : findings) {
+    if (!crash_pcs_.insert(f.crash.pc).second) continue;
+    findings_.push_back(f);
+  }
 }
 
 }  // namespace hardsnap::campaign

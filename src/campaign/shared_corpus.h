@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <mutex>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "fuzz/fuzzer.h"
@@ -44,8 +45,11 @@ struct CampaignFinding {
 class SharedCorpus {
  public:
   // Union `edges` into the global coverage map; returns how many were
-  // globally new.
-  size_t MergeEdges(const std::set<uint64_t>& edges);
+  // globally new. When `fresh` is non-null it receives exactly the edges
+  // that were new (campaign persistence journals these instead of the
+  // worker's whole edge set).
+  size_t MergeEdges(const std::set<uint64_t>& edges,
+                    std::vector<uint64_t>* fresh = nullptr);
 
   // Offer an input that earned its keep locally (new coverage). Deduped
   // by content; the offering worker never gets its own inputs back from
@@ -64,6 +68,15 @@ class SharedCorpus {
   size_t edges_covered() const;
   size_t corpus_size() const;
   std::vector<CampaignFinding> findings() const;
+
+  // Seed the corpus from a recovered durable image (campaign resume).
+  // Replaces the current contents; must be called before workers start.
+  // Offer/finding order is preserved so a resumed campaign reports
+  // findings in the same order as an uninterrupted one.
+  void Restore(
+      const std::set<uint64_t>& edges,
+      const std::vector<std::pair<unsigned, std::vector<uint8_t>>>& offers,
+      const std::vector<CampaignFinding>& findings);
 
  private:
   struct Offer {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <map>
+#include <memory>
 #include <set>
 #include <thread>
 #include <utility>
@@ -31,23 +33,46 @@ Result<SymexCampaignReport> RunSymexCampaign(
   if (opts.workers == 0)
     return InvalidArgument("symex campaign workers must be >= 1");
 
+  // Worker-granularity persistence: completed reports are journaled; a
+  // resumed portfolio recovers them and re-runs only the pending workers
+  // (each is deterministic in its derived seed and strategy).
+  std::unique_ptr<persist::CampaignPersistence> persistence;
+  std::map<uint32_t, symex::Report> recovered;
+  if (!opts.persist.dir.empty()) {
+    persist::Fingerprint fp;
+    fp.Mix(persist::kCampaignKindSymex);
+    fp.Mix(opts.seed);
+    fp.Mix(opts.workers);
+    fp.Mix(opts.vary_search ? 1 : 0);
+    // The firmware is part of the portfolio's identity (see
+    // FuzzCampaignFingerprint): recovered reports describe THIS program.
+    fp.Mix(base.firmware().base);
+    fp.Mix(base.firmware().bytes.size());
+    for (uint8_t b : base.firmware().bytes) fp.Mix(b);
+    HS_ASSIGN_OR_RETURN(
+        persistence, persist::CampaignPersistence::Open(
+                         opts.persist, persist::kCampaignKindSymex,
+                         fp.digest(), opts.workers));
+    recovered = persistence->state().symex_reports;
+  }
+
   static constexpr symex::SearchStrategy kRotation[] = {
       symex::SearchStrategy::kBfs, symex::SearchStrategy::kDfs,
       symex::SearchStrategy::kRandom, symex::SearchStrategy::kCoverage};
 
   // Clone serially: compilation and solver setup are not thread-safe
   // against each other by contract, and this keeps worker threads pure
-  // compute.
-  std::vector<std::unique_ptr<core::Session>> clones;
-  clones.reserve(opts.workers);
+  // compute. Recovered workers get no clone — nothing to run.
+  std::vector<std::unique_ptr<core::Session>> clones(opts.workers);
   for (unsigned w = 0; w < opts.workers; ++w) {
+    if (recovered.count(w)) continue;
     symex::ExecOptions exec = base.exec_options();
     exec.seed = DeriveWorkerSeed(opts.seed, w);
     if (opts.vary_search)
       exec.search = kRotation[w % (sizeof kRotation / sizeof kRotation[0])];
     auto clone = base.Clone(exec);
     if (!clone.ok()) return clone.status();
-    clones.push_back(std::move(clone).value());
+    clones[w] = std::move(clone).value();
   }
 
   std::vector<Result<symex::Report>> reports;
@@ -57,16 +82,36 @@ Result<SymexCampaignReport> RunSymexCampaign(
   const auto wall_start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   threads.reserve(opts.workers);
-  for (unsigned w = 0; w < opts.workers; ++w)
-    threads.emplace_back([&, w] { reports[w] = clones[w]->Run(); });
+  for (unsigned w = 0; w < opts.workers; ++w) {
+    if (recovered.count(w)) {
+      reports[w] = recovered.at(w);
+      continue;
+    }
+    threads.emplace_back([&, w] {
+      reports[w] = clones[w]->Run();
+      if (reports[w].ok() && persistence) {
+        // Acknowledgment point: the worker's result only counts once its
+        // report record is durably journaled.
+        Status acked = persistence->AckSymexReport(w, reports[w].value());
+        if (!acked.ok()) reports[w] = acked;
+      }
+    });
+  }
   for (auto& t : threads) t.join();
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
 
+  if (persistence) HS_RETURN_IF_ERROR(persistence->Checkpoint());
+
   SymexCampaignReport out;
   out.wall_seconds = wall_seconds;
+  if (persistence) {
+    out.resumed = persistence->resumed();
+    out.resumed_workers = recovered.size();
+    out.persist_stats = persistence->stats();
+  }
   std::set<std::pair<uint32_t, std::string>> seen;
   for (unsigned w = 0; w < opts.workers; ++w) {
     if (!reports[w].ok()) return reports[w].status();

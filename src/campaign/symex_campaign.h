@@ -22,6 +22,7 @@
 #include "common/status.h"
 #include "common/virtual_clock.h"
 #include "core/session.h"
+#include "persist/campaign_persistence.h"
 
 namespace hardsnap::campaign {
 
@@ -29,6 +30,13 @@ struct SymexCampaignOptions {
   unsigned workers = 1;
   uint64_t seed = 1;        // worker i runs with DeriveWorkerSeed(seed, i)
   bool vary_search = true;  // round-robin search strategies across workers
+
+  // Durable persistence at WORKER granularity (persist.dir non-empty
+  // enables it): each completed worker report is journaled; a resumed
+  // portfolio skips recovered workers and re-runs only the pending ones
+  // (which are deterministic in their derived seed, so the merged report
+  // matches an uninterrupted run).
+  persist::PersistOptions persist;
 };
 
 struct SymexCampaignReport {
@@ -40,6 +48,11 @@ struct SymexCampaignReport {
   Duration modeled_campaign_time;  // max over worker analysis_hw_time
   Duration modeled_serial_time;    // sum over worker analysis_hw_time
   double wall_seconds = 0.0;
+
+  // Persistence provenance (campaigns with persist.dir set).
+  bool resumed = false;
+  uint64_t resumed_workers = 0;  // reports recovered instead of re-run
+  persist::PersistStats persist_stats;
 
   std::string Summary() const;
 };

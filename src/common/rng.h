@@ -84,6 +84,19 @@ class Rng {
     return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
   }
 
+  // Digest of the generator's current position in its stream (FNV-1a over
+  // the xoshiro lanes). Two Rngs with equal digests produce identical
+  // futures; campaign checkpoints store this so an exact resume can prove
+  // the replayed worker reached the same stream position.
+  uint64_t StateDigest() const {
+    uint64_t h = 1469598103934665603ull;
+    for (uint64_t lane : s_) {
+      h ^= lane;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 

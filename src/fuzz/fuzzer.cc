@@ -60,6 +60,12 @@ Status Fuzzer::PrepareSnapshot() {
   return Status::Ok();
 }
 
+Status Fuzzer::EnsureSnapshotReady() {
+  HS_RETURN_IF_ERROR(ValidateFuzzOptions(options_));
+  if (!snapshot_ready_) HS_RETURN_IF_ERROR(PrepareSnapshot());
+  return Status::Ok();
+}
+
 Status Fuzzer::ResetForNextExec() {
   const Duration before = target_->clock().now();
   if (options_.reset == ResetStrategy::kSnapshotReset) {

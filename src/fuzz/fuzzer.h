@@ -106,6 +106,21 @@ class Fuzzer {
   // workers merge these into the global coverage map between batches.
   const std::set<uint64_t>& edges() const { return edges_; }
 
+  // Position digest of the mutation RNG stream (Rng::StateDigest). Equal
+  // digests after equal exec counts prove an exact resume replay.
+  uint64_t RngDigest() const { return rng_.StateDigest(); }
+
+  // Takes the harness-point snapshot now (validating options) if it has
+  // not been taken yet; Run() does this lazily, but persistence wants the
+  // harness state before the first batch to detect firmware/SoC drift
+  // across a resume.
+  Status EnsureSnapshotReady();
+  bool snapshot_ready() const { return snapshot_ready_; }
+  // Harness-point hardware state and its content hash (valid only once
+  // snapshot_ready(); kSnapshotReset strategy).
+  const sim::HardwareState& harness_state() const { return hw_snapshot_; }
+  uint64_t harness_hash() const { return hw_snapshot_hash_; }
+
   // Adopt inputs found by other campaign workers as mutation parents.
   // Empty inputs are skipped. NOTE: imports change which parents the local
   // RNG stream selects, so a campaign that cross-pollinates trades the

@@ -1,0 +1,134 @@
+// Durable campaign state: recovery, acknowledgment, compaction.
+//
+// On-disk layout of a persistence directory:
+//
+//   journal.wal              CRC-framed write-ahead journal (journal.h)
+//   checkpoint-<seq>.hscp    compacted checkpoints, newest seq wins
+//   checkpoint-*.hscp.quarantined   corrupt checkpoints set aside by
+//                                   recovery (kept for post-mortem, never
+//                                   read again)
+//
+// Lifecycle:
+//
+//   Open()      pick the newest checkpoint that deserializes cleanly
+//               (quarantining any that do not), replay the journal over
+//               it (truncating a torn tail), remove stale *.tmp files.
+//   Ack*()      fold the event into the in-memory mirror, then append the
+//               journal record and fsync — only after the fsync returns
+//               has the campaign "acknowledged" the batch. Every
+//               checkpoint_every records the journal is compacted into a
+//               fresh checkpoint (atomic tmp+rename+dir-fsync) and reset.
+//   Checkpoint() force a compaction (final flush, graceful shutdown).
+//
+// Thread safety: one mutex serializes all mutating calls; campaign
+// workers ack concurrently.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "persist/checkpoint.h"
+#include "persist/journal.h"
+#include "snapshot/snapshot.h"
+
+namespace hardsnap::persist {
+
+struct PersistOptions {
+  std::string dir;  // empty = persistence disabled
+  // Journal records between compactions (1 = checkpoint on every ack).
+  uint64_t checkpoint_every = 16;
+  // fsync on every journal append. Turning this off voids the durability
+  // contract; it exists so bench_checkpoint can price the fsync itself.
+  bool sync = true;
+  // --resume semantics: fail if the directory holds no prior state.
+  bool resume_required = false;
+};
+
+struct PersistStats {
+  uint64_t checkpoints_written = 0;
+  uint64_t journal_records = 0;     // appended this run
+  uint64_t journal_bytes = 0;
+  uint64_t recovered_records = 0;   // replayed at Open
+  uint64_t truncated_tail_bytes = 0;
+  uint64_t quarantined_checkpoints = 0;
+  // Wall time spent in the durability path: record serialization, the
+  // mirror fold, journal append+fsync, and checkpoint
+  // serialize+write+rename+fsync. With persistence off none of this work
+  // runs, so this is exactly the time checkpointing steals from
+  // fuzzing — the number bench_checkpoint prices.
+  double durability_seconds = 0.0;
+};
+
+class CampaignPersistence {
+ public:
+  // Recovers (or initializes) the durable state for a campaign of
+  // `workers` workers with the given options fingerprint. Fails with
+  // kInvalidArgument when the directory holds a campaign of a different
+  // kind/fingerprint/worker count (resuming under changed options would
+  // silently mix two incompatible campaigns), and with kNotFound when
+  // resume_required and the directory holds no prior state.
+  static Result<std::unique_ptr<CampaignPersistence>> Open(
+      const PersistOptions& options, uint8_t kind, uint64_t fingerprint,
+      uint32_t workers);
+
+  // True when Open found durable state to resume from.
+  bool resumed() const { return resumed_; }
+
+  // Snapshot of the recovered/running durable mirror.
+  CampaignDurableState state() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+  }
+
+  // Acknowledge one fuzz batch: fold into the mirror, journal, fsync,
+  // maybe compact. On return the batch is durable.
+  Status AckFuzzBatch(const FuzzBatchAck& ack);
+
+  // Acknowledge one completed symex worker report.
+  Status AckSymexReport(uint32_t worker, const symex::Report& report);
+
+  // Interns a worker's harness snapshot into the durable snapshot store
+  // (content-deduped: identical harnesses across workers share chunks).
+  // Becomes durable at the next checkpoint.
+  Status RecordHarnessSnapshot(const sim::HardwareState& harness,
+                               const std::string& label);
+
+  // True when `content_hash` matches a harness snapshot recovered from
+  // disk — the resume-time drift check (same firmware, same SoC).
+  bool HarnessHashKnown(uint64_t content_hash) const;
+  bool HasHarnessSnapshots() const { return store_.size() > 0; }
+
+  // Force a compaction now (final flush / graceful shutdown).
+  Status Checkpoint();
+
+  PersistStats stats() const;
+
+  const std::string& dir() const { return dir_; }
+  snapshot::SnapshotStore& store() { return store_; }
+
+ private:
+  CampaignPersistence(const PersistOptions& options, std::string dir)
+      : options_(options),
+        dir_(std::move(dir)),
+        journal_(dir_ + "/journal.wal") {}
+
+  Status CheckpointLocked();
+
+  PersistOptions options_;
+  std::string dir_;
+  mutable std::mutex mu_;
+  Journal journal_;
+  CampaignDurableState state_;
+  snapshot::SnapshotStore store_{0};  // harness snapshots (durable)
+  bool resumed_ = false;
+  uint64_t next_checkpoint_seq_ = 1;
+  uint64_t records_since_checkpoint_ = 0;
+  PersistStats stats_;
+};
+
+}  // namespace hardsnap::persist

@@ -1,0 +1,92 @@
+#include "persist/crash_point.h"
+
+#include <unistd.h>
+
+#include <mutex>
+
+namespace hardsnap::persist {
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::string armed;     // empty = disarmed
+  uint64_t armed_nth = 1;
+  uint64_t armed_hits = 0;
+  bool counting = false;
+  std::map<std::string, uint64_t> hits;
+};
+
+Registry& Reg() {
+  static Registry* r = new Registry;  // leaked: must survive exit paths
+  return *r;
+}
+
+}  // namespace
+
+const std::vector<std::string>& AllCrashPoints() {
+  static const std::vector<std::string> kPoints = {
+      "journal.append.before",       // nothing written yet
+      "journal.append.torn",         // half a record on disk
+      "journal.append.after_write",  // full record, not yet fsynced
+      "journal.append.after_sync",   // record durable, ack not yet returned
+      "checkpoint.before",           // compaction about to start
+      "checkpoint.torn_tmp",         // partial checkpoint.tmp, no rename
+      "checkpoint.after_tmp",        // tmp durable, rename not yet done
+      "checkpoint.after_rename",     // new checkpoint live, journal not reset
+      "checkpoint.after_journal_reset",  // compaction fully complete
+  };
+  return kPoints;
+}
+
+void ArmCrashPoint(const std::string& name, uint64_t nth) {
+  Registry& r = Reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.armed = name;
+  r.armed_nth = nth == 0 ? 1 : nth;
+  r.armed_hits = 0;
+}
+
+void DisarmCrashPoints() {
+  Registry& r = Reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.armed.clear();
+  r.armed_hits = 0;
+}
+
+void SetCrashPointCounting(bool on) {
+  Registry& r = Reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.counting = on;
+}
+
+std::map<std::string, uint64_t> CrashPointHits() {
+  Registry& r = Reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.hits;
+}
+
+void ClearCrashPointHits() {
+  Registry& r = Reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.hits.clear();
+}
+
+bool ShouldCrashAt(const char* name) {
+  Registry& r = Reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.counting) {
+    ++r.hits[name];
+    return false;
+  }
+  if (r.armed.empty() || r.armed != name) return false;
+  return ++r.armed_hits == r.armed_nth;
+}
+
+void CrashNow() {
+  // _exit, not exit/abort: no atexit handlers, no stream flushes, no
+  // destructors — the closest a test can get to yanking the power cord.
+  ::_exit(kCrashExitCode);
+}
+
+}  // namespace hardsnap::persist

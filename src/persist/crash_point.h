@@ -1,0 +1,59 @@
+// Crash-injection hooks for the durability layer.
+//
+// Every spot in the journal/checkpoint code where a host crash (power
+// loss, OOM kill, kill -9) could leave persistent state half-written is
+// marked with MaybeCrash("<point>"). In production the hooks are
+// branch-predicted-away no-ops. The crash-matrix test
+// (tests/checkpoint_resume_test.cc) forks a child per registered point,
+// arms that point, runs a persisted campaign until the process dies at
+// the hook (via _exit — no destructors, no flushes, exactly like a
+// kill), then recovers in the parent and asserts that no acknowledged
+// finding was lost, none was double-counted, and every surviving blob
+// passes CRC verification.
+//
+// Torn writes are crash points too: the "torn" points make the caller
+// write a deliberately truncated record/file before dying, so recovery's
+// truncate-the-tail and ignore-the-tmp paths are exercised by the same
+// matrix.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hardsnap::persist {
+
+// Exit code of a process that died at an armed crash point. Distinct from
+// every exit code the campaign itself can produce, so the test driver can
+// tell "died at the hook" from "completed" or "failed for another reason".
+inline constexpr int kCrashExitCode = 93;
+
+// Canonical list of every crash point wired into the persistence code.
+// The matrix test iterates this; CrashPointsAreAllReachable (counting
+// mode) asserts each name is actually hit by a persisted campaign, so the
+// list cannot silently drift from the code.
+const std::vector<std::string>& AllCrashPoints();
+
+// Arm: the `nth` time `name` is hit, the process _exits(kCrashExitCode).
+// Only one point may be armed at a time (the matrix runs one per fork).
+void ArmCrashPoint(const std::string& name, uint64_t nth = 1);
+void DisarmCrashPoints();
+
+// Counting mode: hooks never crash, they only tally hits (CrashPointHits).
+void SetCrashPointCounting(bool on);
+std::map<std::string, uint64_t> CrashPointHits();
+void ClearCrashPointHits();
+
+// True when this hit is the armed one and the caller should now die.
+// Callers that simulate torn writes perform their partial write between
+// ShouldCrashAt() and CrashNow().
+bool ShouldCrashAt(const char* name);
+[[noreturn]] void CrashNow();
+
+// The common case: die here, now, with nothing half-done by the caller.
+inline void MaybeCrash(const char* name) {
+  if (ShouldCrashAt(name)) CrashNow();
+}
+
+}  // namespace hardsnap::persist

@@ -1,0 +1,148 @@
+#include "persist/fs_util.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace hardsnap::persist {
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Unavailable(op + " " + path + ": " + std::strerror(errno));
+}
+
+// RAII fd so every early return closes.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+Status WriteAll(int fd, const uint8_t* data, size_t n,
+                const std::string& path) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    off += static_cast<size_t>(w);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0777) == 0) return Status::Ok();
+  if (errno == EEXIST) {
+    struct stat st{};
+    if (::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode))
+      return Status::Ok();
+    return InvalidArgument(dir + " exists and is not a directory");
+  }
+  return Errno("mkdir", dir);
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  Fd f{::open(path.c_str(), O_RDONLY)};
+  if (f.fd < 0) {
+    if (errno == ENOENT) return NotFound(path + " does not exist");
+    return Errno("open", path);
+  }
+  std::vector<uint8_t> out;
+  uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t r = ::read(f.fd, buf, sizeof buf);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read", path);
+    }
+    if (r == 0) break;
+    out.insert(out.end(), buf, buf + r);
+  }
+  return out;
+}
+
+Status SyncFile(const std::string& path) {
+  Fd f{::open(path.c_str(), O_RDONLY)};
+  if (f.fd < 0) return Errno("open for fsync", path);
+  if (::fsync(f.fd) != 0) return Errno("fsync", path);
+  return Status::Ok();
+}
+
+Status SyncDir(const std::string& dir) {
+  Fd f{::open(dir.c_str(), O_RDONLY | O_DIRECTORY)};
+  if (f.fd < 0) return Errno("open dir for fsync", dir);
+  if (::fsync(f.fd) != 0) return Errno("fsync dir", dir);
+  return Status::Ok();
+}
+
+Status AtomicWriteFile(const std::string& path,
+                       const std::vector<uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    Fd f{::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666)};
+    if (f.fd < 0) return Errno("open", tmp);
+    HS_RETURN_IF_ERROR(WriteAll(f.fd, bytes.data(), bytes.size(), tmp));
+    if (::fsync(f.fd) != 0) return Errno("fsync", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) return Errno("rename", tmp);
+  // The rename itself must be durable: fsync the containing directory.
+  const size_t slash = path.find_last_of('/');
+  return SyncDir(slash == std::string::npos ? "." : path.substr(0, slash));
+}
+
+Status AppendToFile(const std::string& path,
+                    const std::vector<uint8_t>& bytes) {
+  Fd f{::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0666)};
+  if (f.fd < 0) return Errno("open", path);
+  return WriteAll(f.fd, bytes.data(), bytes.size(), path);
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0)
+    return Errno("truncate", path);
+  return Status::Ok();
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT)
+    return Errno("unlink", path);
+  return Status::Ok();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) return Errno("rename", from);
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (!d) return Errno("opendir", dir);
+  std::vector<std::string> names;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace hardsnap::persist

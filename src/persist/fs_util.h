@@ -1,0 +1,53 @@
+// Small POSIX filesystem layer under the durability discipline the
+// persistence subsystem depends on (docs/checkpoint_resume.md):
+//
+//   - AtomicWriteFile: write to `<path>.tmp`, fsync the file, rename(2)
+//     over `<path>`, fsync the directory. A reader never observes a
+//     half-written file at `path` — it sees the old content, the new
+//     content, or (before the first write) nothing.
+//   - SyncFile / SyncDir: explicit fsync barriers. A journal append is
+//     only "acknowledged" once SyncFile returned.
+//   - TruncateFile: recovery uses it to amputate a torn journal tail.
+//
+// Everything returns Status; callers decide whether a failed fsync is
+// fatal (for the write-ahead journal it is: no sync, no acknowledgment).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hardsnap::persist {
+
+// Creates `dir` (single level) if it does not exist.
+Status EnsureDir(const std::string& dir);
+
+bool FileExists(const std::string& path);
+
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
+
+// Durable atomic replace: tmp write + fsync + rename + directory fsync.
+// On any error the destination is untouched (a stale tmp file may remain;
+// recovery ignores and removes `*.tmp`).
+Status AtomicWriteFile(const std::string& path,
+                       const std::vector<uint8_t>& bytes);
+
+// Appends `bytes` to `path` (creating it if needed). No implicit sync.
+Status AppendToFile(const std::string& path, const std::vector<uint8_t>& bytes);
+
+// fsync barrier on an existing file / directory.
+Status SyncFile(const std::string& path);
+Status SyncDir(const std::string& dir);
+
+Status TruncateFile(const std::string& path, uint64_t size);
+
+Status RemoveFile(const std::string& path);
+
+Status RenameFile(const std::string& from, const std::string& to);
+
+// Names (not paths) of directory entries, sorted; "." and ".." excluded.
+Result<std::vector<std::string>> ListDir(const std::string& dir);
+
+}  // namespace hardsnap::persist

@@ -1,0 +1,65 @@
+// CRC-framed write-ahead journal.
+//
+// An append-only file of self-delimiting records:
+//
+//   +----------+----------------+------------------+
+//   | u32 len  | u32 crc32(pay) |  payload (len B) |
+//   +----------+----------------+------------------+
+//
+// Append discipline: frame bytes are appended, then the file is fsynced;
+// only after the fsync returns is the record "acknowledged" (the caller
+// may tell anyone the data is durable). A crash at ANY byte boundary
+// leaves a file whose longest valid prefix is exactly the acknowledged
+// records — Replay() finds that prefix, hands the records to the caller,
+// and truncates the torn tail so the next append starts clean.
+//
+// The journal knows nothing about record contents; the checkpoint layer
+// defines the payload schema (persist/checkpoint.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hardsnap::persist {
+
+// Upper bound on one record. A torn/corrupt length field that happens to
+// decode huge must be treated as tail garbage, not as an allocation size.
+inline constexpr uint32_t kMaxJournalRecordBytes = 64u << 20;
+
+struct JournalReplay {
+  std::vector<std::vector<uint8_t>> records;  // valid prefix, in order
+  uint64_t valid_bytes = 0;       // file offset of the first torn byte
+  uint64_t truncated_bytes = 0;   // torn tail amputated by recovery
+};
+
+class Journal {
+ public:
+  explicit Journal(std::string path) : path_(std::move(path)) {}
+
+  // Reads every valid record; truncates any torn tail in place. Safe to
+  // call on a missing file (no records, nothing truncated).
+  Result<JournalReplay> Replay();
+
+  // Appends one framed record and fsyncs. On return the record is durable.
+  // `sync=false` skips the fsync (benchmarks only — the durability
+  // contract requires it).
+  Status Append(const std::vector<uint8_t>& payload, bool sync = true);
+
+  // Truncates the journal to empty (after its contents were compacted
+  // into a checkpoint) and makes the truncation durable.
+  Status Reset();
+
+  const std::string& path() const { return path_; }
+  uint64_t appended_bytes() const { return appended_bytes_; }
+  uint64_t appended_records() const { return appended_records_; }
+
+ private:
+  std::string path_;
+  uint64_t appended_bytes_ = 0;
+  uint64_t appended_records_ = 0;
+};
+
+}  // namespace hardsnap::persist

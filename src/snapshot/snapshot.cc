@@ -49,9 +49,25 @@ uint64_t StateShapeDigest(const rtl::Design& design) {
   return h;
 }
 
+namespace {
+
+// Shared version-byte check for the HSSS/HSSD/HSST containers.
+Status CheckFormatVersion(ByteReader* r, const char* what) {
+  auto version = r->GetU8();
+  if (!version.ok()) return version.status();
+  if (version.value() != kStateFormatVersion)
+    return InvalidArgument(std::string(what) + ": unsupported format version " +
+                           std::to_string(version.value()) + " (expected " +
+                           std::to_string(kStateFormatVersion) + ")");
+  return Status::Ok();
+}
+
+}  // namespace
+
 std::vector<uint8_t> SerializeState(const sim::HardwareState& state) {
   ByteWriter w;
   w.PutU32(0x48535353);  // "HSSS"
+  w.PutU8(kStateFormatVersion);
   w.PutU64Vector(state.flops);
   w.PutU32(static_cast<uint32_t>(state.memories.size()));
   for (const auto& mem : state.memories) w.PutU64Vector(mem);
@@ -60,9 +76,9 @@ std::vector<uint8_t> SerializeState(const sim::HardwareState& state) {
 }
 
 size_t SerializedStateBytes(const sim::HardwareState& state) {
-  // magic u32 + flop-vector length u32 + memory-count u32 + CRC32 trailer,
-  // one length u32 per memory, 8 bytes per word everywhere.
-  return 16 + state.memories.size() * 4 + sim::StateWords(state) * 8;
+  // magic u32 + version u8 + flop-vector length u32 + memory-count u32 +
+  // CRC32 trailer, one length u32 per memory, 8 bytes per word everywhere.
+  return 17 + state.memories.size() * 4 + sim::StateWords(state) * 8;
 }
 
 Result<sim::HardwareState> DeserializeState(
@@ -73,6 +89,7 @@ Result<sim::HardwareState> DeserializeState(
   if (!magic.ok()) return magic.status();
   if (magic.value() != 0x48535353)
     return InvalidArgument("not a HardSnap state blob");
+  HS_RETURN_IF_ERROR(CheckFormatVersion(&r, "state blob"));
   sim::HardwareState st;
   auto flops = r.GetU64Vector();
   if (!flops.ok()) return flops.status();
@@ -93,6 +110,7 @@ Result<sim::HardwareState> DeserializeState(
 std::vector<uint8_t> SerializeStateDelta(const sim::StateDelta& delta) {
   ByteWriter w;
   w.PutU32(0x48535344);  // "HSSD"
+  w.PutU8(kStateFormatVersion);
   w.PutU64(delta.base_hash);
   w.PutU32(delta.chunk_words);
   w.PutU32(delta.num_flops);
@@ -116,6 +134,7 @@ Result<sim::StateDelta> DeserializeStateDelta(
   if (!magic.ok()) return magic.status();
   if (magic.value() != 0x48535344)
     return InvalidArgument("not a HardSnap delta blob");
+  HS_RETURN_IF_ERROR(CheckFormatVersion(&r, "delta blob"));
   sim::StateDelta d;
   auto base = r.GetU64();
   if (!base.ok()) return base.status();
@@ -242,7 +261,42 @@ SnapshotStore::Stored SnapshotStore::MakeStored(SnapshotId id,
   return s;
 }
 
+void SnapshotStore::DropCacheLocked(const Stored& s) const {
+  if (!s.materialized) return;
+  s.snap.state = sim::HardwareState{};
+  s.materialized = false;
+  cache_bytes_ -= s.logical_words * 8;
+}
+
+void SnapshotStore::EvictCachesLocked(const Stored* keep) const {
+  if (max_bytes_ == 0) return;
+  while (LiveBytesLocked() > max_bytes_) {
+    const Stored* victim = nullptr;
+    for (const auto& [id, s] : snapshots_) {
+      if (!s.materialized || &s == keep) continue;
+      if (victim == nullptr || s.last_access < victim->last_access)
+        victim = &s;
+    }
+    if (victim == nullptr) return;  // nothing left to evict
+    DropCacheLocked(*victim);
+    ++cache_evictions_;
+  }
+}
+
+Status SnapshotStore::EnforceCapLocked(const Stored* keep,
+                                       const char* op) const {
+  if (max_bytes_ == 0) return Status::Ok();
+  EvictCachesLocked(keep);
+  if (LiveBytesLocked() > max_bytes_)
+    return ResourceExhausted(
+        std::string(op) + " would exceed the snapshot store byte cap (" +
+        std::to_string(LiveBytesLocked()) + " > " +
+        std::to_string(max_bytes_) + " bytes after cache eviction)");
+  return Status::Ok();
+}
+
 void SnapshotStore::Materialize(const Stored& s) const {
+  s.last_access = ++access_tick_;
   if (s.materialized) return;
   sim::HardwareState st;
   st.flops.reserve(s.num_flops);
@@ -259,6 +313,7 @@ void SnapshotStore::Materialize(const Stored& s) const {
   }
   s.snap.state = std::move(st);
   s.materialized = true;
+  cache_bytes_ += s.logical_words * 8;
 }
 
 SnapshotId SnapshotStore::Put(sim::HardwareState state, std::string label) {
@@ -266,9 +321,35 @@ SnapshotId SnapshotStore::Put(sim::HardwareState state, std::string label) {
   const SnapshotId id = next_id_++;
   Stored s = MakeStored(id, state, std::move(label));
   total_bytes_ += s.logical_words * 8;
+  cache_bytes_ += s.logical_words * 8;
   s.snap.state = std::move(state);  // caller's copy doubles as the cache
   s.materialized = true;
+  s.last_access = ++access_tick_;
   snapshots_.emplace(id, std::move(s));
+  if (max_bytes_ != 0) EvictCachesLocked(nullptr);  // best effort, never fails
+  return id;
+}
+
+Result<SnapshotId> SnapshotStore::TryPut(sim::HardwareState state,
+                                         std::string label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const SnapshotId id = next_id_++;
+  Stored s = MakeStored(id, state, std::move(label));
+  total_bytes_ += s.logical_words * 8;
+  cache_bytes_ += s.logical_words * 8;
+  s.snap.state = std::move(state);
+  s.materialized = true;
+  s.last_access = ++access_tick_;
+  auto [it, inserted] = snapshots_.emplace(id, std::move(s));
+  (void)inserted;
+  Status cap = EnforceCapLocked(nullptr, "TryPut");
+  if (!cap.ok()) {
+    // Roll back: the chunks we interned drop to refcount zero and free.
+    total_bytes_ -= it->second.logical_words * 8;
+    DropCacheLocked(it->second);
+    snapshots_.erase(it);
+    return cap;
+  }
   return id;
 }
 
@@ -291,7 +372,19 @@ Status SnapshotStore::Update(SnapshotId id, sim::HardwareState state) {
   total_bytes_ -= it->second.logical_words * 8;
   s.snap.state = std::move(state);
   s.materialized = true;
+  s.last_access = ++access_tick_;
+  cache_bytes_ += s.logical_words * 8;
+  DropCacheLocked(it->second);
+  Stored old = std::move(it->second);
   it->second = std::move(s);
+  Status cap = EnforceCapLocked(nullptr, "Update");
+  if (!cap.ok()) {  // revert to the old content
+    total_bytes_ += old.logical_words * 8;
+    total_bytes_ -= it->second.logical_words * 8;
+    DropCacheLocked(it->second);
+    it->second = std::move(old);
+    return cap;
+  }
   return Status::Ok();
 }
 
@@ -301,6 +394,7 @@ Status SnapshotStore::Drop(SnapshotId id) {
   if (it == snapshots_.end())
     return NotFound("snapshot " + std::to_string(id) + " does not exist");
   total_bytes_ -= it->second.logical_words * 8;
+  DropCacheLocked(it->second);
   snapshots_.erase(it);
   return Status::Ok();
 }
@@ -373,7 +467,14 @@ Result<SnapshotId> SnapshotStore::PutDelta(SnapshotId base,
   HS_RETURN_IF_ERROR(
       ApplyDelta(it->second, delta, id, std::move(label), &s));
   total_bytes_ += s.logical_words * 8;
-  snapshots_.emplace(id, std::move(s));
+  auto [sit, inserted] = snapshots_.emplace(id, std::move(s));
+  (void)inserted;
+  Status cap = EnforceCapLocked(nullptr, "PutDelta");
+  if (!cap.ok()) {
+    total_bytes_ -= sit->second.logical_words * 8;
+    snapshots_.erase(sit);
+    return cap;
+  }
   return id;
 }
 
@@ -392,7 +493,16 @@ Status SnapshotStore::UpdateDelta(SnapshotId id, SnapshotId base,
                                 std::move(it->second.snap.label), &s));
   total_bytes_ += s.logical_words * 8;
   total_bytes_ -= it->second.logical_words * 8;
+  DropCacheLocked(it->second);
+  Stored old = std::move(it->second);
   it->second = std::move(s);
+  Status cap = EnforceCapLocked(nullptr, "UpdateDelta");
+  if (!cap.ok()) {
+    total_bytes_ += old.logical_words * 8;
+    total_bytes_ -= it->second.logical_words * 8;
+    it->second = std::move(old);
+    return cap;
+  }
   return Status::Ok();
 }
 
@@ -411,6 +521,11 @@ Result<sim::StateDelta> SnapshotStore::DeltaBetween(SnapshotId base,
   if (b.num_flops != n.num_flops || b.mem_depths != n.mem_depths)
     return InvalidArgument("snapshots have different shapes");
 
+  return DiffLocked(b, n);
+}
+
+sim::StateDelta SnapshotStore::DiffLocked(const Stored& b,
+                                          const Stored& n) const {
   sim::StateDelta d;
   d.base_hash = b.content_hash;
   d.num_flops = n.num_flops;
@@ -437,8 +552,7 @@ Result<uint64_t> SnapshotStore::ContentHash(SnapshotId id) const {
   return it->second.content_hash;
 }
 
-size_t SnapshotStore::ResidentBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+size_t SnapshotStore::ResidentBytesLocked() const {
   size_t bytes = 0;
   std::unordered_map<const void*, bool> seen;
   seen.reserve(snapshots_.size() * 8);
@@ -448,6 +562,166 @@ size_t SnapshotStore::ResidentBytes() const {
     }
   }
   return bytes;
+}
+
+size_t SnapshotStore::ResidentBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ResidentBytesLocked();
+}
+
+size_t SnapshotStore::LiveBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return LiveBytesLocked();
+}
+
+void SnapshotStore::SetMaxBytes(size_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_bytes_ = max_bytes;
+  if (max_bytes_ != 0) EvictCachesLocked(nullptr);
+}
+
+SnapshotStore::Stats SnapshotStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.cache_bytes = cache_bytes_;
+  s.live_bytes = LiveBytesLocked();
+  s.cache_evictions = cache_evictions_;
+  return s;
+}
+
+std::vector<SnapshotId> SnapshotStore::Ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SnapshotId> ids;
+  ids.reserve(snapshots_.size());
+  for (const auto& [id, s] : snapshots_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Result<std::vector<uint8_t>> SnapshotStore::Serialize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SnapshotId> ids;
+  ids.reserve(snapshots_.size());
+  for (const auto& [id, s] : snapshots_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  ByteWriter w;
+  w.PutU32(0x48535354);  // "HSST"
+  w.PutU8(kStateFormatVersion);
+  w.PutU64(shape_);
+  w.PutU64(next_id_);
+  w.PutU32(static_cast<uint32_t>(ids.size()));
+  const Stored* prev = nullptr;
+  for (SnapshotId id : ids) {
+    const Stored& s = snapshots_.at(id);
+    w.PutU64(id);
+    w.PutString(s.snap.label);
+    // Delta against the previous snapshot when shapes allow; the first
+    // snapshot (and any shape change) ships full. The delta's base_hash
+    // chains each snapshot to its predecessor, so a corrupt link fails at
+    // Restore instead of silently reconstructing the wrong content.
+    if (prev != nullptr && prev->num_flops == s.num_flops &&
+        prev->mem_depths == s.mem_depths) {
+      w.PutU8(1);
+      std::vector<uint8_t> blob = SerializeStateDelta(DiffLocked(*prev, s));
+      w.PutU32(static_cast<uint32_t>(blob.size()));
+      w.PutBytes(blob.data(), blob.size());
+    } else {
+      Materialize(s);
+      w.PutU8(0);
+      std::vector<uint8_t> blob = SerializeState(s.snap.state);
+      w.PutU32(static_cast<uint32_t>(blob.size()));
+      w.PutBytes(blob.data(), blob.size());
+    }
+    prev = &s;
+  }
+  AppendCrc(&w);
+  return w.Take();
+}
+
+Status SnapshotStore::Restore(const std::vector<uint8_t>& bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshots_.clear();
+  intern_.clear();
+  total_bytes_ = 0;
+  cache_bytes_ = 0;
+
+  Status st = [&]() -> Status {
+    HS_RETURN_IF_ERROR(VerifyCrc(bytes, "store blob"));
+  ByteReader r(bytes);
+  auto magic = r.GetU32();
+  if (!magic.ok()) return magic.status();
+  if (magic.value() != 0x48535354)
+    return InvalidArgument("not a HardSnap store blob");
+  HS_RETURN_IF_ERROR(CheckFormatVersion(&r, "store blob"));
+  auto shape = r.GetU64();
+  if (!shape.ok()) return shape.status();
+  // A store bound to a concrete design (nonzero digest) must not ingest
+  // snapshots captured from a different one; digest 0 means "unspecified"
+  // and adopts the blob's shape (the persistence layer's stores).
+  if (shape_ != 0 && shape.value() != 0 && shape.value() != shape_)
+    return InvalidArgument("store blob: shape digest mismatch");
+  auto next_id = r.GetU64();
+  if (!next_id.ok()) return next_id.status();
+  auto count = r.GetU32();
+  if (!count.ok()) return count.status();
+
+  shape_ = shape.value();
+  sim::HardwareState prev_state;
+  bool have_prev = false;
+  SnapshotId max_id = 0;
+  for (uint32_t i = 0; i < count.value(); ++i) {
+    auto id = r.GetU64();
+    if (!id.ok()) return id.status();
+    auto label = r.GetString();
+    if (!label.ok()) return label.status();
+    auto encoding = r.GetU8();
+    if (!encoding.ok()) return encoding.status();
+    auto blob_len = r.GetU32();
+    if (!blob_len.ok()) return blob_len.status();
+    if (r.remaining() < blob_len.value())
+      return OutOfRange("store blob: snapshot payload truncated");
+    std::vector<uint8_t> blob(blob_len.value());
+    HS_RETURN_IF_ERROR(r.GetBytes(blob.data(), blob.size()));
+
+    sim::HardwareState state;
+    if (encoding.value() == 0) {
+      HS_ASSIGN_OR_RETURN(state, DeserializeState(blob));
+    } else if (encoding.value() == 1) {
+      if (!have_prev)
+        return InvalidArgument("store blob: delta with no predecessor");
+      HS_ASSIGN_OR_RETURN(sim::StateDelta delta, DeserializeStateDelta(blob));
+      state = prev_state;
+      HS_RETURN_IF_ERROR(sim::ApplyDeltaToState(&state, delta));
+    } else {
+      return InvalidArgument("store blob: unknown snapshot encoding");
+    }
+
+    if (snapshots_.count(id.value()))
+      return InvalidArgument("store blob: duplicate snapshot id");
+    Stored s = MakeStored(id.value(), state, std::move(label).value());
+    total_bytes_ += s.logical_words * 8;
+    snapshots_.emplace(id.value(), std::move(s));
+    max_id = std::max(max_id, id.value());
+    prev_state = std::move(state);
+    have_prev = true;
+  }
+  if (r.remaining() != 4)
+    return InvalidArgument("trailing bytes in store blob");
+  if (next_id.value() <= max_id && count.value() > 0)
+    return InvalidArgument("store blob: id counter behind live snapshots");
+  next_id_ = std::max<SnapshotId>(next_id.value(), 1);
+  return Status::Ok();
+  }();
+
+  if (!st.ok()) {  // never leave a half-loaded store behind
+    snapshots_.clear();
+    intern_.clear();
+    total_bytes_ = 0;
+    cache_bytes_ = 0;
+    next_id_ = 1;
+  }
+  return st;
 }
 
 }  // namespace hardsnap::snapshot

@@ -35,6 +35,12 @@ namespace hardsnap::snapshot {
 using SnapshotId = uint64_t;
 inline constexpr SnapshotId kNoSnapshot = 0;
 
+// Wire-format version shared by the HSSS (full state), HSSD (delta) and
+// HSST (whole-store) containers. Bumped on any layout change; the
+// deserializers reject unknown versions with kInvalidArgument instead of
+// misparsing a future layout.
+inline constexpr uint8_t kStateFormatVersion = 1;
+
 // Stable digest of a design's state shape (flop widths + memory geometry).
 // Two designs with the same digest have interchangeable HardwareStates.
 uint64_t StateShapeDigest(const rtl::Design& design);
@@ -86,6 +92,10 @@ class SnapshotStore {
     uint64_t chunks_shared = 0;   // chunks satisfied by an existing copy
     uint64_t bytes_copied = 0;
     uint64_t bytes_shared = 0;
+    // Live-memory accounting (point-in-time, not cumulative):
+    uint64_t live_bytes = 0;      // resident chunk bytes + cache bytes
+    uint64_t cache_bytes = 0;     // materialization caches currently held
+    uint64_t cache_evictions = 0; // caches dropped by the byte cap
   };
 
   explicit SnapshotStore(uint64_t shape_digest) : shape_(shape_digest) {
@@ -93,6 +103,12 @@ class SnapshotStore {
   }
 
   SnapshotId Put(sim::HardwareState state, std::string label = "");
+
+  // Cap-aware Put: like Put, but when a byte cap is set (SetMaxBytes) and
+  // storing `state` would push LiveBytes past it even after evicting every
+  // cold materialization cache, fails with kResourceExhausted instead of
+  // growing without bound. Put itself never fails (legacy contract).
+  Result<SnapshotId> TryPut(sim::HardwareState state, std::string label = "");
 
   Result<const Snapshot*> Get(SnapshotId id) const;
 
@@ -124,6 +140,36 @@ class SnapshotStore {
   }
   uint64_t shape_digest() const { return shape_; }
 
+  // Live snapshot ids, ascending.
+  std::vector<SnapshotId> Ids() const;
+
+  // --- whole-store serde (HSST container) --------------------------------
+  // Every snapshot with its id and label, first one as a full HSSS blob,
+  // later ones as HSSD deltas against their predecessor where shapes
+  // allow. Restore replaces this store's entire contents (including
+  // shape digest and the id counter) with the serialized image; on any
+  // error the store is left empty rather than half-loaded.
+  Result<std::vector<uint8_t>> Serialize() const;
+  Status Restore(const std::vector<uint8_t>& bytes);
+
+  // --- memory cap --------------------------------------------------------
+  // Caps LiveBytes (resident chunks + materialization caches). When an
+  // ingest would exceed it, least-recently-used materialization caches are
+  // evicted first; if the chunks alone still do not fit, the ingest fails
+  // with kResourceExhausted (TryPut / PutDelta / Update / UpdateDelta)
+  // instead of OOMing. 0 = unlimited. NOTE: under a cap, a `Snapshot*`
+  // returned by Get may have its cached `state` evicted (and re-filled on
+  // the next Get) by a later store operation — cap users must not hold
+  // materialized pointers across ingests.
+  void SetMaxBytes(size_t max_bytes);
+  size_t max_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_bytes_;
+  }
+  // Resident chunk bytes plus materialization-cache bytes (the number the
+  // cap is enforced against).
+  size_t LiveBytes() const;
+
   // Total stored architectural bytes as the flat representation would
   // occupy (logical capacity accounting; O(1) running counter).
   size_t TotalBytes() const {
@@ -133,15 +179,14 @@ class SnapshotStore {
   // Bytes actually resident after structural sharing (walks the store).
   size_t ResidentBytes() const;
 
-  Stats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
-  }
+  // Cumulative ingestion counters plus point-in-time live/cache bytes.
+  Stats stats() const;
 
  private:
   struct Stored {
     mutable Snapshot snap;  // snap.state doubles as materialization cache
     mutable bool materialized = false;
+    mutable uint64_t last_access = 0;  // eviction recency (cap mode)
     uint32_t num_flops = 0;
     std::vector<uint32_t> mem_depths;
     std::vector<ChunkPtr> chunks;  // flop chunks, then each memory's chunks
@@ -157,6 +202,19 @@ class SnapshotStore {
   Status ApplyDelta(const Stored& base, const sim::StateDelta& delta,
                     SnapshotId id, std::string label, Stored* out);
   void Materialize(const Stored& s) const;
+  // DeltaBetween's body without the lock (Serialize runs under it).
+  sim::StateDelta DiffLocked(const Stored& b, const Stored& n) const;
+  size_t ResidentBytesLocked() const;
+  size_t LiveBytesLocked() const {
+    return ResidentBytesLocked() + cache_bytes_;
+  }
+  void DropCacheLocked(const Stored& s) const;
+  // Evicts LRU materialization caches until LiveBytes <= max_bytes_ or
+  // nothing evictable remains; `keep` (may be null) is never evicted.
+  void EvictCachesLocked(const Stored* keep) const;
+  // Cap check for an ingest that grew the store: evict caches, then fail
+  // if the resident set alone still exceeds the cap.
+  Status EnforceCapLocked(const Stored* keep, const char* op) const;
 
   // Serializes all public operations (private helpers run under it).
   mutable std::mutex mu_;
@@ -169,6 +227,10 @@ class SnapshotStore {
                      std::vector<std::weak_ptr<const std::vector<uint64_t>>>>
       intern_;
   size_t total_bytes_ = 0;
+  size_t max_bytes_ = 0;             // 0 = unlimited
+  mutable size_t cache_bytes_ = 0;   // sum of materialized snap.state bytes
+  mutable uint64_t access_tick_ = 0;
+  mutable uint64_t cache_evictions_ = 0;
   Stats stats_;
 };
 

@@ -123,6 +123,7 @@ Executor::Executor(bus::HardwareTarget* target, ExecOptions options)
   }
   if (options_.use_delta_snapshots)
     delta_ = dynamic_cast<bus::DeltaSnapshotter*>(target);
+  store_.SetMaxBytes(options_.max_store_bytes);
   searcher_ = MakeSearcher(options_.search, options_.seed);
   initial_ = std::make_unique<State>();
   initial_->id = next_state_id_++;
@@ -284,12 +285,16 @@ Status Executor::UpdateState(State& s) {
         SetLiveBase(id.value());
         return Status::Ok();
       }
+      // The byte cap is a hard limit, not a mismatch to route around.
+      if (id.status().code() == StatusCode::kResourceExhausted)
+        return id.status();
     } else {
       Status st = store_.UpdateDelta(s.hw_snapshot, live_base_, d.value());
       if (st.ok()) {
         SetLiveBase(s.hw_snapshot);
         return Status::Ok();
       }
+      if (st.code() == StatusCode::kResourceExhausted) return st;
     }
     // Base/delta mismatch (shouldn't happen when the invariant holds):
     // fall through to a full transfer, which re-establishes coherence.
@@ -297,8 +302,10 @@ Status Executor::UpdateState(State& s) {
   auto live = target_->SaveState();
   if (!live.ok()) return live.status();
   if (s.hw_snapshot == snapshot::kNoSnapshot) {
-    s.hw_snapshot = store_.Put(std::move(live).value(),
-                               "state-" + std::to_string(s.id));
+    HS_ASSIGN_OR_RETURN(
+        s.hw_snapshot,
+        store_.TryPut(std::move(live).value(),
+                      "state-" + std::to_string(s.id)));
     SetLiveBase(s.hw_snapshot);
     return Status::Ok();
   }
@@ -371,12 +378,16 @@ Status Executor::CaptureForFork(State* forked) {
       SetLiveBase(id.value());
       return Status::Ok();
     }
+    if (id.status().code() == StatusCode::kResourceExhausted)
+      return id.status();
     // fall through to a full capture
   }
   auto live = target_->SaveState();
   if (!live.ok()) return live.status();
-  forked->hw_snapshot = store_.Put(std::move(live).value(),
-                                   "state-" + std::to_string(forked->id));
+  HS_ASSIGN_OR_RETURN(
+      forked->hw_snapshot,
+      store_.TryPut(std::move(live).value(),
+                    "state-" + std::to_string(forked->id)));
   SetLiveBase(forked->hw_snapshot);
   return Status::Ok();
 }

@@ -105,6 +105,13 @@ struct ExecOptions {
   // reboot or an on-device slot restore).
   bool use_delta_snapshots = true;
 
+  // Byte cap on the host-side snapshot store (0 = unlimited). When the
+  // live snapshot set would exceed it even after evicting cold
+  // materialization caches, snapshot ingestion fails with
+  // kResourceExhausted instead of growing without bound (CLI:
+  // --max-store-bytes).
+  uint64_t max_store_bytes = 0;
+
   // Modeled cost of a full device reboot (naive-consistent mode).
   Duration reboot_cost = Duration::Millis(250);
   // Modeled per-instruction cost of re-executing a prefix after a reboot.

@@ -69,6 +69,7 @@ TEST(SerdeRobustnessTest, StateRejectsTrailingBytes) {
 TEST(SerdeRobustnessTest, ForgedHugeLengthFailsWithoutAllocating) {
   ByteWriter w;
   w.PutU32(0x48535353);             // HSSS magic
+  w.PutU8(kStateFormatVersion);
   w.PutU32(0xffffffffu);            // forged flop count: ~34 GB of u64s
   auto body = w.Take();
   const uint32_t crc = Crc32(body.data(), body.size());
@@ -132,6 +133,61 @@ TEST(SerdeRobustnessTest, ByteReaderBoundsChecksStringLength) {
   auto bytes = w.Take();
   ByteReader r(bytes);
   EXPECT_FALSE(r.GetString().ok());
+}
+
+// --- format versioning -----------------------------------------------------
+
+// Rewrites the CRC trailer after a deliberate mutation so the integrity
+// check passes and the semantic validation behind it is exercised.
+std::vector<uint8_t> WithFixedCrc(std::vector<uint8_t> bytes) {
+  HS_CHECK(bytes.size() >= 4);
+  const uint32_t crc = Crc32(bytes.data(), bytes.size() - 4);
+  for (int i = 0; i < 4; ++i)
+    bytes[bytes.size() - 4 + static_cast<size_t>(i)] =
+        static_cast<uint8_t>((crc >> (8 * i)) & 0xff);
+  return bytes;
+}
+
+// A blob from a FUTURE format version (version byte follows the magic in
+// every container) must be rejected as kInvalidArgument — decoding it
+// with today's schema would produce silently wrong state, which is worse
+// than failing.
+TEST(SerdeRobustnessTest, StateRejectsUnknownFormatVersion) {
+  auto bytes = SerializeState(SampleState());
+  bytes[4] = kStateFormatVersion + 1;
+  auto r = DeserializeState(WithFixedCrc(bytes));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
+      << r.status().ToString();
+}
+
+TEST(SerdeRobustnessTest, DeltaRejectsUnknownFormatVersion) {
+  auto bytes = SerializeStateDelta(SampleDelta());
+  bytes[4] = kStateFormatVersion + 1;
+  auto r = DeserializeStateDelta(WithFixedCrc(bytes));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
+      << r.status().ToString();
+}
+
+TEST(SerdeRobustnessTest, StoreRejectsUnknownFormatVersion) {
+  SnapshotStore store(42);
+  store.Put(SampleState(), "a");
+  auto blob = store.Serialize();
+  ASSERT_TRUE(blob.ok());
+  auto bytes = blob.value();
+  bytes[4] = kStateFormatVersion + 1;  // HSST shares the snapshot version
+  SnapshotStore back(42);
+  auto s = back.Restore(WithFixedCrc(bytes));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+  EXPECT_EQ(back.size(), 0u);
+}
+
+TEST(SerdeRobustnessTest, CurrentVersionBlobsStillDecode) {
+  // Guard against the version check rejecting version 1 itself.
+  EXPECT_TRUE(DeserializeState(SerializeState(SampleState())).ok());
+  EXPECT_TRUE(DeserializeStateDelta(SerializeStateDelta(SampleDelta())).ok());
 }
 
 }  // namespace

@@ -201,5 +201,170 @@ TEST(OrchestratorTest, BadIndexRejected) {
   EXPECT_FALSE(orch.IndexOf(bus::TargetKind::kFpga).ok());
 }
 
+
+// --- memory accounting & byte cap ------------------------------------------
+
+TEST(StoreAccountingTest, LiveBytesTracksResidentChunksAndCaches) {
+  SnapshotStore store(42);
+  EXPECT_EQ(store.LiveBytes(), 0u);
+  SnapshotId a = store.Put(SampleState(), "a");
+  const auto s1 = store.stats();
+  EXPECT_GT(s1.live_bytes, 0u);
+  EXPECT_GT(s1.cache_bytes, 0u);  // Put caches the ingested state
+  EXPECT_EQ(s1.live_bytes, store.LiveBytes());
+  ASSERT_TRUE(store.Drop(a).ok());
+  EXPECT_EQ(store.LiveBytes(), 0u);
+}
+
+TEST(StoreAccountingTest, SetMaxBytesEvictsCachesImmediately) {
+  SnapshotStore store(42);
+  store.Put(SampleState(), "a");
+  ASSERT_GT(store.stats().cache_bytes, 0u);
+  // Resident chunks alone fit in any cap the caches overflow.
+  const uint64_t resident =
+      store.stats().live_bytes - store.stats().cache_bytes;
+  store.SetMaxBytes(resident);
+  const auto s = store.stats();
+  EXPECT_EQ(s.cache_bytes, 0u);
+  EXPECT_GE(s.cache_evictions, 1u);
+  EXPECT_LE(s.live_bytes, resident);
+}
+
+TEST(StoreCapTest, TryPutFailsCleanlyWhenNothingCanBeEvicted) {
+  SnapshotStore store(42);
+  store.SetMaxBytes(1);  // smaller than any snapshot's resident bytes
+  auto r = store.TryPut(SampleState(), "too big");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  // The failed ingestion left nothing behind.
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.LiveBytes(), 0u);
+}
+
+TEST(StoreCapTest, TryPutSucceedsByEvictingColdCaches) {
+  SnapshotStore store(42);
+  SnapshotId a = store.Put(SampleState(), "a");
+  auto st2 = SampleState();
+  st2.flops[0] = 0x12345678;
+  // Cap = current live + the new snapshot's resident need, but NOT its
+  // cache: ingestion must evict caches (the cold ones first) to fit.
+  SnapshotId b = store.Put(st2, "b");
+  const uint64_t resident_two =
+      store.stats().live_bytes - store.stats().cache_bytes;
+  ASSERT_TRUE(store.Drop(b).ok());
+  store.SetMaxBytes(resident_two);
+  auto r = store.TryPut(st2, "b2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GE(store.stats().cache_evictions, 1u);
+  // Both snapshots still materialize correctly after eviction.
+  auto ga = store.Get(a);
+  ASSERT_TRUE(ga.ok());
+  EXPECT_EQ(ga.value()->state, SampleState());
+  auto gb = store.Get(r.value());
+  ASSERT_TRUE(gb.ok());
+  EXPECT_EQ(gb.value()->state, st2);
+}
+
+TEST(StoreCapTest, UnlimitedByDefault) {
+  SnapshotStore store(42);
+  for (int i = 0; i < 16; ++i) {
+    auto st = SampleState();
+    st.flops[0] = static_cast<uint64_t>(i);
+    EXPECT_NE(store.Put(st), kNoSnapshot);
+  }
+  EXPECT_EQ(store.size(), 16u);
+  EXPECT_EQ(store.stats().cache_evictions, 0u);
+}
+
+// --- whole-store serialization (HSST) --------------------------------------
+
+TEST(StoreSerdeTest, SerializeRestoreRoundTripsContentAndIds) {
+  SnapshotStore store(42);
+  SnapshotId a = store.Put(SampleState(), "base");
+  auto st2 = SampleState();
+  st2.flops[1] = 0xfeedface;
+  SnapshotId b = store.Put(st2, "variant");
+  auto blob = store.Serialize();
+  ASSERT_TRUE(blob.ok()) << blob.status().ToString();
+
+  SnapshotStore back(42);
+  ASSERT_TRUE(back.Restore(blob.value()).ok());
+  EXPECT_EQ(back.size(), 2u);
+  auto ga = back.Get(a);
+  ASSERT_TRUE(ga.ok());
+  EXPECT_EQ(ga.value()->state, SampleState());
+  EXPECT_EQ(ga.value()->label, "base");
+  auto gb = back.Get(b);
+  ASSERT_TRUE(gb.ok());
+  EXPECT_EQ(gb.value()->state, st2);
+  EXPECT_EQ(gb.value()->label, "variant");
+  // Content hashes survive the round trip (resume drift checks rely on
+  // them).
+  EXPECT_EQ(back.ContentHash(a).value(), store.ContentHash(a).value());
+  // New ids keep ascending past the restored ones.
+  auto st3 = SampleState();
+  st3.flops[2] = 7;
+  SnapshotId c = back.Put(st3);
+  EXPECT_GT(c, b);
+}
+
+TEST(StoreSerdeTest, EmptyStoreRoundTrips) {
+  SnapshotStore store(42);
+  auto blob = store.Serialize();
+  ASSERT_TRUE(blob.ok());
+  SnapshotStore back(42);
+  ASSERT_TRUE(back.Restore(blob.value()).ok());
+  EXPECT_EQ(back.size(), 0u);
+  EXPECT_NE(back.Put(SampleState()), kNoSnapshot);
+}
+
+TEST(StoreSerdeTest, RestoreRejectsWrongShapeDigest) {
+  SnapshotStore store(42);
+  store.Put(SampleState());
+  auto blob = store.Serialize();
+  ASSERT_TRUE(blob.ok());
+  SnapshotStore other(43);
+  EXPECT_FALSE(other.Restore(blob.value()).ok());
+  EXPECT_EQ(other.size(), 0u);  // failed restore leaves the store empty
+}
+
+TEST(StoreSerdeTest, RestoreRejectsTruncationAndBitFlips) {
+  SnapshotStore store(42);
+  store.Put(SampleState(), "a");
+  auto st2 = SampleState();
+  st2.flops[0] = 5;
+  store.Put(st2, "b");
+  auto blob = store.Serialize();
+  ASSERT_TRUE(blob.ok());
+  const auto& bytes = blob.value();
+  for (size_t len = 0; len < bytes.size(); len += 3) {
+    std::vector<uint8_t> cut(bytes.begin(), bytes.begin() + len);
+    SnapshotStore back(42);
+    EXPECT_FALSE(back.Restore(cut).ok()) << "truncation to " << len;
+    EXPECT_EQ(back.size(), 0u);
+  }
+  for (size_t bit = 0; bit < bytes.size() * 8; bit += 11) {
+    auto corrupt = bytes;
+    corrupt[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    SnapshotStore back(42);
+    EXPECT_FALSE(back.Restore(corrupt).ok()) << "bit flip at " << bit;
+  }
+}
+
+TEST(StoreSerdeTest, RestoreReplacesPriorContents) {
+  SnapshotStore store(42);
+  store.Put(SampleState(), "kept");
+  auto blob = store.Serialize();
+  ASSERT_TRUE(blob.ok());
+  SnapshotStore back(42);
+  back.Put(SampleState(), "overwritten");
+  back.Put(SampleState(), "also gone");
+  ASSERT_TRUE(back.Restore(blob.value()).ok());
+  EXPECT_EQ(back.size(), 1u);
+  auto ids = back.Ids();
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(back.Get(ids[0]).value()->label, "kept");
+}
+
 }  // namespace
 }  // namespace hardsnap::snapshot

@@ -23,6 +23,20 @@
 //                               that replays it single-threaded
 //   --share-corpus              let workers adopt each other's inputs
 //                               (faster coverage, input-level replay only)
+// durability options (fuzz campaigns and run portfolios):
+//   --persist=DIR               journal findings/corpus to DIR and write
+//                               periodic checkpoints; a killed campaign
+//                               restarted with the same DIR resumes from
+//                               its last acknowledged state
+//   --resume=DIR                like --persist but REQUIRE existing state
+//                               in DIR (refuses to silently start fresh)
+//   --checkpoint-every=N        compact the journal into a checkpoint
+//                               every N journal records (default 16)
+//   --max-store-bytes=N         cap the host snapshot store; ingestion
+//                               beyond the cap fails with
+//                               RESOURCE_EXHAUSTED instead of OOM
+// SIGINT/SIGTERM drain workers and flush a final checkpoint; a second
+// signal aborts immediately.
 // link options (any command that talks to hardware):
 //   --fault-rate=P              inject frame drops AND corruptions, each
 //                               with probability P (e.g. 0.01), on the
@@ -33,6 +47,10 @@
 //
 // Example:
 //   hardsnap run driver.s --symbolic-reg=a0 --mode=hardsnap --target=fpga
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -42,6 +60,7 @@
 
 #include "bus/sim_target.h"
 #include "campaign/campaign.h"
+#include "campaign/symex_campaign.h"
 #include "core/session.h"
 #include "fpga/fpga_target.h"
 #include "fuzz/fuzzer.h"
@@ -52,6 +71,23 @@
 using namespace hardsnap;
 
 namespace {
+
+// Graceful shutdown: the first SIGINT/SIGTERM asks running campaigns to
+// drain (workers finish their current batch, the final checkpoint is
+// flushed); the second aborts immediately. Only async-signal-safe
+// operations here — the campaign prints the resume hint after draining.
+std::atomic<bool> g_stop{false};
+std::atomic<int> g_signal_count{0};
+
+extern "C" void OnStopSignal(int /*signum*/) {
+  if (g_signal_count.fetch_add(1) > 0) _exit(130);
+  g_stop.store(true);
+}
+
+void InstallStopHandlers() {
+  std::signal(SIGINT, OnStopSignal);
+  std::signal(SIGTERM, OnStopSignal);
+}
 
 int Usage() {
   std::fprintf(stderr,
@@ -105,6 +141,8 @@ struct Cli {
   unsigned workers = 1;
   uint64_t seed = 1;
   bool share_corpus = false;
+  // durable checkpoint/resume (--persist / --resume / --checkpoint-every)
+  persist::PersistOptions persist;
   // host<->target transport (applied to every target the command builds)
   bus::LinkConfig link;
 };
@@ -178,6 +216,15 @@ bool ParseArgs(int argc, char** argv, Cli* cli) {
       cli->seed = ParseNum(v);
     } else if (arg == "--share-corpus") {
       cli->share_corpus = true;
+    } else if (OptValue(arg, "persist", &v)) {
+      cli->persist.dir = v;
+    } else if (OptValue(arg, "resume", &v)) {
+      cli->persist.dir = v;
+      cli->persist.resume_required = true;
+    } else if (OptValue(arg, "checkpoint-every", &v)) {
+      cli->persist.checkpoint_every = ParseNum(v);
+    } else if (OptValue(arg, "max-store-bytes", &v)) {
+      cli->exec.max_store_bytes = ParseNum(v);
     } else if (OptValue(arg, "fault-rate", &v)) {
       const double rate = std::stod(v);
       if (rate < 0.0 || rate > 1.0) {
@@ -259,6 +306,33 @@ int CmdRun(const Cli& cli) {
       return 1;
     }
   }
+  // Portfolio path: N cloned sessions, optionally durable at worker
+  // granularity (--persist/--resume journal completed worker reports).
+  if (cli.workers > 1 || !cli.persist.dir.empty()) {
+    campaign::SymexCampaignOptions sopts;
+    sopts.workers = cli.workers;
+    sopts.seed = cli.seed;
+    sopts.persist = cli.persist;
+    auto portfolio = campaign::RunSymexCampaign(*session.value(), sopts);
+    if (!portfolio.ok()) {
+      std::fprintf(stderr, "%s\n", portfolio.status().ToString().c_str());
+      return 1;
+    }
+    if (portfolio.value().resumed)
+      std::printf("resumed from %s (%llu worker reports recovered)\n",
+                  cli.persist.dir.c_str(),
+                  static_cast<unsigned long long>(
+                      portfolio.value().resumed_workers));
+    std::printf("%s\n", portfolio.value().Summary().c_str());
+    for (const auto& bug : portfolio.value().bugs) {
+      std::printf("BUG %-22s pc=0x%08x %s\n", bug.kind.c_str(), bug.pc,
+                  bug.detail.c_str());
+      for (const auto& [name, value] : bug.test_case.inputs)
+        std::printf("    %s = 0x%llx\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+    }
+    return 0;
+  }
   auto report = session.value()->Run();
   if (!report.ok()) {
     std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
@@ -337,13 +411,30 @@ int CmdFuzzCampaign(const Cli& cli, const vm::FirmwareImage& image) {
   opts.share_corpus = cli.share_corpus;
   opts.fuzz = cli.fuzz;
   opts.simulator_options.link = cli.link;
+  opts.persist = cli.persist;
+  opts.external_stop = &g_stop;
+  InstallStopHandlers();
   campaign::FuzzCampaign campaign(soc.value(), image, opts);
   auto report = campaign.Run();
   if (!report.ok()) {
     std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
     return 1;
   }
+  if (report.value().resumed)
+    std::printf("resumed from %s (%llu journal records recovered)\n",
+                cli.persist.dir.c_str(),
+                static_cast<unsigned long long>(
+                    report.value().persist_stats.recovered_records));
   std::printf("%s\n", report.value().Summary().c_str());
+  if (report.value().interrupted) {
+    if (!cli.persist.dir.empty())
+      std::printf("interrupted; all acknowledged findings are durable — "
+                  "rerun with --resume=%s to continue\n",
+                  cli.persist.dir.c_str());
+    else
+      std::printf("interrupted (use --persist=DIR to make runs "
+                  "resumable)\n");
+  }
   for (const auto& finding : report.value().findings) {
     std::printf(
         "CRASH pc=0x%08x %s (worker %u; replay: seed=%llu execs=%llu) "
@@ -369,11 +460,14 @@ int CmdFuzz(const Cli& cli) {
     std::fprintf(stderr, "%s\n", img.status().ToString().c_str());
     return 1;
   }
-  if (cli.workers > 1) {
+  // Campaign path: multiple workers, or any persisted run (durable
+  // checkpointing lives in the campaign layer, so --persist/--resume
+  // route even a single worker through it).
+  if (cli.workers > 1 || !cli.persist.dir.empty()) {
     if (cli.target != core::SessionConfig::Target::kSimulator) {
       std::fprintf(stderr,
-                   "--workers needs --target=sim (one simulated device "
-                   "per worker)\n");
+                   "--workers/--persist need --target=sim (one simulated "
+                   "device per worker)\n");
       return 1;
     }
     return CmdFuzzCampaign(cli, img.value());
