@@ -1,0 +1,285 @@
+// E13 (extension) — remote target RPC efficiency: per-operation round
+// trips vs batched MMIO over a loopback TCP connection, and aggregate
+// throughput as 1..8 clients share one hardsnapd-style server.
+//
+// The paper's targets sit behind slow physical links; this repo's remote
+// subsystem puts them behind a socket instead, and the question E13
+// answers is how much of the naive one-RPC-per-MMIO cost the batching
+// protocol recovers. Per-op mode (coalesce_ops=false) pays a full
+// round trip per Write32/Run/Read32; batch-K ships K ops per kBatch RPC
+// via the MmioBatcher interface. The headline claim (ISSUE acceptance):
+// batch-16 is at least ~3x the per-op throughput on loopback.
+//
+// Wall-clock numbers here are real host time (socket latency is the
+// thing under test), so absolute values are machine-dependent; the
+// RATIOS are the stable metric.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "bus/batch_support.h"
+#include "bus/sim_target.h"
+#include "net/address.h"
+#include "periph/periph.h"
+#include "remote/remote_target.h"
+#include "remote/server.h"
+#include "rtl/elaborate.h"
+
+using namespace hardsnap;
+
+namespace {
+
+constexpr uint64_t kOpsPerRun = 1800;  // multiple of the largest batch
+
+// A near-zero-cost hosted target: a bare register file. Hosting THIS
+// behind the server isolates the transport — every microsecond measured
+// is RPC framing, syscalls and round trips, not device simulation. The
+// headline batch-vs-per-op ratio comes from this target; the SoC-backed
+// run below shows how device work dilutes the ratio (Amdahl).
+class StubRegisterTarget : public bus::HardwareTarget {
+ public:
+  bus::TargetKind kind() const override {
+    return bus::TargetKind::kSimulator;
+  }
+  const std::string& name() const override {
+    static const std::string kName = "stub-regs";
+    return kName;
+  }
+  Result<uint32_t> Read32(uint32_t addr) override {
+    return regs_[(addr >> 2) % kRegs];
+  }
+  Status Write32(uint32_t addr, uint32_t value) override {
+    regs_[(addr >> 2) % kRegs] = value;
+    return Status::Ok();
+  }
+  Status Run(uint64_t cycles) override {
+    clock_.Advance(PeriodOfHz(100e6) * static_cast<int64_t>(cycles));
+    return Status::Ok();
+  }
+  uint32_t IrqVector() override { return 0; }
+  Status ResetHardware() override {
+    regs_.assign(kRegs, 0);
+    return Status::Ok();
+  }
+  Result<sim::HardwareState> SaveState() override {
+    sim::HardwareState state;
+    state.flops.assign(regs_.begin(), regs_.end());
+    return state;
+  }
+  Status RestoreState(const sim::HardwareState& state) override {
+    if (state.flops.size() != kRegs)
+      return InvalidArgument("stub state shape mismatch");
+    for (size_t i = 0; i < kRegs; ++i)
+      regs_[i] = static_cast<uint32_t>(state.flops[i]);
+    return Status::Ok();
+  }
+  const VirtualClock& clock() const override { return clock_; }
+  const bus::TargetStats& stats() const override { return stats_; }
+
+ private:
+  static constexpr size_t kRegs = 64;
+  std::vector<uint32_t> regs_ = std::vector<uint32_t>(kRegs, 0);
+  VirtualClock clock_;
+  bus::TargetStats stats_;
+};
+
+rtl::Design& Soc() {
+  static rtl::Design* d = [] {
+    auto r = rtl::CompileVerilog(periph::BuildSoc(periph::DefaultCorpus()),
+                                 "soc");
+    HS_CHECK_MSG(r.ok(), r.status().ToString());
+    return new rtl::Design(std::move(r).value());
+  }();
+  return *d;
+}
+
+remote::TargetFactory StubFactory() {
+  return []() -> Result<std::unique_ptr<bus::HardwareTarget>> {
+    return std::unique_ptr<bus::HardwareTarget>(
+        std::make_unique<StubRegisterTarget>());
+  };
+}
+
+remote::TargetFactory SocSimFactory() {
+  return []() -> Result<std::unique_ptr<bus::HardwareTarget>> {
+    auto t = bus::SimulatorTarget::Create(Soc());
+    if (!t.ok()) return t.status();
+    return std::unique_ptr<bus::HardwareTarget>(std::move(t).value());
+  };
+}
+
+std::unique_ptr<remote::TargetServer> StartServer(remote::TargetFactory factory,
+                                                  unsigned max_sessions) {
+  auto addr = net::Address::Parse("tcp:127.0.0.1:0");
+  HS_CHECK(addr.ok());
+  remote::TargetServerOptions options;
+  options.max_sessions = max_sessions;
+  auto server =
+      remote::TargetServer::Start(addr.value(), std::move(factory), options);
+  HS_CHECK_MSG(server.ok(), server.status().ToString());
+  return std::move(server).value();
+}
+
+std::unique_ptr<remote::RemoteTarget> Dial(const net::Address& addr,
+                                           bool coalesce) {
+  remote::RemoteTargetOptions options;
+  options.coalesce_ops = coalesce;
+  auto t = remote::RemoteTarget::Connect(addr, options);
+  HS_CHECK_MSG(t.ok(), t.status().ToString());
+  return std::move(t).value();
+}
+
+// The workload: alternating register writes and reads against the timer
+// block — pure MMIO, no Run cycles, so per-op device work is a few
+// microseconds and the round trip is the dominant cost. (Run-heavy
+// workloads amortize differently: simulation time is the same whether
+// batched or not, so batching gains shrink toward Amdahl's floor.)
+bus::MmioOp WorkloadOp(uint64_t i) {
+  const uint32_t timer = 0u << 8;
+  if (i % 2 == 0)
+    return bus::MmioOp::Write(timer | periph::timer_regs::kLoad,
+                              static_cast<uint32_t>(i) | 1u);
+  return bus::MmioOp::Read(timer | periph::timer_regs::kValue);
+}
+
+// One RPC per operation: the naive client the batching exists to beat.
+double RunPerOp(remote::RemoteTarget* t) {
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < kOpsPerRun; ++i) {
+    const bus::MmioOp op = WorkloadOp(i);
+    switch (op.kind) {
+      case bus::MmioOp::kWrite:
+        HS_CHECK(t->Write32(op.addr, static_cast<uint32_t>(op.value)).ok());
+        break;
+      case bus::MmioOp::kRun:
+        HS_CHECK(t->Run(op.value).ok());
+        break;
+      default:
+        HS_CHECK(t->Read32(op.addr).ok());
+        break;
+    }
+  }
+  const std::chrono::duration<double> secs =
+      std::chrono::steady_clock::now() - start;
+  return static_cast<double>(kOpsPerRun) / secs.count();
+}
+
+double RunBatched(remote::RemoteTarget* t, uint64_t batch) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<bus::MmioOp> ops;
+  ops.reserve(batch);
+  for (uint64_t i = 0; i < kOpsPerRun; i += batch) {
+    ops.clear();
+    for (uint64_t k = 0; k < batch; ++k) ops.push_back(WorkloadOp(i + k));
+    HS_CHECK(t->ExecuteMmio(ops).ok());
+  }
+  const std::chrono::duration<double> secs =
+      std::chrono::steady_clock::now() - start;
+  return static_cast<double>(kOpsPerRun) / secs.count();
+}
+
+void PrintTable() {
+  // --- Transport isolation: stub register target, RPC cost dominates ---
+  auto server = StartServer(StubFactory(), /*max_sessions=*/16);
+
+  std::printf(
+      "E13: remote target RPC efficiency over loopback TCP "
+      "(%llu MMIO ops per mode)\n\ntransport isolation (stub register "
+      "target)\n%-12s %14s %10s\n",
+      static_cast<unsigned long long>(kOpsPerRun), "mode", "ops/s",
+      "vs per-op");
+
+  auto per_op_client = Dial(server->bound(), /*coalesce=*/false);
+  const double per_op = RunPerOp(per_op_client.get());
+  std::printf("%-12s %14.0f %9.2fx\n", "per-op", per_op, 1.0);
+  benchjson::Add("per_op.ops_per_sec", per_op);
+
+  double batch16_speedup = 0.0;
+  for (uint64_t batch : {4ull, 16ull, 64ull}) {
+    auto client = Dial(server->bound(), /*coalesce=*/true);
+    const double ops_per_sec = RunBatched(client.get(), batch);
+    const double speedup = per_op > 0 ? ops_per_sec / per_op : 0.0;
+    if (batch == 16) batch16_speedup = speedup;
+    std::printf("batch-%-6llu %14.0f %9.2fx\n",
+                static_cast<unsigned long long>(batch), ops_per_sec, speedup);
+    const std::string p = "batch_" + std::to_string(batch);
+    benchjson::Add(p + ".ops_per_sec", ops_per_sec);
+    benchjson::Add(p + ".speedup_vs_per_op", speedup);
+  }
+  benchjson::Add("batch_16.meets_3x_target", batch16_speedup >= 3.0 ? 1 : 0);
+
+  // --- Context: same sweep against the real simulated SoC. Every MMIO
+  // op ticks the RTL simulation, so device time dilutes the batching win
+  // toward Amdahl's floor — this is the ratio campaigns actually see.
+  auto soc_server = StartServer(SocSimFactory(), /*max_sessions=*/4);
+  auto soc_per_op_client = Dial(soc_server->bound(), /*coalesce=*/false);
+  const double soc_per_op = RunPerOp(soc_per_op_client.get());
+  auto soc_batch_client = Dial(soc_server->bound(), /*coalesce=*/true);
+  const double soc_batch16 = RunBatched(soc_batch_client.get(), 16);
+  std::printf(
+      "\nsimulated SoC target (device work per op)\n%-12s %14.0f %9.2fx\n"
+      "%-12s %14.0f %9.2fx\n",
+      "per-op", soc_per_op, 1.0, "batch-16", soc_batch16,
+      soc_per_op > 0 ? soc_batch16 / soc_per_op : 0.0);
+  benchjson::Add("soc.per_op_ops_per_sec", soc_per_op);
+  benchjson::Add("soc.batch_16_ops_per_sec", soc_batch16);
+  benchjson::Add("soc.batch_16_speedup_vs_per_op",
+                 soc_per_op > 0 ? soc_batch16 / soc_per_op : 0.0);
+  soc_server->Stop();
+
+  // --- Concurrency: K clients, each its own session, batch-16 workload.
+  std::printf("\n%-12s %20s %14s\n", "clients", "aggregate ops/s",
+              "per-client");
+  for (unsigned clients : {1u, 2u, 4u, 8u}) {
+    std::vector<std::thread> threads;
+    const auto start = std::chrono::steady_clock::now();
+    for (unsigned c = 0; c < clients; ++c) {
+      threads.emplace_back([&server] {
+        auto client = Dial(server->bound(), /*coalesce=*/true);
+        RunBatched(client.get(), 16);
+      });
+    }
+    for (auto& t : threads) t.join();
+    const std::chrono::duration<double> secs =
+        std::chrono::steady_clock::now() - start;
+    const double aggregate =
+        static_cast<double>(kOpsPerRun) * clients / secs.count();
+    std::printf("%-12u %20.0f %14.0f\n", clients, aggregate,
+                aggregate / clients);
+    const std::string p = "clients_" + std::to_string(clients);
+    benchjson::Add(p + ".aggregate_ops_per_sec", aggregate);
+    benchjson::Add(p + ".per_client_ops_per_sec", aggregate / clients);
+  }
+  std::printf("\n");
+  server->Stop();
+}
+
+void BM_RemoteMmio(benchmark::State& state) {
+  static auto* server = StartServer(StubFactory(), /*max_sessions=*/16).release();
+  const auto batch = static_cast<uint64_t>(state.range(0));
+  auto client = Dial(server->bound(), /*coalesce=*/batch > 0);
+  for (auto _ : state) {
+    if (batch == 0)
+      benchmark::DoNotOptimize(RunPerOp(client.get()));
+    else
+      benchmark::DoNotOptimize(RunBatched(client.get(), batch));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kOpsPerRun));
+}
+BENCHMARK(BM_RemoteMmio)->Arg(0)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchjson::Emit("remote_target");
+  return 0;
+}

@@ -1,0 +1,25 @@
+# The synthetic "vulnerable parser" firmware from src/firmware/corpus.cc
+# (firmware::VulnerableParserFirmware), checked in as assembly so the
+# hardsnap CLI can be driven without building a dump helper — CI's
+# multi-process remote soak fuzzes this via `hardsnap fuzz`.
+# Bug: the copy loop trusts the attacker-controlled length byte at
+# 0x10000000 and writes past the 16-byte buffer at 0x1003fff0.
+_start:
+  li t0, 0x10000000
+  lbu t1, 0(t0)
+  li t2, 0x1003fff0
+  li t3, 0
+copy:
+  beq t3, t1, done
+  add t4, t0, t3
+  lbu t5, 1(t4)
+  add t6, t2, t3
+  sb t5, 0(t6)
+  addi t3, t3, 1
+  j copy
+done:
+  li a0, 0
+
+finish:
+  li t0, 0x50000004
+  sw a0, 0(t0)

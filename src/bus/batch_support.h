@@ -1,0 +1,83 @@
+// Optional target capability: batched MMIO execution.
+//
+// A remote target pays a real network round trip per operation; an
+// in-process target pays nanoseconds. Batching closes the gap: a client
+// hands the target a whole vector of MMIO operations (reads, writes, run
+// steps) and gets every read value back in one exchange. Targets that can
+// execute a batch as a unit (remote::RemoteTarget ships it as one RPC)
+// implement this interface; callers discover it via dynamic_cast — the
+// same pattern as DeltaSnapshotter / SlotSnapshotter — and fall back to
+// per-operation calls when it is absent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bus/target.h"
+#include "common/status.h"
+
+namespace hardsnap::bus {
+
+// One element of a batch. 13 bytes on the remote wire.
+struct MmioOp {
+  enum Kind : uint8_t {
+    kRead = 1,   // addr used; produces one read value
+    kWrite = 2,  // addr + value (low 32 bits)
+    kRun = 3,    // value = cycles
+  };
+
+  uint8_t kind = kRead;
+  uint32_t addr = 0;
+  uint64_t value = 0;
+
+  static MmioOp Read(uint32_t addr) { return {kRead, addr, 0}; }
+  static MmioOp Write(uint32_t addr, uint32_t value) {
+    return {kWrite, addr, value};
+  }
+  static MmioOp Run(uint64_t cycles) { return {kRun, 0, cycles}; }
+
+  bool operator==(const MmioOp&) const = default;
+};
+
+class MmioBatcher {
+ public:
+  virtual ~MmioBatcher() = default;
+
+  // Executes `ops` in order as one unit and returns the values produced
+  // by the kRead ops, in op order. The first failing op aborts the batch
+  // and its status is returned; ops after it do not run, and read values
+  // collected before it are discarded.
+  virtual Result<std::vector<uint32_t>> ExecuteMmio(
+      const std::vector<MmioOp>& ops) = 0;
+};
+
+// Reference execution of a batch against any target, one call per op —
+// the server's device-side interpreter and the baseline the batching
+// benchmark compares against.
+inline Result<std::vector<uint32_t>> ExecuteMmioOps(
+    HardwareTarget* target, const std::vector<MmioOp>& ops) {
+  std::vector<uint32_t> reads;
+  for (const MmioOp& op : ops) {
+    switch (op.kind) {
+      case MmioOp::kRead: {
+        auto v = target->Read32(op.addr);
+        if (!v.ok()) return v.status();
+        reads.push_back(v.value());
+        break;
+      }
+      case MmioOp::kWrite:
+        HS_RETURN_IF_ERROR(
+            target->Write32(op.addr, static_cast<uint32_t>(op.value)));
+        break;
+      case MmioOp::kRun:
+        HS_RETURN_IF_ERROR(target->Run(op.value));
+        break;
+      default:
+        return InvalidArgument("unknown MmioOp kind " +
+                               std::to_string(op.kind));
+    }
+  }
+  return reads;
+}
+
+}  // namespace hardsnap::bus

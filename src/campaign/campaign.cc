@@ -125,20 +125,28 @@ Status FuzzCampaign::RunWorker(unsigned worker) {
   bus::LinkStats dead_links;   // counters from incarnations that died
   fuzz::FuzzStats dead_stats;  // reboot/restore work from dead incarnations
 
-  std::unique_ptr<bus::SimulatorTarget> target;
+  std::unique_ptr<bus::HardwareTarget> target;
   std::optional<fuzz::Fuzzer> fuzzer;
 
-  // Builds a fresh vertical slice. Each incarnation re-derives the link's
-  // fault seed so a replacement device does not replay the exact fault
-  // schedule that killed its predecessor.
+  // Builds a fresh vertical slice — locally by default, or wherever the
+  // target factory puts it (a remote hardsnapd session in --connect
+  // mode). Each local incarnation re-derives the link's fault seed so a
+  // replacement device does not replay the exact fault schedule that
+  // killed its predecessor.
   auto provision = [&]() -> Status {
-    bus::SimulatorTargetOptions topts = options_.simulator_options;
-    if (topts.link.faults.enabled())
-      topts.link.faults.seed = DeriveWorkerSeed(
-          topts.link.faults.seed + reprovisions, worker);
-    auto t = bus::SimulatorTarget::Create(soc_, topts);
-    if (!t.ok()) return t.status();
-    target = std::move(t).value();
+    if (options_.target_factory) {
+      auto t = options_.target_factory(worker, reprovisions);
+      if (!t.ok()) return t.status();
+      target = std::move(t).value();
+    } else {
+      bus::SimulatorTargetOptions topts = options_.simulator_options;
+      if (topts.link.faults.enabled())
+        topts.link.faults.seed = DeriveWorkerSeed(
+            topts.link.faults.seed + reprovisions, worker);
+      auto t = bus::SimulatorTarget::Create(soc_, topts);
+      if (!t.ok()) return t.status();
+      target = std::move(t).value();
+    }
     fuzz::FuzzOptions fopts = options_.fuzz;
     fopts.seed = worker_seed;
     fuzzer.emplace(target.get(), image_, fopts);
@@ -214,6 +222,7 @@ Status FuzzCampaign::RunWorker(unsigned worker) {
         if (!IsInfrastructureFailure(s.code())) return s;
         if (reprovisions >= options_.max_reprovisions) return s;
         ++reprovisions;
+        live_reprovisions_.fetch_add(1, std::memory_order_relaxed);
         abandon_slice();
         continue;  // catch-up itself hit a dead link: try a fresh slice
       }
@@ -232,10 +241,12 @@ Status FuzzCampaign::RunWorker(unsigned worker) {
       // campaign; give up only after max_reprovisions replacements.
       if (reprovisions >= options_.max_reprovisions) return stats.status();
       ++reprovisions;
+      live_reprovisions_.fetch_add(1, std::memory_order_relaxed);
       abandon_slice();
       continue;
     }
     done += batch;
+    live_execs_.fetch_add(batch, std::memory_order_relaxed);
 
     // Sync point: publish coverage, inputs and crashes. Aggregation only
     // (unless share_corpus) — nothing here changes the fuzzer's future.
@@ -326,8 +337,51 @@ Result<CampaignReport> FuzzCampaign::Run() {
   std::vector<std::thread> threads;
   threads.reserve(options_.workers);
   for (unsigned w = 0; w < options_.workers; ++w)
-    threads.emplace_back([this, w] { worker_status_[w] = RunWorker(w); });
+    threads.emplace_back([this, w] {
+      live_workers_.fetch_add(1, std::memory_order_relaxed);
+      worker_status_[w] = RunWorker(w);
+      live_workers_.fetch_sub(1, std::memory_order_relaxed);
+    });
+
+  // Observability sidecar: one line per interval, rate computed over the
+  // interval just ended. Reads only relaxed atomics — display, not truth.
+  std::atomic<bool> monitor_stop{false};
+  std::thread monitor;
+  if (options_.stats_interval_seconds > 0) {
+    monitor = std::thread([this, &monitor_stop] {
+      uint64_t last_execs = 0;
+      auto last = std::chrono::steady_clock::now();
+      while (!monitor_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        const auto now = std::chrono::steady_clock::now();
+        if (now - last <
+            std::chrono::seconds(options_.stats_interval_seconds))
+          continue;
+        const double dt = std::chrono::duration<double>(now - last).count();
+        const uint64_t execs = live_execs_.load(std::memory_order_relaxed);
+        char buf[256];
+        std::snprintf(
+            buf, sizeof buf,
+            "[campaign] execs %llu/%llu (%.1f/s), workers %u, "
+            "reprovisions %llu",
+            static_cast<unsigned long long>(execs),
+            static_cast<unsigned long long>(options_.total_execs),
+            static_cast<double>(execs - last_execs) / dt,
+            live_workers_.load(std::memory_order_relaxed),
+            static_cast<unsigned long long>(
+                live_reprovisions_.load(std::memory_order_relaxed)));
+        std::string line = buf;
+        if (options_.stats_extra) line += ", " + options_.stats_extra();
+        std::fprintf(stderr, "%s\n", line.c_str());
+        last = now;
+        last_execs = execs;
+      }
+    });
+  }
+
   for (auto& t : threads) t.join();
+  monitor_stop.store(true, std::memory_order_relaxed);
+  if (monitor.joinable()) monitor.join();
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

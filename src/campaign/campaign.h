@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,15 @@
 #include "vm/assembler.h"
 
 namespace hardsnap::campaign {
+
+// Builds the hardware target for one worker slice. `incarnation` counts
+// (re-)provisions of that worker — 0 on first provision, increasing after
+// each link failover — so a factory fronting a pool of remote servers can
+// rotate to a different server when one dies. Called on the worker's
+// thread; must be safe to call concurrently for different workers.
+using CampaignTargetFactory =
+    std::function<Result<std::unique_ptr<bus::HardwareTarget>>(
+        unsigned worker, uint64_t incarnation)>;
 
 struct FuzzCampaignOptions {
   unsigned workers = 1;
@@ -61,6 +71,23 @@ struct FuzzCampaignOptions {
   // uses DeriveWorkerSeed(seed, worker).
   fuzz::FuzzOptions fuzz;
   bus::SimulatorTargetOptions simulator_options;
+
+  // When set, worker slices get their target from this factory instead of
+  // building a local SimulatorTarget — the hook the CLI's --connect mode
+  // uses to put each worker on a remote::RemoteTarget session. A factory
+  // failure with an infrastructure code (kUnavailable/kDeadlineExceeded)
+  // consumes a re-provision attempt like a mid-batch link death, so a
+  // briefly unreachable server is survived, not fatal. Findings are
+  // unaffected by WHERE the target runs: with share_corpus=false they are
+  // a pure function of seed + firmware.
+  CampaignTargetFactory target_factory;
+
+  // Periodic progress line to stderr every this many wall seconds while
+  // the campaign runs (0 = off): credited execs, execs/s, workers still
+  // running, slice re-provisions, plus whatever `stats_extra` appends
+  // (the CLI wires remote connection counters through it).
+  unsigned stats_interval_seconds = 0;
+  std::function<std::string()> stats_extra;
 
   // Durable checkpointing (persist.dir non-empty enables it): every batch
   // acknowledgment is journaled before it counts, so a killed campaign
@@ -136,6 +163,10 @@ class FuzzCampaign {
   FuzzCampaignOptions options_;
   SharedCorpus shared_;
   std::atomic<bool> stop_{false};
+  // Live progress for the stats monitor (relaxed; display only).
+  std::atomic<uint64_t> live_execs_{0};
+  std::atomic<uint64_t> live_reprovisions_{0};
+  std::atomic<unsigned> live_workers_{0};
   std::vector<WorkerResult> results_;   // slot per worker, disjoint writes
   std::vector<Status> worker_status_;   // slot per worker
 

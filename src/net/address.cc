@@ -1,0 +1,49 @@
+#include "net/address.h"
+
+namespace hardsnap::net {
+
+Result<Address> Address::Parse(const std::string& spec) {
+  if (spec.empty()) return InvalidArgument("empty address");
+  Address addr;
+  if (spec.rfind("unix:", 0) == 0) {
+    addr.family = Family::kUnix;
+    addr.path = spec.substr(5);
+    if (addr.path.empty())
+      return InvalidArgument("unix address needs a path: '" + spec + "'");
+
+    // sockaddr_un::sun_path is 108 bytes including the terminator.
+    if (addr.path.size() > 107)
+      return InvalidArgument("unix socket path too long (>107 bytes): '" +
+                             addr.path + "'");
+
+    return addr;
+  }
+  std::string rest = spec;
+  if (rest.rfind("tcp:", 0) == 0) rest = rest.substr(4);
+  const size_t colon = rest.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == rest.size())
+    return InvalidArgument("expected 'host:port' or 'unix:/path', got '" +
+                           spec + "'");
+
+  addr.family = Family::kTcp;
+  addr.host = rest.substr(0, colon);
+  const std::string port_str = rest.substr(colon + 1);
+  uint32_t port = 0;
+  for (char c : port_str) {
+    if (c < '0' || c > '9')
+      return InvalidArgument("bad port '" + port_str + "' in '" + spec + "'");
+
+    port = port * 10 + static_cast<uint32_t>(c - '0');
+    if (port > 65535)
+      return InvalidArgument("port out of range in '" + spec + "'");
+  }
+  addr.port = static_cast<uint16_t>(port);
+  return addr;
+}
+
+std::string Address::ToString() const {
+  if (family == Family::kUnix) return "unix:" + path;
+  return host + ":" + std::to_string(port);
+}
+
+}  // namespace hardsnap::net

@@ -1,0 +1,33 @@
+// Transport endpoint addressing for the remote-target subsystem.
+//
+// Two families, one textual form:
+//   "unix:/run/hardsnapd.sock"   Unix-domain stream socket (loopback
+//                                multi-process campaigns, CI soaks)
+//   "tcp:host:port"              TCP (many machines sharing a target pool)
+//   "host:port"                  shorthand for tcp:
+//
+// A TCP port of 0 asks the kernel for an ephemeral port; Listener::Bind
+// reports the resolved port back so tests and benches can serve on
+// "127.0.0.1:0" without racing for port numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace hardsnap::net {
+
+struct Address {
+  enum class Family { kTcp, kUnix };
+
+  Family family = Family::kTcp;
+  std::string host;     // kTcp
+  uint16_t port = 0;    // kTcp
+  std::string path;     // kUnix
+
+  static Result<Address> Parse(const std::string& spec);
+  std::string ToString() const;
+};
+
+}  // namespace hardsnap::net

@@ -1,0 +1,74 @@
+// Message framing over a byte stream, reusing the 17-byte CRC32 frame
+// from bus/link.h as the header.
+//
+// One message on the wire:
+//
+//   bus::Frame header (17 bytes, own CRC32):
+//     kind  = kCommand (request) | kReplyOk | kReplyErr
+//     seq   = request sequence number (echoed by the reply)
+//     addr  = opcode (remote::Op) or, for kReplyErr, the opcode echoed
+//     value = payload length in bytes
+//   payload[value]                      (absent when value == 0)
+//   payload CRC32 (4 bytes, little-endian; absent when value == 0)
+//
+// Decoding is defensive in the HSSS/HSSD spirit: a short read, a header
+// whose CRC fails, a payload length beyond max_payload (forged-length
+// guard: nothing is allocated for it), or a payload CRC mismatch all
+// surface as errors — the server closes the offending session, the
+// client treats the link as gone. kDataLoss marks integrity rejections,
+// kUnavailable a peer that went away, kDeadlineExceeded a deadline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bus/link.h"
+#include "common/status.h"
+#include "net/socket.h"
+
+namespace hardsnap::net {
+
+// Hard ceiling on a declared payload length. Generously above the largest
+// legitimate blob (a serialized SoC state is a few hundred KB) while
+// keeping a forged 32-bit length from triggering a 4 GB allocation.
+inline constexpr uint32_t kMaxPayloadBytes = 64u << 20;
+
+struct Message {
+  uint8_t kind = 0;     // bus::Frame::Kind
+  uint32_t seq = 0;
+  uint32_t op = 0;      // remote::Op (or echoed opcode on error replies)
+  std::vector<uint8_t> payload;
+};
+
+class FrameStream {
+ public:
+  explicit FrameStream(Socket socket) : socket_(std::move(socket)) {}
+  FrameStream() = default;
+
+  Status Send(uint8_t kind, uint32_t seq, uint32_t op,
+              const std::vector<uint8_t>& payload);
+
+  // Receives one whole message within `timeout_ms` (< 0 = no deadline).
+  Result<Message> Recv(int timeout_ms) { return Recv(timeout_ms, timeout_ms); }
+
+  // Server form: wait up to `header_timeout_ms` for a message to START
+  // (kDeadlineExceeded when the peer is simply idle — the accept/serve
+  // loops use this to poll their stop flags), then up to `body_timeout_ms`
+  // for each remaining segment. A deadline that strikes after part of the
+  // header already arrived is NOT idleness — the stream is desynchronized
+  // and the error says so (kDataLoss).
+  Result<Message> Recv(int header_timeout_ms, int body_timeout_ms);
+
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+
+  Socket& socket() { return socket_; }
+  bool valid() const { return socket_.valid(); }
+
+ private:
+  Socket socket_;
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+};
+
+}  // namespace hardsnap::net

@@ -1,0 +1,251 @@
+#include "remote/protocol.h"
+
+#include "common/serde.h"
+
+namespace hardsnap::remote {
+
+namespace {
+
+// Bytes one MmioOp occupies on the wire: kind(1) + addr(4) + value(8).
+constexpr size_t kMmioOpWireBytes = 13;
+
+// Highest StatusCode value the wire may carry (common/status.h).
+constexpr uint8_t kMaxStatusCode = static_cast<uint8_t>(StatusCode::kDataLoss);
+
+Status WantAtEnd(const ByteReader& reader, const char* what) {
+  if (!reader.AtEnd())
+    return InvalidArgument(std::string(what) + ": " +
+                           std::to_string(reader.remaining()) +
+                           " trailing bytes");
+  return Status::Ok();
+}
+
+// Length-prefixed raw byte blob. The declared length is validated against
+// the bytes present BEFORE the vector is sized — a forged length must
+// fail as malformed, not as a giant allocation.
+void PutBlob(ByteWriter* w, const std::vector<uint8_t>& blob) {
+  w->PutU32(static_cast<uint32_t>(blob.size()));
+  w->PutBytes(blob.data(), blob.size());
+}
+
+Result<std::vector<uint8_t>> GetBlob(ByteReader* r, const char* what) {
+  auto n = r->GetU32();
+  if (!n.ok()) return n.status();
+  if (r->remaining() < n.value())
+    return InvalidArgument(std::string(what) + " blob declares " +
+                           std::to_string(n.value()) + " bytes, " +
+                           std::to_string(r->remaining()) + " present");
+  std::vector<uint8_t> blob(n.value());
+  HS_RETURN_IF_ERROR(r->GetBytes(blob.data(), blob.size()));
+  return blob;
+}
+
+}  // namespace
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kHello: return "hello";
+    case Op::kBatch: return "batch";
+    case Op::kReset: return "reset";
+    case Op::kSaveState: return "save-state";
+    case Op::kRestoreState: return "restore-state";
+    case Op::kStateHash: return "state-hash";
+    case Op::kSaveDelta: return "save-delta";
+    case Op::kRestoreDelta: return "restore-delta";
+    case Op::kSlotSave: return "slot-save";
+    case Op::kSlotRestore: return "slot-restore";
+    case Op::kStats: return "stats";
+  }
+  return "unknown";
+}
+
+std::vector<uint8_t> EncodeRequest(const Request& req) {
+  ByteWriter w;
+  switch (req.op) {
+    case Op::kHello:
+      w.PutU32(req.magic);
+      w.PutU8(req.version);
+      w.PutString(req.client_name);
+      break;
+    case Op::kBatch:
+      w.PutU32(static_cast<uint32_t>(req.ops.size()));
+      for (const bus::MmioOp& op : req.ops) {
+        w.PutU8(op.kind);
+        w.PutU32(op.addr);
+        w.PutU64(op.value);
+      }
+      break;
+    case Op::kSlotSave:
+    case Op::kSlotRestore:
+      w.PutU32(req.slot);
+      break;
+    case Op::kRestoreState:
+    case Op::kRestoreDelta:
+      PutBlob(&w, req.blob);
+      break;
+    case Op::kReset:
+    case Op::kSaveState:
+    case Op::kStateHash:
+    case Op::kSaveDelta:
+    case Op::kStats:
+      break;  // no payload
+  }
+  return w.Take();
+}
+
+Result<Request> DecodeRequest(Op op, const std::vector<uint8_t>& payload) {
+  Request req;
+  req.op = op;
+  ByteReader r(payload);
+  switch (op) {
+    case Op::kHello: {
+      HS_ASSIGN_OR_RETURN(req.magic, r.GetU32());
+      HS_ASSIGN_OR_RETURN(req.version, r.GetU8());
+      HS_ASSIGN_OR_RETURN(req.client_name, r.GetString());
+      if (req.magic != kProtocolMagic)
+        return InvalidArgument("bad hello magic");
+      break;
+    }
+    case Op::kBatch: {
+      auto count = r.GetU32();
+      if (!count.ok()) return count.status();
+      if (r.remaining() < size_t{count.value()} * kMmioOpWireBytes)
+        return InvalidArgument(
+            "batch declares " + std::to_string(count.value()) + " ops, " +
+            std::to_string(r.remaining()) + " bytes present");
+      req.ops.reserve(count.value());
+      for (uint32_t i = 0; i < count.value(); ++i) {
+        bus::MmioOp op_i;
+        HS_ASSIGN_OR_RETURN(op_i.kind, r.GetU8());
+        HS_ASSIGN_OR_RETURN(op_i.addr, r.GetU32());
+        HS_ASSIGN_OR_RETURN(op_i.value, r.GetU64());
+        if (op_i.kind < bus::MmioOp::kRead || op_i.kind > bus::MmioOp::kRun)
+          return InvalidArgument("bad MmioOp kind " +
+                                 std::to_string(op_i.kind));
+        req.ops.push_back(op_i);
+      }
+      break;
+    }
+    case Op::kSlotSave:
+    case Op::kSlotRestore: {
+      HS_ASSIGN_OR_RETURN(req.slot, r.GetU32());
+      break;
+    }
+    case Op::kRestoreState:
+    case Op::kRestoreDelta: {
+      HS_ASSIGN_OR_RETURN(req.blob, GetBlob(&r, OpName(op)));
+      break;
+    }
+    case Op::kReset:
+    case Op::kSaveState:
+    case Op::kStateHash:
+    case Op::kSaveDelta:
+    case Op::kStats:
+      break;
+    default:
+      return InvalidArgument("unknown request opcode " +
+                             std::to_string(static_cast<uint32_t>(op)));
+  }
+  HS_RETURN_IF_ERROR(WantAtEnd(r, OpName(op)));
+  return req;
+}
+
+std::vector<uint8_t> EncodeHelloInfo(const HelloInfo& info) {
+  ByteWriter w;
+  w.PutString(info.target_name);
+  w.PutU8(info.target_kind);
+  w.PutU32(info.capabilities);
+  w.PutU32(info.num_slots);
+  w.PutU8(info.state_format_version);
+  w.PutU64(info.shape_digest);
+  return w.Take();
+}
+
+Result<HelloInfo> DecodeHelloInfo(const std::vector<uint8_t>& payload) {
+  HelloInfo info;
+  ByteReader r(payload);
+  HS_ASSIGN_OR_RETURN(info.target_name, r.GetString());
+  HS_ASSIGN_OR_RETURN(info.target_kind, r.GetU8());
+  HS_ASSIGN_OR_RETURN(info.capabilities, r.GetU32());
+  HS_ASSIGN_OR_RETURN(info.num_slots, r.GetU32());
+  HS_ASSIGN_OR_RETURN(info.state_format_version, r.GetU8());
+  HS_ASSIGN_OR_RETURN(info.shape_digest, r.GetU64());
+  HS_RETURN_IF_ERROR(WantAtEnd(r, "hello-info"));
+  return info;
+}
+
+std::vector<uint8_t> EncodeReply(const Reply& reply) {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(reply.code));
+  w.PutString(reply.message);
+  w.PutU32(reply.irq_vector);
+  w.PutU64(reply.elapsed_ps);
+  w.PutU64(reply.run_ps);
+  w.PutU64(reply.value64);
+  w.PutU32(static_cast<uint32_t>(reply.read_values.size()));
+  for (uint32_t v : reply.read_values) w.PutU32(v);
+  PutBlob(&w, reply.blob);
+  return w.Take();
+}
+
+Result<Reply> DecodeReply(const std::vector<uint8_t>& payload) {
+  Reply reply;
+  ByteReader r(payload);
+  auto code = r.GetU8();
+  if (!code.ok()) return code.status();
+  if (code.value() > kMaxStatusCode)
+    return InvalidArgument("bad status code " + std::to_string(code.value()));
+  reply.code = static_cast<StatusCode>(code.value());
+  HS_ASSIGN_OR_RETURN(reply.message, r.GetString());
+  HS_ASSIGN_OR_RETURN(reply.irq_vector, r.GetU32());
+  HS_ASSIGN_OR_RETURN(reply.elapsed_ps, r.GetU64());
+  HS_ASSIGN_OR_RETURN(reply.run_ps, r.GetU64());
+  HS_ASSIGN_OR_RETURN(reply.value64, r.GetU64());
+  auto count = r.GetU32();
+  if (!count.ok()) return count.status();
+  if (r.remaining() < size_t{count.value()} * 4)
+    return InvalidArgument("reply declares " + std::to_string(count.value()) +
+                           " read values, " + std::to_string(r.remaining()) +
+                           " bytes present");
+  reply.read_values.reserve(count.value());
+  for (uint32_t i = 0; i < count.value(); ++i) {
+    auto v = r.GetU32();
+    if (!v.ok()) return v.status();
+    reply.read_values.push_back(v.value());
+  }
+  HS_ASSIGN_OR_RETURN(reply.blob, GetBlob(&r, "reply"));
+  HS_RETURN_IF_ERROR(WantAtEnd(r, "reply"));
+  return reply;
+}
+
+std::vector<uint8_t> EncodeServerStats(const ServerStats& stats) {
+  ByteWriter w;
+  w.PutU64(stats.sessions_accepted);
+  w.PutU64(stats.sessions_refused);
+  w.PutU64(stats.sessions_closed);
+  w.PutU64(stats.protocol_errors);
+  w.PutU64(stats.rpcs);
+  w.PutU64(stats.batched_ops);
+  w.PutU64(stats.bytes_received);
+  w.PutU64(stats.bytes_sent);
+  w.PutU64(stats.rpc_wall_micros);
+  return w.Take();
+}
+
+Result<ServerStats> DecodeServerStats(const std::vector<uint8_t>& payload) {
+  ServerStats stats;
+  ByteReader r(payload);
+  HS_ASSIGN_OR_RETURN(stats.sessions_accepted, r.GetU64());
+  HS_ASSIGN_OR_RETURN(stats.sessions_refused, r.GetU64());
+  HS_ASSIGN_OR_RETURN(stats.sessions_closed, r.GetU64());
+  HS_ASSIGN_OR_RETURN(stats.protocol_errors, r.GetU64());
+  HS_ASSIGN_OR_RETURN(stats.rpcs, r.GetU64());
+  HS_ASSIGN_OR_RETURN(stats.batched_ops, r.GetU64());
+  HS_ASSIGN_OR_RETURN(stats.bytes_received, r.GetU64());
+  HS_ASSIGN_OR_RETURN(stats.bytes_sent, r.GetU64());
+  HS_ASSIGN_OR_RETURN(stats.rpc_wall_micros, r.GetU64());
+  HS_RETURN_IF_ERROR(WantAtEnd(r, "server-stats"));
+  return stats;
+}
+
+}  // namespace hardsnap::remote

@@ -9,6 +9,7 @@
 
 #include "common/crc32.h"
 #include "common/serde.h"
+#include "remote/protocol.h"
 #include "sim/delta.h"
 #include "snapshot/snapshot.h"
 
@@ -188,6 +189,162 @@ TEST(SerdeRobustnessTest, CurrentVersionBlobsStillDecode) {
   // Guard against the version check rejecting version 1 itself.
   EXPECT_TRUE(DeserializeState(SerializeState(SampleState())).ok());
   EXPECT_TRUE(DeserializeStateDelta(SerializeStateDelta(SampleDelta())).ok());
+}
+
+// --- remote RPC payloads ---------------------------------------------------
+//
+// The hardsnapd request/reply decoders face the network, so they get the
+// same treatment as the snapshot containers: truncate at every length,
+// flip every bit, forge every declared count. Framing CRCs live a layer
+// below (net/frame_stream.h); here the decoders must hold on their own —
+// a hostile payload may fail, or decode to some other VALID message, but
+// it must never crash, over-allocate or leave a half-built object. These
+// run under the CI sanitizer matrix, which is what gives the "no memory
+// error" half of the claim teeth.
+
+remote::Request SampleBatchRequest() {
+  remote::Request req;
+  req.op = remote::Op::kBatch;
+  req.ops = {bus::MmioOp::Write(0x104, 5), bus::MmioOp::Run(20),
+             bus::MmioOp::Read(0x10c)};
+  return req;
+}
+
+remote::Reply SampleReply() {
+  remote::Reply reply;
+  reply.message = "ok";
+  reply.irq_vector = 3;
+  reply.elapsed_ps = 123456;
+  reply.read_values = {7, 8, 9};
+  reply.blob = {1, 2, 3, 4};
+  return reply;
+}
+
+TEST(SerdeRobustnessTest, RequestSurvivesTruncationAtEveryLength) {
+  const remote::Op ops_with_payload[] = {
+      remote::Op::kHello, remote::Op::kBatch, remote::Op::kSlotSave,
+      remote::Op::kRestoreState, remote::Op::kRestoreDelta};
+  for (remote::Op op : ops_with_payload) {
+    remote::Request req;
+    req.op = op;
+    req.client_name = "fuzz";
+    req.ops = SampleBatchRequest().ops;
+    req.slot = 2;
+    req.blob = {1, 2, 3, 4, 5, 6, 7, 8};
+    const auto bytes = remote::EncodeRequest(req);
+    ASSERT_TRUE(remote::DecodeRequest(op, bytes).ok());
+    for (size_t len = 0; len < bytes.size(); ++len) {
+      std::vector<uint8_t> cut(bytes.begin(), bytes.begin() + len);
+      EXPECT_FALSE(remote::DecodeRequest(op, cut).ok())
+          << remote::OpName(op) << " truncated to " << len
+          << " bytes accepted";
+    }
+  }
+}
+
+TEST(SerdeRobustnessTest, RequestToleratesEverySingleBitFlip) {
+  const auto bytes = remote::EncodeRequest(SampleBatchRequest());
+  for (size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+    auto corrupt = bytes;
+    corrupt[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    // May decode (to a different batch) or fail — must not crash. A
+    // successful decode must carry only well-formed ops.
+    auto r = remote::DecodeRequest(remote::Op::kBatch, corrupt);
+    if (!r.ok()) continue;
+    for (const bus::MmioOp& op : r.value().ops) {
+      EXPECT_GE(op.kind, bus::MmioOp::kRead);
+      EXPECT_LE(op.kind, bus::MmioOp::kRun);
+    }
+  }
+}
+
+TEST(SerdeRobustnessTest, ReplySurvivesTruncationAtEveryLength) {
+  const auto bytes = remote::EncodeReply(SampleReply());
+  ASSERT_TRUE(remote::DecodeReply(bytes).ok());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<uint8_t> cut(bytes.begin(), bytes.begin() + len);
+    EXPECT_FALSE(remote::DecodeReply(cut).ok())
+        << "reply truncated to " << len << " bytes accepted";
+  }
+}
+
+TEST(SerdeRobustnessTest, ReplyToleratesEverySingleBitFlip) {
+  const auto bytes = remote::EncodeReply(SampleReply());
+  for (size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+    auto corrupt = bytes;
+    corrupt[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    auto r = remote::DecodeReply(corrupt);
+    if (!r.ok()) continue;  // rejection is fine; crashing is not
+    // An accepted status byte must still be a known code.
+    EXPECT_LE(static_cast<uint8_t>(r.value().code),
+              static_cast<uint8_t>(StatusCode::kDataLoss));
+  }
+}
+
+TEST(SerdeRobustnessTest, ForgedBatchCountFailsWithoutAllocating) {
+  ByteWriter w;
+  w.PutU32(0xffffffffu);  // ~56 GB of MmioOps declared, none present
+  auto r = remote::DecodeRequest(remote::Op::kBatch, w.Take());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
+      << r.status().ToString();
+}
+
+TEST(SerdeRobustnessTest, ForgedRestoreBlobLengthFailsWithoutAllocating) {
+  ByteWriter w;
+  w.PutU32(0xfffffff0u);
+  w.PutU8(0);  // one actual byte behind a ~4 GB declaration
+  auto r = remote::DecodeRequest(remote::Op::kRestoreState, w.Take());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerdeRobustnessTest, ForgedReplyReadCountFailsWithoutAllocating) {
+  remote::Reply reply = SampleReply();
+  reply.read_values.clear();
+  auto bytes = remote::EncodeReply(reply);
+  // The read-count u32 sits after code(1) + message(4+2) + irq(4) +
+  // elapsed(8) + run(8) + value64(8): forge it to the maximum.
+  const size_t count_at = 1 + 4 + reply.message.size() + 4 + 8 + 8 + 8;
+  ASSERT_LT(count_at + 4, bytes.size());
+  for (int i = 0; i < 4; ++i) bytes[count_at + static_cast<size_t>(i)] = 0xff;
+  auto r = remote::DecodeReply(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
+      << r.status().ToString();
+}
+
+TEST(SerdeRobustnessTest, RequestRejectsTrailingBytes) {
+  auto bytes = remote::EncodeRequest(SampleBatchRequest());
+  bytes.push_back(0);
+  EXPECT_FALSE(remote::DecodeRequest(remote::Op::kBatch, bytes).ok());
+  // Opcodes with empty payloads must insist on exactly that.
+  EXPECT_TRUE(remote::DecodeRequest(remote::Op::kReset, {}).ok());
+  EXPECT_FALSE(remote::DecodeRequest(remote::Op::kReset, {0}).ok());
+}
+
+TEST(SerdeRobustnessTest, RequestRejectsHostileEnumValues) {
+  // Unknown opcode.
+  EXPECT_FALSE(remote::DecodeRequest(static_cast<remote::Op>(99), {}).ok());
+  // Batch op with an invalid kind byte.
+  ByteWriter w;
+  w.PutU32(1);
+  w.PutU8(0xee);  // MmioOp kind
+  w.PutU32(0);
+  w.PutU64(0);
+  EXPECT_FALSE(remote::DecodeRequest(remote::Op::kBatch, w.Take()).ok());
+  // Hello with the wrong magic.
+  remote::Request hello;
+  hello.op = remote::Op::kHello;
+  hello.magic = 0x12345678;
+  EXPECT_FALSE(
+      remote::DecodeRequest(remote::Op::kHello, remote::EncodeRequest(hello))
+          .ok());
+  // Reply carrying an out-of-range status code.
+  remote::Reply reply = SampleReply();
+  auto bytes = remote::EncodeReply(reply);
+  bytes[0] = 0xfe;
+  EXPECT_FALSE(remote::DecodeReply(bytes).ok());
 }
 
 }  // namespace

@@ -4,6 +4,9 @@
 //   hardsnap fuzz <firmware.s> [options]     snapshot-based fuzzing
 //   hardsnap exec <firmware.s> [options]     concrete execution
 //   hardsnap info                            SoC + scan chain summary
+//   hardsnap serve --serve=ADDR [options]    host targets for remote
+//                                            clients (same core as the
+//                                            hardsnapd binary)
 //
 // Common options:
 //   --target=sim|fpga|both      hardware back-end (default sim)
@@ -44,6 +47,17 @@
 //   --fault-seed=N              RNG seed for the injected fault schedule
 //   --mmio-deadline=USEC        per-operation retry budget beyond the
 //                               clean transfer cost, in microseconds
+// remote options (docs/remote_targets.md):
+//   --connect=ADDR[,ADDR...]    fuzz campaigns only: workers drive targets
+//                               hosted by hardsnapd at these addresses
+//                               (tcp:host:port or unix:/path) instead of
+//                               in-process simulators; round-robin across
+//                               addresses, automatic fail-over on a lost
+//                               connection
+//   --serve=ADDR                serve command: listen address
+//   --targets=N                 serve command: max concurrent sessions
+//   --stats-interval=SECS       periodic progress line to stderr (both a
+//                               serving daemon and a running campaign)
 //
 // Example:
 //   hardsnap run driver.s --symbolic-reg=a0 --mode=hardsnap --target=fpga
@@ -54,6 +68,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -64,8 +79,11 @@
 #include "core/session.h"
 #include "fpga/fpga_target.h"
 #include "fuzz/fuzzer.h"
+#include "net/address.h"
 #include "periph/periph.h"
+#include "remote/remote_target.h"
 #include "rtl/elaborate.h"
+#include "serve_common.h"
 #include "vm/cpu.h"
 
 using namespace hardsnap;
@@ -91,7 +109,7 @@ void InstallStopHandlers() {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: hardsnap <run|fuzz|exec|info> [firmware.s] "
+               "usage: hardsnap <run|fuzz|exec|info|serve> [firmware.s] "
                "[options]\n(see the header of tools/hardsnap_cli.cpp)\n");
   return 2;
 }
@@ -145,13 +163,18 @@ struct Cli {
   persist::PersistOptions persist;
   // host<->target transport (applied to every target the command builds)
   bus::LinkConfig link;
+  // remote targets (--connect for campaigns, --serve/--targets for serve)
+  std::vector<std::string> connect;
+  std::string serve_listen;
+  unsigned serve_targets = 8;
+  unsigned stats_interval = 0;
 };
 
 bool ParseArgs(int argc, char** argv, Cli* cli) {
   if (argc < 2) return false;
   cli->command = argv[1];
   int i = 2;
-  if (cli->command != "info") {
+  if (cli->command != "info" && cli->command != "serve") {
     if (argc < 3) return false;
     cli->firmware_path = argv[2];
     i = 3;
@@ -237,6 +260,27 @@ bool ParseArgs(int argc, char** argv, Cli* cli) {
       cli->link.faults.seed = ParseNum(v);
     } else if (OptValue(arg, "mmio-deadline", &v)) {
       cli->link.retry.deadline = Duration::Micros(std::stod(v));
+    } else if (OptValue(arg, "connect", &v)) {
+      size_t start = 0;
+      while (start <= v.size()) {
+        const size_t comma = v.find(',', start);
+        const std::string addr =
+            v.substr(start, comma == std::string::npos ? std::string::npos
+                                                       : comma - start);
+        if (!addr.empty()) cli->connect.push_back(addr);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      if (cli->connect.empty()) {
+        std::fprintf(stderr, "--connect needs at least one address\n");
+        return false;
+      }
+    } else if (OptValue(arg, "serve", &v)) {
+      cli->serve_listen = v;
+    } else if (OptValue(arg, "targets", &v)) {
+      cli->serve_targets = static_cast<unsigned>(ParseNum(v));
+    } else if (OptValue(arg, "stats-interval", &v)) {
+      cli->stats_interval = static_cast<unsigned>(ParseNum(v));
     } else if (OptValue(arg, "reset", &v)) {
       if (v == "snapshot") cli->fuzz.reset = fuzz::ResetStrategy::kSnapshotReset;
       else if (v == "reboot") cli->fuzz.reset = fuzz::ResetStrategy::kRebootReset;
@@ -413,6 +457,41 @@ int CmdFuzzCampaign(const Cli& cli, const vm::FirmwareImage& image) {
   opts.simulator_options.link = cli.link;
   opts.persist = cli.persist;
   opts.external_stop = &g_stop;
+  opts.stats_interval_seconds = cli.stats_interval;
+  if (!cli.connect.empty()) {
+    // Remote mode: each worker slice is a session on one of the hardsnapd
+    // servers, round-robined by (worker + incarnation) so a fail-over
+    // naturally rotates to the next server in the pool.
+    std::vector<net::Address> addrs;
+    for (const std::string& spec : cli.connect) {
+      auto addr = net::Address::Parse(spec);
+      if (!addr.ok()) {
+        std::fprintf(stderr, "%s\n", addr.status().ToString().c_str());
+        return 1;
+      }
+      addrs.push_back(addr.value());
+    }
+    auto connections = std::make_shared<std::atomic<uint64_t>>(0);
+    auto reconnects = std::make_shared<std::atomic<uint64_t>>(0);
+    opts.target_factory = [addrs, connections, reconnects](
+                              unsigned worker, uint64_t incarnation)
+        -> Result<std::unique_ptr<bus::HardwareTarget>> {
+      remote::RemoteTargetOptions ropts;
+      ropts.client_name = "hardsnap-worker-" + std::to_string(worker);
+      auto target = remote::RemoteTarget::Connect(
+          addrs[(worker + incarnation) % addrs.size()], ropts);
+      if (!target.ok()) return target.status();
+      connections->fetch_add(1, std::memory_order_relaxed);
+      if (incarnation > 0) reconnects->fetch_add(1, std::memory_order_relaxed);
+      return std::unique_ptr<bus::HardwareTarget>(std::move(target).value());
+    };
+    opts.stats_extra = [connections, reconnects] {
+      return "connections " +
+             std::to_string(connections->load(std::memory_order_relaxed)) +
+             ", reconnects " +
+             std::to_string(reconnects->load(std::memory_order_relaxed));
+    };
+  }
   InstallStopHandlers();
   campaign::FuzzCampaign campaign(soc.value(), image, opts);
   auto report = campaign.Run();
@@ -460,14 +539,16 @@ int CmdFuzz(const Cli& cli) {
     std::fprintf(stderr, "%s\n", img.status().ToString().c_str());
     return 1;
   }
-  // Campaign path: multiple workers, or any persisted run (durable
+  // Campaign path: multiple workers, any persisted run (durable
   // checkpointing lives in the campaign layer, so --persist/--resume
-  // route even a single worker through it).
-  if (cli.workers > 1 || !cli.persist.dir.empty()) {
-    if (cli.target != core::SessionConfig::Target::kSimulator) {
+  // route even a single worker through it), or remote targets
+  // (--connect puts every worker on a hardsnapd session).
+  if (cli.workers > 1 || !cli.persist.dir.empty() || !cli.connect.empty()) {
+    if (cli.connect.empty() &&
+        cli.target != core::SessionConfig::Target::kSimulator) {
       std::fprintf(stderr,
                    "--workers/--persist need --target=sim (one simulated "
-                   "device per worker)\n");
+                   "device per worker) or --connect\n");
       return 1;
     }
     return CmdFuzzCampaign(cli, img.value());
@@ -502,6 +583,29 @@ int CmdFuzz(const Cli& cli) {
   return 0;
 }
 
+// Same serving core as the hardsnapd binary, reachable without a second
+// install.
+int CmdServe(const Cli& cli) {
+  if (cli.serve_listen.empty()) {
+    std::fprintf(stderr, "serve needs --serve=ADDR (tcp:host:port or "
+                         "unix:/path)\n");
+    return 2;
+  }
+  if (cli.target == core::SessionConfig::Target::kBoth) {
+    std::fprintf(stderr, "serve hosts one back-end kind: --target=sim or "
+                         "--target=fpga\n");
+    return 2;
+  }
+  tools::ServeConfig config;
+  config.listen = cli.serve_listen;
+  config.targets = cli.serve_targets;
+  config.fpga = cli.target == core::SessionConfig::Target::kFpga;
+  config.stats_interval_seconds = cli.stats_interval;
+  config.link = cli.link;
+  InstallStopHandlers();
+  return tools::RunServeLoop(config, g_stop);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -511,5 +615,6 @@ int main(int argc, char** argv) {
   if (cli.command == "run") return CmdRun(cli);
   if (cli.command == "exec") return CmdExec(cli);
   if (cli.command == "fuzz") return CmdFuzz(cli);
+  if (cli.command == "serve") return CmdServe(cli);
   return Usage();
 }

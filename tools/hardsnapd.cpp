@@ -1,0 +1,96 @@
+// hardsnapd — remote target daemon.
+//
+// Hosts a pool of HardSnap targets (simulated SoCs, or the modeled FPGA
+// back-end) behind the framed RPC protocol in src/remote, one isolated
+// target per client session. Campaign workers connect with
+// `hardsnap fuzz ... --connect=ADDR`.
+//
+//   hardsnapd --serve=ADDR [options]
+//
+// Options:
+//   --serve=ADDR            listen address: tcp:host:port or unix:/path
+//                           (tcp port 0 picks a free port, printed on
+//                           startup)
+//   --targets=N             max concurrent sessions (default 8)
+//   --target=sim|fpga       hosted back-end kind (default sim)
+//   --stats-interval=SECS   periodic counters line to stderr (default off)
+//   --fault-rate=P          inject faults on the modeled device link
+//   --fault-seed=N          RNG seed for the fault schedule
+//
+// Lifecycle: SIGINT/SIGTERM drains — in-flight requests complete, new
+// sessions are refused with kUnavailable (clients fail over), then the
+// process exits. A second signal aborts immediately.
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "serve_common.h"
+
+using namespace hardsnap;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+std::atomic<int> g_signal_count{0};
+
+extern "C" void OnStopSignal(int /*signum*/) {
+  if (g_signal_count.fetch_add(1) > 0) _exit(130);
+  g_stop.store(true);
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: hardsnapd --serve=ADDR [--targets=N] "
+               "[--target=sim|fpga] [--stats-interval=SECS]\n"
+               "(see the header of tools/hardsnapd.cpp)\n");
+  return 2;
+}
+
+bool OptValue(const std::string& arg, const char* key, std::string* value) {
+  const std::string prefix = std::string("--") + key + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::ServeConfig config;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i], v;
+    if (OptValue(arg, "serve", &v)) {
+      config.listen = v;
+    } else if (OptValue(arg, "targets", &v)) {
+      config.targets = static_cast<unsigned>(std::stoul(v, nullptr, 0));
+    } else if (OptValue(arg, "target", &v)) {
+      if (v == "sim") config.fpga = false;
+      else if (v == "fpga") config.fpga = true;
+      else return Usage();
+    } else if (OptValue(arg, "stats-interval", &v)) {
+      config.stats_interval_seconds =
+          static_cast<unsigned>(std::stoul(v, nullptr, 0));
+    } else if (OptValue(arg, "fault-rate", &v)) {
+      const double rate = std::stod(v);
+      if (rate < 0.0 || rate > 1.0) {
+        std::fprintf(stderr, "--fault-rate must be in [0,1]\n");
+        return 2;
+      }
+      config.link.faults.drop_rate = rate;
+      config.link.faults.corrupt_rate = rate;
+    } else if (OptValue(arg, "fault-seed", &v)) {
+      config.link.faults.seed = std::stoull(v, nullptr, 0);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (config.listen.empty()) return Usage();
+
+  std::signal(SIGINT, OnStopSignal);
+  std::signal(SIGTERM, OnStopSignal);
+  return tools::RunServeLoop(config, g_stop);
+}

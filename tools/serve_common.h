@@ -1,0 +1,124 @@
+// Shared implementation of the target-serving mode, used by the
+// dedicated hardsnapd binary and by `hardsnap serve`.
+//
+// Builds the default HardSnap SoC, wraps it in a per-session target
+// factory (simulator or FPGA back-end) and runs a remote::TargetServer
+// until `stop` is raised — at which point it drains (in-flight requests
+// finish, new sessions are refused with kUnavailable) and exits. With a
+// stats interval set, one counters line goes to stderr per interval.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "bus/sim_target.h"
+#include "fpga/fpga_target.h"
+#include "net/address.h"
+#include "periph/periph.h"
+#include "remote/server.h"
+#include "rtl/elaborate.h"
+#include "snapshot/snapshot.h"
+
+namespace hardsnap::tools {
+
+struct ServeConfig {
+  std::string listen;            // net::Address spec
+  unsigned targets = 8;          // max concurrent sessions
+  bool fpga = false;             // hosted back-end kind
+  unsigned stats_interval_seconds = 0;
+  bus::LinkConfig link;          // modeled-link config for hosted targets
+};
+
+inline void PrintServerStats(const remote::TargetServer& server) {
+  const remote::ServerStats s = server.stats();
+  const double avg_us =
+      s.rpcs ? static_cast<double>(s.rpc_wall_micros) / s.rpcs : 0.0;
+  std::fprintf(stderr,
+               "[hardsnapd] sessions %u active (%llu accepted, %llu refused), "
+               "rpcs %llu (%llu ops, %.1f us avg), in %llu B, out %llu B, "
+               "protocol errors %llu\n",
+               server.active_sessions(),
+               static_cast<unsigned long long>(s.sessions_accepted),
+               static_cast<unsigned long long>(s.sessions_refused),
+               static_cast<unsigned long long>(s.rpcs),
+               static_cast<unsigned long long>(s.batched_ops), avg_us,
+               static_cast<unsigned long long>(s.bytes_received),
+               static_cast<unsigned long long>(s.bytes_sent),
+               static_cast<unsigned long long>(s.protocol_errors));
+}
+
+// Blocks until `stop`. Returns a process exit code.
+inline int RunServeLoop(const ServeConfig& config,
+                        const std::atomic<bool>& stop) {
+  auto addr = net::Address::Parse(config.listen);
+  if (!addr.ok()) {
+    std::fprintf(stderr, "%s\n", addr.status().ToString().c_str());
+    return 1;
+  }
+  auto soc =
+      rtl::CompileVerilog(periph::BuildSoc(periph::DefaultCorpus()), "soc");
+  if (!soc.ok()) {
+    std::fprintf(stderr, "%s\n", soc.status().ToString().c_str());
+    return 1;
+  }
+  const rtl::Design& design = soc.value();
+
+  remote::TargetServerOptions sopts;
+  sopts.max_sessions = config.targets;
+  sopts.shape_digest = snapshot::StateShapeDigest(design);
+
+  remote::TargetFactory factory;
+  if (config.fpga) {
+    factory = [&design, link = config.link]()
+        -> Result<std::unique_ptr<bus::HardwareTarget>> {
+      fpga::FpgaTargetOptions topts;
+      topts.link = link;
+      auto t = fpga::FpgaTarget::Create(design, topts);
+      if (!t.ok()) return t.status();
+      return std::unique_ptr<bus::HardwareTarget>(std::move(t).value());
+    };
+  } else {
+    factory = [&design, link = config.link]()
+        -> Result<std::unique_ptr<bus::HardwareTarget>> {
+      bus::SimulatorTargetOptions topts;
+      topts.link = link;
+      auto t = bus::SimulatorTarget::Create(design, topts);
+      if (!t.ok()) return t.status();
+      return std::unique_ptr<bus::HardwareTarget>(std::move(t).value());
+    };
+  }
+
+  auto server = remote::TargetServer::Start(addr.value(), factory, sopts);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("hardsnapd: %s target pool (%u sessions) on %s\n",
+              config.fpga ? "fpga" : "sim", config.targets,
+              server.value()->bound().ToString().c_str());
+  std::fflush(stdout);
+
+  auto last_stats = std::chrono::steady_clock::now();
+  while (!stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (config.stats_interval_seconds == 0) continue;
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_stats >=
+        std::chrono::seconds(config.stats_interval_seconds)) {
+      PrintServerStats(*server.value());
+      last_stats = now;
+    }
+  }
+
+  std::fprintf(stderr, "[hardsnapd] draining...\n");
+  server.value()->Drain();
+  server.value()->Stop();
+  PrintServerStats(*server.value());
+  return 0;
+}
+
+}  // namespace hardsnap::tools
